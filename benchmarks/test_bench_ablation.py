@@ -1,0 +1,233 @@
+"""Ablation benchmarks: what each piece of domain knowledge buys.
+
+The paper's thesis is that *knowledge* is what makes reverse engineering
+generic + efficient + deterministic. Each ablation below removes one
+knowledge source or design choice and measures the damage:
+
+* **System Information (bank count)** — Algorithm 2 with a wrong ``#bank``
+  never converges.
+* **Empirical observation 2 (column exclusion)** — without the
+  lowest-bit-of-widest-function rule, Step 3 misattributes the shared
+  column bits on the wide-hash machines and the mapping fails validation.
+* **Partition tolerance (delta)** — the paper's 0.2 is load-bearing: a
+  tight 0.05 rejects every pile (the pivot's same-row partner always makes
+  piles one address short), a loose 0.6 admits noise-bloated piles.
+* **Measurement repeats** — DRAMA-style single-shot measurement collapses
+  on the noisy machines where repeated-minimum measurement sails through.
+* **Rounds** — more rounds per measurement cost linearly more simulated
+  time without improving an already-converged median.
+
+Run with ``pytest benchmarks/test_bench_ablation.py --benchmark-only -s``.
+"""
+
+import numpy as np
+
+from repro.core.coarse import CoarseDetector
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.fine import FineDetector
+from repro.core.knowledge import DomainKnowledge
+from repro.core.partition import PartitionConfig, partition_pool
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.selection import select_addresses
+from repro.dram.errors import MappingError, PartitionError, ReproError
+from repro.dram.presets import preset
+from repro.evalsuite.reporting import render_table
+from repro.machine.machine import SimulatedMachine
+from repro.machine.sysinfo import SystemInfo
+from repro.memctrl.timing import NoiseParams
+
+
+def _pipeline_front(name, seed=0, noise=None, probe_config=None):
+    machine = SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=noise or NoiseParams.noiseless()
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(
+        machine, probe_config or ProbeConfig(rounds=200, calibration_pairs=768)
+    )
+    rng = np.random.default_rng(seed)
+    probe.calibrate(pages, rng)
+    return machine, pages, probe, rng
+
+
+def test_bench_bank_count_knowledge(benchmark):
+    """Algorithm 2 with the true vs a wrong bank count."""
+
+    def run():
+        outcomes = []
+        for claimed_banks in (8, 16, 32):
+            machine, pages, probe, rng = _pipeline_front("No.8")
+            selection = select_addresses(pages, (6, 13, 14, 15, 16, 17, 18, 19))
+            mark = machine.clock.checkpoint()
+            try:
+                result = partition_pool(probe, selection.pool, claimed_banks, rng)
+                outcome = f"{result.pile_count} piles"
+            except PartitionError:
+                outcome = "FAILED (no convergence)"
+            outcomes.append(
+                (claimed_banks, outcome, machine.clock.since(mark) / 1e9)
+            )
+        return outcomes
+
+    outcomes = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: bank-count knowledge (machine No.8, true #bank=16) ===")
+    print(
+        render_table(
+            ["claimed #bank", "outcome", "sim seconds"],
+            [(banks, outcome, f"{seconds:.1f}") for banks, outcome, seconds in outcomes],
+        )
+    )
+    by_banks = {banks: outcome for banks, outcome, _ in outcomes}
+    assert by_banks[16].endswith("piles")
+    assert int(by_banks[16].split()[0]) >= 13
+    assert "FAILED" in by_banks[8]
+    assert "FAILED" in by_banks[32]
+
+
+def test_bench_column_exclusion_rule(benchmark):
+    """Step 3 with and without empirical observation 2, on the wide-hash
+    machines where it matters."""
+
+    def run():
+        results = []
+        for name in ("No.2", "No.6"):
+            truth = preset(name).mapping
+            for use_rule in (True, False):
+                machine, pages, probe, rng = _pipeline_front(name)
+                knowledge = DomainKnowledge.gather(
+                    SystemInfo.from_geometry(truth.geometry)
+                )
+                coarse = CoarseDetector(
+                    probe, pages, knowledge.address_bits, rng
+                ).detect()
+                detector = FineDetector(
+                    probe, knowledge, pages, rng,
+                    use_column_exclusion_rule=use_rule,
+                )
+                fine = detector.detect(coarse, truth.bank_functions)
+                correct = fine.column_bits == truth.column_bits
+                results.append((name, use_rule, correct))
+        return results
+
+    results = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: empirical column-exclusion rule ===")
+    print(
+        render_table(
+            ["machine", "rule enabled", "columns correct"],
+            [(name, rule, correct) for name, rule, correct in results],
+        )
+    )
+    for name, rule, correct in results:
+        assert correct == rule, (name, rule)
+
+
+def test_bench_partition_delta_sweep(benchmark):
+    """Sensitivity of Algorithm 2 to the delta tolerance (paper: 0.2)."""
+
+    def run():
+        rows = []
+        for delta in (0.02, 0.1, 0.2, 0.4, 0.6):
+            machine, pages, probe, rng = _pipeline_front("No.8")
+            selection = select_addresses(pages, (6, 13, 14, 15, 16, 17, 18, 19))
+            config = PartitionConfig(delta=delta)
+            try:
+                result = partition_pool(probe, selection.pool, 16, rng, config)
+                rows.append((delta, result.pile_count, result.rounds, "ok"))
+            except PartitionError:
+                rows.append((delta, 0, 0, "FAILED"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: partition tolerance delta (No.8) ===")
+    print(render_table(["delta", "piles", "rounds", "outcome"], rows))
+    outcomes = {delta: outcome for delta, _, _, outcome in rows}
+    # Too tight: piles (15 of ideal 16 addresses) always rejected.
+    assert outcomes[0.02] == "FAILED"
+    # The paper's setting works.
+    assert outcomes[0.2] == "ok"
+
+
+def test_bench_measurement_repeats(benchmark):
+    """Single-shot vs repeated-minimum measurement on a noisy machine."""
+
+    def run():
+        rows = []
+        for repeats in (1, 2, 3):
+            config = DramDigConfig(
+                probe=ProbeConfig(rounds=4000, repeats=repeats),
+                max_retries=0,
+            )
+            machine = SimulatedMachine.from_preset(preset("No.3"), seed=1)
+            try:
+                result = DramDig(config).run(machine)
+                correct = result.mapping.equivalent_to(preset("No.3").mapping)
+                rows.append(
+                    (repeats, "ok" if correct else "WRONG", f"{result.total_seconds:.0f}")
+                )
+            except ReproError as error:
+                rows.append((repeats, f"FAILED ({type(error).__name__})", "-"))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: measurement repeats on the noisy No.3 ===")
+    print(render_table(["repeats", "outcome", "sim seconds"], rows))
+    by_repeats = {repeats: outcome for repeats, outcome, _ in rows}
+    assert "FAILED" in by_repeats[1] or "WRONG" in by_repeats[1]
+    assert by_repeats[3] == "ok"
+
+
+def test_bench_rounds_cost(benchmark):
+    """Rounds per measurement trade simulated time for nothing once the
+    median converges (quiet machine)."""
+
+    def run():
+        rows = []
+        for rounds in (500, 4000, 16000):
+            config = DramDigConfig(probe=ProbeConfig(rounds=rounds))
+            machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+            result = DramDig(config).run(machine)
+            correct = result.mapping.equivalent_to(preset("No.1").mapping)
+            rows.append((rounds, "ok" if correct else "WRONG", result.total_seconds))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: rounds per measurement (No.1) ===")
+    print(
+        render_table(
+            ["rounds", "outcome", "sim seconds"],
+            [(rounds, outcome, f"{seconds:.1f}") for rounds, outcome, seconds in rows],
+        )
+    )
+    assert all(outcome == "ok" for _, outcome, _ in rows)
+    times = [seconds for _, _, seconds in rows]
+    assert times[0] < times[1] < times[2]
+
+
+def test_bench_spec_knowledge_validation(benchmark):
+    """Without the DDR-spec row/column counts there is no Step 3 bound; the
+    pipeline's validation rejects the incomplete mapping instead of
+    emitting it silently."""
+
+    def run():
+        truth = preset("No.2").mapping
+        machine, pages, probe, rng = _pipeline_front("No.2")
+        knowledge = DomainKnowledge.gather(SystemInfo.from_geometry(truth.geometry))
+        coarse = CoarseDetector(probe, pages, knowledge.address_bits, rng).detect()
+        # "No spec": pretend the coarse result is complete.
+        from repro.dram.mapping import AddressMapping
+
+        try:
+            AddressMapping(
+                geometry=truth.geometry,
+                bank_functions=truth.bank_functions,
+                row_bits=coarse.row_bits,
+                column_bits=coarse.column_bits,
+            )
+            return "accepted"
+        except MappingError as error:
+            return f"rejected ({str(error)[:40]}...)"
+
+    outcome = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Ablation: spec knowledge (No.2 without Step 3) ===")
+    print(f"coarse-only mapping: {outcome}")
+    assert outcome.startswith("rejected")

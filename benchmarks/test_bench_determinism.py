@@ -1,0 +1,31 @@
+"""Bench: the determinism study behind Table I's third column.
+
+Run with ``pytest benchmarks/test_bench_determinism.py --benchmark-only -s``.
+Eight repeated runs per tool on machine No.1: DRAMDig must produce one
+output for all runs (across varying machine noise); DRAMA must not
+(its single-shot row scan and random pools disagree with themselves,
+"most of the time" per the paper).
+"""
+
+from repro.evalsuite.determinism import render_determinism, run_determinism
+
+
+def test_bench_determinism(benchmark):
+    rows = benchmark.pedantic(
+        run_determinism,
+        kwargs={"machine_name": "No.1", "runs": 8, "seed": 1},
+        rounds=1,
+        iterations=1,
+    )
+    print("\n=== Determinism study (No.1, 8 runs per tool) ===")
+    print(render_determinism(rows))
+
+    by_tool = {row.tool: row for row in rows}
+    dramdig = by_tool["DRAMDig"]
+    assert dramdig.completed == 8
+    assert dramdig.distinct_outputs == 1
+    assert dramdig.correct_fraction == 1.0
+
+    drama = by_tool["DRAMA"]
+    assert drama.distinct_outputs > 1
+    assert drama.correct_fraction < 1.0

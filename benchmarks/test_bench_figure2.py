@@ -1,0 +1,35 @@
+"""Benchmark: regenerate paper Figure 2 (time costs, DRAMDig vs DRAMA).
+
+Run with ``pytest benchmarks/test_bench_figure2.py --benchmark-only -s``.
+Asserts the figure's shape: DRAMDig finishes everywhere and faster than
+DRAMA; DRAMA is killed (2 h timeout) on the noisy laptops No.3 and No.7;
+the partition-dominated cost scales with the Algorithm-1 pool size.
+"""
+
+from repro.evalsuite.figure2 import render_figure2, run_figure2
+from repro.evalsuite.reporting import render_series
+
+
+def test_bench_figure2(benchmark):
+    points = benchmark.pedantic(run_figure2, kwargs={"seed": 1}, rounds=1, iterations=1)
+    print("\n=== Figure 2 (reproduced) ===")
+    print(render_figure2(points))
+    print()
+    print(render_series("DRAMDig", [(p.machine, p.dramdig_seconds) for p in points]))
+    print(render_series("DRAMA  ", [(p.machine, p.drama_seconds) for p in points]))
+
+    by_machine = {p.machine: p for p in points}
+    # DRAMDig always finishes, within the paper's worst case.
+    assert all(p.dramdig_seconds < 18 * 60 for p in points)
+    # DRAMA is slower everywhere it finishes, and dies on No.3/No.7.
+    for point in points:
+        if not point.drama_timed_out:
+            assert point.drama_seconds > point.dramdig_seconds, point.machine
+    assert by_machine["No.3"].drama_timed_out
+    assert by_machine["No.7"].drama_timed_out
+    assert by_machine["No.3"].drama_seconds >= 7200
+    # Pool size drives DRAMDig cost: No.6/No.9 (~16k addresses) are the
+    # slowest, as Section IV-B reports.
+    slowest = max(points, key=lambda p: p.dramdig_seconds)
+    assert slowest.machine in ("No.6", "No.9")
+    assert by_machine["No.6"].dramdig_pool_size == 16384

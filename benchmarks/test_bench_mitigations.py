@@ -1,0 +1,91 @@
+"""Extension bench: rowhammer mitigations (TRR, ECC, TRRespass bypass).
+
+Beyond the paper: the defender-side sweep. With the mapping DRAMDig
+recovers, measure observable flips on machine No.2 under every mitigation
+combination, plus the many-sided decoy sweep that trades activation budget
+against TRR tracker dilution.
+
+Run with ``pytest benchmarks/test_bench_mitigations.py --benchmark-only -s``.
+"""
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.evalsuite.reporting import render_table
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.mitigations import MitigationStack, TrrModel
+
+CONFIG = HammerConfig(duration_seconds=60.0, test_variability=0.0)
+
+
+def _attack():
+    machine = SimulatedMachine.from_preset(preset("No.2"), seed=1)
+    return DoubleSidedAttack(
+        machine, config=CONFIG, vulnerability=preset("No.2").hammer_vulnerability
+    )
+
+
+def test_bench_mitigation_matrix(benchmark):
+    belief = BeliefMapping.from_mapping(preset("No.2").mapping)
+
+    def run():
+        attack = _attack()
+        rows = []
+        for label, stack in [
+            ("none", None),
+            ("ECC", MitigationStack(ecc=True)),
+            ("TRR", MitigationStack(trr=TrrModel())),
+            ("TRR + ECC", MitigationStack(trr=TrrModel(), ecc=True)),
+        ]:
+            report = attack.run(belief, seed=3, mitigations=stack)
+            rows.append(
+                (
+                    label,
+                    report.raw_flips,
+                    report.flips,
+                    report.stopped_by_trr,
+                    report.ecc_corrected,
+                    report.ecc_detected,
+                    report.ecc_silent,
+                )
+            )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Mitigation matrix (No.2, 1-minute tests, correct mapping) ===")
+    print(
+        render_table(
+            ["mitigations", "raw", "observable", "TRR-stopped", "corrected",
+             "detected", "silent"],
+            rows,
+        )
+    )
+    observable = {label: flips for label, _, flips, *_ in rows}
+    assert observable["none"] > 0
+    assert observable["TRR"] < observable["none"] * 0.2
+    assert observable["ECC"] < observable["none"] * 0.2
+    assert observable["TRR + ECC"] <= observable["TRR"]
+
+
+def test_bench_trrespass_decoy_sweep(benchmark):
+    belief = BeliefMapping.from_mapping(preset("No.2").mapping)
+    stack = MitigationStack(trr=TrrModel(tracker_entries=4))
+
+    def run():
+        attack = _attack()
+        rows = []
+        for decoys in (0, 4, 8, 14, 30, 60):
+            report = attack.run(belief, seed=3, mitigations=stack, decoy_rows=decoys)
+            rows.append((decoys, report.raw_flips, report.flips))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== TRRespass decoy sweep (No.2, TRR with 4 tracker entries) ===")
+    print(render_table(["decoy rows", "raw flips", "observable flips"], rows))
+    observable = {decoys: flips for decoys, _, flips in rows}
+    best = max(observable, key=observable.get)
+    # The sweet spot is in the middle: enough decoys to flood the tracker,
+    # not so many the activation budget starves.
+    assert 4 <= best <= 30
+    assert observable[best] > observable[0]
+    assert observable[60] < observable[best]

@@ -1,0 +1,52 @@
+"""Extension bench: in-DRAM row remapping vs the double-sided attacker.
+
+Run with ``pytest benchmarks/test_bench_remapping.py --benchmark-only -s``.
+For each remap scheme: the naive attacker's targeted-adjacency agreement
+(how often its sandwich encloses the intended victim) and its raw flip
+count, against a remap-aware upper bound of 100 % agreement.
+"""
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.evalsuite.reporting import render_table
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.remapping import ROW_REMAPS, adjacency_agreement
+
+CONFIG = HammerConfig(duration_seconds=60.0, test_variability=0.0)
+
+
+def test_bench_remapping(benchmark):
+    machine = SimulatedMachine.from_preset(preset("No.2"), seed=1)
+    belief = BeliefMapping.from_mapping(preset("No.2").mapping)
+
+    def run():
+        rows = []
+        for scheme in sorted(ROW_REMAPS):
+            agreement = adjacency_agreement(scheme)
+            flips = sum(
+                DoubleSidedAttack(
+                    machine, config=CONFIG, vulnerability=1.0, row_remap=scheme
+                )
+                .run(belief, seed=seed)
+                .flips
+                for seed in range(3)
+            )
+            rows.append((scheme, f"{agreement:.0%}", flips))
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Row-remapping study (No.2, naive double-sided attacker) ===")
+    print(
+        render_table(
+            ["remap scheme", "targeted-adjacency agreement", "raw flips (3 tests)"],
+            rows,
+        )
+    )
+    by_scheme = {scheme: (agreement, flips) for scheme, agreement, flips in rows}
+    assert by_scheme["none"][0] == "100%"
+    assert by_scheme["pair_swap"][0] == "0%"
+    # pair_swap displaces flips but keeps the count's order of magnitude.
+    assert by_scheme["pair_swap"][1] > by_scheme["none"][1] * 0.4
+    # bit3_flip loses the boundary sandwiches: measurably fewer raw flips.
+    assert by_scheme["bit3_flip"][1] < by_scheme["none"][1]

@@ -1,0 +1,44 @@
+"""Benchmark: regenerate paper Table I (qualitative tool comparison).
+
+Run with ``pytest benchmarks/test_bench_table1.py --benchmark-only -s``.
+Asserts the measured property matrix equals the paper's:
+
+===============  =======  =========  =============
+Tool             Generic  Efficient  Deterministic
+===============  =======  =========  =============
+Seaborn et al.   x        x          yes
+Xiao et al.      x        yes        yes
+DRAMA            yes*     x/yes      x
+DRAMDig          yes      yes        yes
+===============  =======  =========  =============
+
+(*) The paper marks DRAMA generic by design; measured on this panel it
+times out on the noisy laptops, so our table reports both facets.
+"""
+
+from repro.evalsuite.table1 import render_table1, run_table1
+
+
+def test_bench_table1(benchmark):
+    verdicts = benchmark.pedantic(
+        run_table1, kwargs={"seed": 1, "determinism_runs": 3}, rounds=1, iterations=1
+    )
+    print("\n=== Table I (reproduced, measured) ===")
+    print(render_table1(verdicts))
+
+    by_tool = {verdict.tool: verdict for verdict in verdicts}
+    dramdig = by_tool["DRAMDig"]
+    assert dramdig.generic and dramdig.efficient and dramdig.deterministic
+    assert dramdig.successes == 9
+
+    drama = by_tool["DRAMA"]
+    assert not drama.deterministic
+    assert drama.successes == 7  # all but No.3/No.7
+
+    xiao = by_tool["Xiao et al."]
+    assert not xiao.generic
+    assert xiao.efficient
+    assert xiao.successes == 4  # No.1, No.3, No.4, No.5
+
+    seaborn = by_tool["Seaborn et al."]
+    assert not seaborn.generic and not seaborn.efficient

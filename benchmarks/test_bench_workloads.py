@@ -1,0 +1,80 @@
+"""Bench: workload analysis on the substrate (why XOR hashing exists).
+
+Run with ``pytest benchmarks/test_bench_workloads.py --benchmark-only -s``.
+Uses the trace tools to quantify what Intel's bank hash buys on a
+pathological strided workload, plus the attack-variant effectiveness
+ordering from the rowhammer literature.
+"""
+
+import numpy as np
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.dram.random_mapping import naive_mapping
+from repro.evalsuite.reporting import render_table
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.trace import matrix_column_trace, random_trace, run_trace, sequential_trace
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.variants import one_location_test, single_sided_test
+
+
+def test_bench_hash_vs_naive(benchmark):
+    machine_preset = preset("No.1")
+    hashed = machine_preset.mapping
+    naive = naive_mapping(machine_preset.geometry)
+
+    def run():
+        rng = np.random.default_rng(0)
+        traces = {
+            "sequential": sequential_trace(0x4000000, 2000),
+            "matrix-col": matrix_column_trace(
+                0x4000000, rows=256, row_stride_bytes=8192 * 16, columns=8
+            ),
+            "random": random_trace(machine_preset.geometry.total_bytes, 2000, rng),
+        }
+        rows = []
+        for name, trace in traces.items():
+            for label, mapping in (("hashed", hashed), ("naive", naive)):
+                stats = run_trace(mapping, trace)
+                rows.append(
+                    (
+                        name,
+                        label,
+                        f"{stats.hit_rate:.1%}",
+                        stats.banks_used,
+                        f"{stats.speedup_from_banking:.1f}x",
+                    )
+                )
+        return rows
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Workload study: hashed vs naive bank layout (No.1) ===")
+    print(render_table(["workload", "mapping", "hit rate", "banks", "speedup"], rows))
+    by_key = {(w, m): s for w, m, _, _, s in rows}
+    assert by_key[("matrix-col", "hashed")] == "16.0x"
+    assert by_key[("matrix-col", "naive")] == "1.0x"
+
+
+def test_bench_attack_variants(benchmark):
+    machine = SimulatedMachine.from_preset(preset("No.2"), seed=1)
+    belief = BeliefMapping.from_mapping(preset("No.2").mapping)
+    config = HammerConfig(duration_seconds=60.0, test_variability=0.0)
+    vulnerability = preset("No.2").hammer_vulnerability
+
+    def run():
+        double = DoubleSidedAttack(
+            machine, config=config, vulnerability=vulnerability
+        ).run(belief, seed=2)
+        one_loc = one_location_test(machine, belief, vulnerability, config, seed=2)
+        single = single_sided_test(machine, belief, vulnerability, config, seed=2)
+        return [
+            ("double-sided", double.flips),
+            ("one-location", one_loc.flips),
+            ("single-sided", single.flips),
+        ]
+
+    rows = benchmark.pedantic(run, rounds=1, iterations=1)
+    print("\n=== Attack variants (No.2, 1-minute tests, correct mapping) ===")
+    print(render_table(["variant", "flips"], rows))
+    flips = dict(rows)
+    assert flips["double-sided"] > flips["one-location"] > flips["single-sided"]

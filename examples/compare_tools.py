@@ -1,0 +1,52 @@
+#!/usr/bin/env python
+"""Head-to-head tool comparison on one machine (Table I in miniature).
+
+Runs DRAMDig, DRAMA (three times — watch it disagree with itself) and
+Xiao et al. on the paper's machine No.6, the DDR4 Skylake that breaks
+Xiao's tool.
+
+Run:  python examples/compare_tools.py
+"""
+
+from repro import DramaTool, DramDig, SimulatedMachine, XiaoTool, preset
+from repro.analysis.bits import format_mask
+from repro.dram.errors import ReproError
+
+
+def main() -> None:
+    machine_preset = preset("No.6")
+    truth = machine_preset.mapping
+    print(f"Machine No.6: {machine_preset.microarchitecture} "
+          f"{machine_preset.cpu}, {machine_preset.geometry.describe()}")
+    print()
+
+    print("== DRAMDig ==")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=11)
+    result = DramDig().run(machine)
+    print(f"  {result.total_seconds:.0f} s simulated, "
+          f"equivalent to truth: {result.mapping.equivalent_to(truth)}")
+
+    print("== DRAMA (three independent runs) ==")
+    for run_index in range(3):
+        machine = SimulatedMachine.from_preset(machine_preset, seed=11)
+        drama = DramaTool(seed=run_index).run(machine)
+        if drama.belief is None:
+            print(f"  run {run_index}: timed out after {drama.seconds:.0f} s")
+            continue
+        functions = ", ".join(format_mask(f) for f in drama.belief.bank_functions)
+        print(f"  run {run_index}: {drama.seconds:.0f} s, "
+              f"rows {drama.belief.row_bits[0]}..{drama.belief.row_bits[-1]}, "
+              f"functions [{functions}], "
+              f"hammer-equivalent: {drama.belief.hammer_equivalent(truth)}")
+
+    print("== Xiao et al. ==")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=11)
+    try:
+        xiao = XiaoTool().run(machine)
+        print(f"  finished in {xiao.seconds:.0f} s")
+    except ReproError as error:
+        print(f"  failed: {error}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,64 @@
+#!/usr/bin/env python
+"""Define a machine the paper never measured and reverse-engineer it.
+
+DRAMDig's claim is that it is *generic*: it needs no per-machine
+templates, only the system's own dmidecode output and the DDR spec. This
+example builds a hypothetical dual-channel 32 GiB DDR4 workstation with a
+plausible Intel-style hash (wider than anything in Table II), hides it
+behind a simulated machine, and lets DRAMDig find it.
+
+Run:  python examples/custom_machine.py
+"""
+
+from repro import AddressMapping, DramDig, DramGeometry, SimulatedMachine
+from repro.analysis.bits import mask_of_bits
+from repro.dram.spec import DdrGeneration
+
+
+def build_custom_mapping() -> AddressMapping:
+    """A 32 GiB dual-channel, 2-rank DDR4 machine (64 banks, 35-bit
+    addresses): Skylake-style hash extended by one row bit."""
+    geometry = DramGeometry(
+        generation=DdrGeneration.DDR4,
+        total_bytes=32 * 2**30,
+        channels=2,
+        dimms_per_channel=1,
+        ranks_per_dimm=2,
+        banks_per_rank=16,
+    )
+    return AddressMapping(
+        geometry=geometry,
+        bank_functions=(
+            mask_of_bits([7, 14]),
+            mask_of_bits([15, 19]),
+            mask_of_bits([16, 20]),
+            mask_of_bits([17, 21]),
+            mask_of_bits([18, 22]),
+            mask_of_bits([8, 9, 12, 13, 18, 19]),
+        ),
+        row_bits=tuple(range(19, 34)) + (34,),
+        column_bits=tuple(range(0, 8)) + tuple(range(9, 14)),
+    )
+
+
+def main() -> None:
+    truth = build_custom_mapping()
+    print("Hypothetical machine:", truth.geometry.describe())
+    print("Hidden ground truth:")
+    print(truth.describe())
+    print()
+
+    machine = SimulatedMachine(mapping=truth, seed=3)
+    print("Running DRAMDig (no templates, no machine-specific code) ...")
+    result = DramDig().run(machine)
+    print()
+    print("Recovered:")
+    print(result.mapping.describe())
+    print()
+    equivalent = result.mapping.equivalent_to(truth)
+    print(f"equivalent to ground truth: {equivalent}")
+    assert equivalent
+
+
+if __name__ == "__main__":
+    main()

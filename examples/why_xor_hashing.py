@@ -1,0 +1,68 @@
+#!/usr/bin/env python
+"""Why do Intel controllers XOR-hash bank bits at all?
+
+The paper reverse-engineers the hash; this example shows its purpose.
+Replay three workloads through the memory-controller simulator under two
+mappings of the same machine:
+
+* the real (hashed) Sandy Bridge mapping of machine No.1,
+* a naive strawman whose bank bits are plain address bits.
+
+A column-major matrix walk whose row stride matches the naive bank
+period lands every access in one bank (no bank-level parallelism, a
+row conflict per access); the XOR hash spreads the same walk across all
+16 banks.
+
+Run:  python examples/why_xor_hashing.py
+"""
+
+import numpy as np
+
+from repro import preset
+from repro.dram.random_mapping import naive_mapping
+from repro.memctrl.trace import (
+    matrix_column_trace,
+    random_trace,
+    run_trace,
+    sequential_trace,
+)
+
+
+def report(label, mapping, trace) -> None:
+    stats = run_trace(mapping, trace)
+    print(f"  {label:<8} hits {stats.hit_rate:5.1%}  conflicts "
+          f"{stats.conflict_rate:5.1%}  banks {stats.banks_used:>2}  "
+          f"busiest-bank share {stats.bank_imbalance:5.1%}  "
+          f"banking speedup {stats.speedup_from_banking:4.1f}x")
+
+
+def main() -> None:
+    machine_preset = preset("No.1")
+    hashed = machine_preset.mapping
+    naive = naive_mapping(machine_preset.geometry)
+    rng = np.random.default_rng(0)
+
+    print("Machine No.1 geometry, hashed (real) vs naive (strawman) mapping\n")
+
+    print("Streaming read (512 consecutive cache lines):")
+    trace = sequential_trace(0x4000000, 512)
+    report("hashed", hashed, trace)
+    report("naive", naive, trace)
+
+    print("\nColumn-major matrix walk (stride = 128 KiB, the naive bank period):")
+    trace = matrix_column_trace(0x4000000, rows=256, row_stride_bytes=8192 * 16, columns=8)
+    report("hashed", hashed, trace)
+    report("naive", naive, trace)
+
+    print("\nRandom access (4000 lines):")
+    trace = random_trace(machine_preset.geometry.total_bytes, 4000, rng)
+    report("hashed", hashed, trace)
+    report("naive", naive, trace)
+
+    print("\nThe hash costs nothing on friendly workloads and rescues the")
+    print("pathological stride — which is why every Intel controller ships")
+    print("one, and why attackers must reverse-engineer it.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,12 @@
+"""Legacy setup shim.
+
+The offline environment ships setuptools without the ``wheel`` package, so
+PEP 517 editable installs fail with ``invalid command 'bdist_wheel'``. This
+shim lets ``pip install -e . --no-build-isolation --no-use-pep517`` (and
+plain ``pip install -e .`` on modern toolchains via pyproject.toml) work.
+All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,59 @@
+"""DRAMDig reproduction: knowledge-assisted uncovering of DRAM address
+mappings (Wang, Zhang, Cheng, Nepal — DAC 2020), on a simulated memory
+substrate.
+
+Quickstart::
+
+    from repro import DramDig, SimulatedMachine, preset
+
+    machine = SimulatedMachine.from_preset(preset("No.1"))
+    result = DramDig().run(machine)
+    print(result.mapping.describe())
+
+Package layout:
+
+* :mod:`repro.analysis`   — GF(2) linear algebra, bit utilities, latency stats.
+* :mod:`repro.dram`       — DDR specs, geometry, address mappings, presets.
+* :mod:`repro.memctrl`    — memory-controller and timing-channel simulator.
+* :mod:`repro.machine`    — simulated machine (allocator, clock, sysinfo).
+* :mod:`repro.core`       — the DRAMDig pipeline (the paper's contribution).
+* :mod:`repro.baselines`  — DRAMA and Xiao et al. comparators.
+* :mod:`repro.rowhammer`  — fault model and double-sided attack driver.
+* :mod:`repro.evalsuite`  — one module per paper table/figure.
+"""
+
+from repro.baselines import DramaTool, XiaoTool
+from repro.core import DramDig, DramDigConfig, DramDigResult
+from repro.dram import (
+    AddressMapping,
+    DramAddress,
+    DramGeometry,
+    MachinePreset,
+    preset,
+    preset_names,
+)
+from repro.dram.belief import BeliefMapping
+from repro.machine import SimulatedMachine
+from repro.rowhammer import DoubleSidedAttack, HammerConfig, assess_vulnerability
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DramaTool",
+    "XiaoTool",
+    "DramDig",
+    "DramDigConfig",
+    "DramDigResult",
+    "AddressMapping",
+    "DramAddress",
+    "DramGeometry",
+    "MachinePreset",
+    "preset",
+    "preset_names",
+    "BeliefMapping",
+    "SimulatedMachine",
+    "DoubleSidedAttack",
+    "HammerConfig",
+    "assess_vulnerability",
+    "__version__",
+]

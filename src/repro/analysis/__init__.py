@@ -1,0 +1,67 @@
+"""Analysis primitives: bit manipulation, GF(2) linear algebra, latency stats."""
+
+from repro.analysis.bits import (
+    bit,
+    bits_of_mask,
+    deposit_bits,
+    extract_bits,
+    format_mask,
+    highest_bit,
+    iter_submasks,
+    lowest_bit,
+    mask_of_bits,
+    parity,
+    parity_array,
+    popcount,
+)
+from repro.analysis.gf2 import (
+    in_span,
+    is_independent,
+    rank,
+    reduce_to_basis,
+    row_echelon,
+    solve_xor,
+    span,
+    span_equal,
+)
+from repro.analysis.histogram import Histogram, build_histogram, render_histogram
+from repro.analysis.repair import kernel_repair
+from repro.analysis.stats import (
+    LatencyThreshold,
+    calibrate_threshold,
+    find_threshold,
+    median_of,
+    trimmed_mean,
+)
+
+__all__ = [
+    "bit",
+    "bits_of_mask",
+    "deposit_bits",
+    "extract_bits",
+    "format_mask",
+    "highest_bit",
+    "iter_submasks",
+    "lowest_bit",
+    "mask_of_bits",
+    "parity",
+    "parity_array",
+    "popcount",
+    "in_span",
+    "is_independent",
+    "rank",
+    "reduce_to_basis",
+    "row_echelon",
+    "solve_xor",
+    "span",
+    "span_equal",
+    "Histogram",
+    "build_histogram",
+    "render_histogram",
+    "kernel_repair",
+    "LatencyThreshold",
+    "calibrate_threshold",
+    "find_threshold",
+    "median_of",
+    "trimmed_mean",
+]

@@ -1,0 +1,173 @@
+"""Bit-level utilities used throughout the reverse-engineering pipeline.
+
+DRAM address mappings are expressed as sets of physical-address *bit
+positions* (row bits, column bits) and XOR *masks* (bank address functions).
+This module provides the scalar and vectorized primitives for manipulating
+both representations: parity, popcount, mask/position conversion, and
+bit extraction/deposit (software equivalents of the x86 ``pext``/``pdep``
+instructions, which hardware memory controllers effectively implement in
+wiring).
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+import numpy as np
+
+__all__ = [
+    "bit",
+    "bits_of_mask",
+    "mask_of_bits",
+    "popcount",
+    "parity",
+    "parity_array",
+    "extract_bits",
+    "deposit_bits",
+    "lowest_bit",
+    "highest_bit",
+    "iter_submasks",
+    "format_mask",
+]
+
+
+def bit(position: int) -> int:
+    """Return an integer with only ``position`` set.
+
+    >>> bit(6)
+    64
+    """
+    if position < 0:
+        raise ValueError(f"bit position must be non-negative, got {position}")
+    return 1 << position
+
+
+def bits_of_mask(mask: int) -> tuple[int, ...]:
+    """Return the sorted bit positions set in ``mask``.
+
+    >>> bits_of_mask(0b10010)
+    (1, 4)
+    """
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    positions = []
+    position = 0
+    while mask:
+        if mask & 1:
+            positions.append(position)
+        mask >>= 1
+        position += 1
+    return tuple(positions)
+
+
+def mask_of_bits(positions: Iterable[int]) -> int:
+    """Return the mask with all ``positions`` set.
+
+    >>> mask_of_bits([1, 4])
+    18
+    """
+    mask = 0
+    for position in positions:
+        mask |= bit(position)
+    return mask
+
+
+def popcount(value: int) -> int:
+    """Number of set bits in ``value``."""
+    if value < 0:
+        raise ValueError(f"popcount of negative value {value}")
+    return value.bit_count()
+
+
+def parity(value: int) -> int:
+    """XOR of all bits of ``value`` (0 or 1)."""
+    if value < 0:
+        raise ValueError(f"parity of negative value {value}")
+    return value.bit_count() & 1
+
+
+def parity_array(values: np.ndarray, mask: int) -> np.ndarray:
+    """Vectorized ``parity(value & mask)`` over a uint64 array.
+
+    This is the hot primitive of the simulator: evaluating one bank address
+    function over a pool of physical addresses.
+    """
+    masked = np.bitwise_and(values.astype(np.uint64), np.uint64(mask))
+    return (np.bitwise_count(masked) & np.uint64(1)).astype(np.uint8)
+
+
+def extract_bits(value: int, positions: Sequence[int]) -> int:
+    """Gather the bits of ``value`` at ``positions`` into a compact integer.
+
+    ``positions[0]`` becomes bit 0 of the result, ``positions[1]`` bit 1, and
+    so on — the software analogue of ``pext``. Memory controllers use exactly
+    this operation to form row and column indices from scattered physical
+    address bits.
+
+    >>> extract_bits(0b101000, [3, 5])
+    3
+    """
+    result = 0
+    for index, position in enumerate(positions):
+        result |= ((value >> position) & 1) << index
+    return result
+
+
+def deposit_bits(value: int, positions: Sequence[int]) -> int:
+    """Scatter the low bits of ``value`` to ``positions`` — inverse of
+    :func:`extract_bits`.
+
+    >>> deposit_bits(0b11, [3, 5])
+    40
+    """
+    result = 0
+    for index, position in enumerate(positions):
+        result |= ((value >> index) & 1) << position
+    return result
+
+
+def lowest_bit(mask: int) -> int:
+    """Position of the lowest set bit of ``mask``.
+
+    >>> lowest_bit(0b10100)
+    2
+    """
+    if mask <= 0:
+        raise ValueError(f"mask must be positive, got {mask}")
+    return (mask & -mask).bit_length() - 1
+
+
+def highest_bit(mask: int) -> int:
+    """Position of the highest set bit of ``mask``.
+
+    >>> highest_bit(0b10100)
+    4
+    """
+    if mask <= 0:
+        raise ValueError(f"mask must be positive, got {mask}")
+    return mask.bit_length() - 1
+
+
+def iter_submasks(mask: int):
+    """Yield every non-empty submask of ``mask`` in increasing order.
+
+    Uses the standard ``(sub - mask) & mask`` enumeration trick; the number of
+    submasks is ``2**popcount(mask) - 1``.
+    """
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    sub = mask & -mask if mask else 0
+    while sub:
+        yield sub
+        if sub == mask:
+            return
+        sub = (sub - mask) & mask
+
+
+def format_mask(mask: int) -> str:
+    """Render an XOR mask the way the paper writes bank address functions.
+
+    >>> format_mask(mask_of_bits([14, 17]))
+    '(14, 17)'
+    """
+    return "(" + ", ".join(str(b) for b in bits_of_mask(mask)) + ")"

@@ -1,0 +1,230 @@
+"""Linear algebra over GF(2) on XOR masks.
+
+A bank address function is a linear form over GF(2): the output bit is the
+XOR (parity) of a subset of physical-address bits, so the function *is* its
+bit mask. Sets of bank functions therefore form a vector space, and two
+reverse-engineered mappings are equivalent exactly when their function sets
+span the same subspace. Algorithm 3 of the paper needs rank computation
+("remove redundant" = drop masks that are linear combinations of
+higher-priority ones) and this module is also what the test-suite uses to
+verify recovered mappings against ground truth.
+
+Masks are plain Python integers, so there is no width limit.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Iterable, Sequence
+
+__all__ = [
+    "rank",
+    "is_independent",
+    "in_span",
+    "reduce_to_basis",
+    "row_echelon",
+    "reduced_row_echelon",
+    "span_equal",
+    "span",
+    "solve_xor",
+    "nullspace_basis",
+    "solve_parity_system",
+]
+
+
+def solve_parity_system(
+    equations: Sequence[tuple[int, int]], width: int
+) -> int | None:
+    """Solve ``parity(mask & x) == target`` over GF(2) for all equations.
+
+    ``equations`` are (coefficient mask, target bit) pairs over ``width``
+    unknowns. Returns one solution (free variables zero) or ``None`` when
+    the system is inconsistent. Used to *repair* probe masks into the
+    kernel of a bank map (fine-grained detection) and by attackers to aim
+    aggressor rows under a believed mapping.
+    """
+    basis: list[tuple[int, int]] = []  # (reduced coefficient mask, target)
+    for mask, target in equations:
+        if not 0 <= mask < (1 << width):
+            raise ValueError(f"equation mask {mask:#x} exceeds width {width}")
+        for element_mask, element_target in basis:
+            if mask ^ element_mask < mask:
+                mask ^= element_mask
+                target ^= element_target
+        if mask:
+            basis.append((mask, target))
+            basis.sort(reverse=True)
+        elif target:
+            return None
+    solution = 0
+    for mask, target in sorted(basis, key=lambda e: e[0]):
+        lead = mask.bit_length() - 1
+        lower = mask & ~(1 << lead)
+        value = target ^ ((lower & solution).bit_count() & 1)
+        solution |= value << lead
+    for mask, target in equations:
+        if ((mask & solution).bit_count() & 1) != target:
+            return None
+    return solution
+
+
+def row_echelon(masks: Iterable[int]) -> list[int]:
+    """Return a row-echelon basis (sorted by descending leading bit) of the
+    span of ``masks``.
+
+    Standard Gaussian elimination: each basis element has a unique leading
+    (highest) bit, and the basis is returned with leading bits strictly
+    decreasing.
+    """
+    basis: list[int] = []
+    for mask in masks:
+        if mask < 0:
+            raise ValueError(f"mask must be non-negative, got {mask}")
+        reduced = mask
+        for element in basis:
+            if reduced ^ element < reduced:
+                reduced ^= element
+        if reduced:
+            basis.append(reduced)
+            basis.sort(reverse=True)
+    return basis
+
+
+def rank(masks: Iterable[int]) -> int:
+    """Dimension of the GF(2) span of ``masks``."""
+    return len(row_echelon(masks))
+
+
+def is_independent(masks: Sequence[int]) -> bool:
+    """True when no mask is a linear combination of the others (and none is
+    zero)."""
+    return rank(masks) == len(masks)
+
+
+def in_span(mask: int, basis_masks: Iterable[int]) -> bool:
+    """True when ``mask`` is a XOR combination of ``basis_masks``.
+
+    The zero mask is in every span (the empty combination).
+    """
+    if mask < 0:
+        raise ValueError(f"mask must be non-negative, got {mask}")
+    reduced = mask
+    for element in row_echelon(basis_masks):
+        if reduced ^ element < reduced:
+            reduced ^= element
+    return reduced == 0
+
+
+def reduce_to_basis(masks: Sequence[int]) -> list[int]:
+    """Drop masks that are linear combinations of *earlier* masks, keeping
+    the original order of the survivors.
+
+    This implements the paper's priority rule: callers sort candidates by
+    priority (fewest bits first) and the first independent subset wins.
+    E.g. with (14,18), (15,19), (14,15,18,19) the third is redundant.
+    """
+    kept: list[int] = []
+    for mask in masks:
+        if mask and not in_span(mask, kept):
+            kept.append(mask)
+    return kept
+
+
+def span_equal(masks_a: Iterable[int], masks_b: Iterable[int]) -> bool:
+    """True when the two mask sets span the same GF(2) subspace.
+
+    Row-echelon bases with the convention of :func:`row_echelon` are
+    canonical once fully reduced, so we fully reduce both and compare.
+    """
+    return _reduced_row_echelon(masks_a) == _reduced_row_echelon(masks_b)
+
+
+def span(masks: Sequence[int]) -> list[int]:
+    """Every non-zero element of the span of ``masks``.
+
+    Exponential in rank — intended for the small function sets (≤ ~8) that
+    appear in bank-hash analysis.
+    """
+    basis = row_echelon(masks)
+    elements: set[int] = set()
+    for combo in range(1, 1 << len(basis)):
+        value = 0
+        for index, element in enumerate(basis):
+            if combo >> index & 1:
+                value ^= element
+        elements.add(value)
+    return sorted(elements)
+
+
+def solve_xor(masks: Sequence[int], target: int) -> list[int] | None:
+    """Find a subset of ``masks`` whose XOR equals ``target``, or ``None``.
+
+    Returns the subset as a list of the original masks. Used by tests to
+    exhibit the linear combination behind a redundant bank function.
+    """
+    basis: list[tuple[int, int]] = []  # (reduced mask, combination bitmap)
+    for index, mask in enumerate(masks):
+        reduced, combo = mask, 1 << index
+        for element, element_combo in basis:
+            if reduced ^ element < reduced:
+                reduced ^= element
+                combo ^= element_combo
+        if reduced:
+            basis.append((reduced, combo))
+            basis.sort(reverse=True)
+    reduced, combo = target, 0
+    for element, element_combo in basis:
+        if reduced ^ element < reduced:
+            reduced ^= element
+            combo ^= element_combo
+    if reduced:
+        return None
+    return [masks[i] for i in range(len(masks)) if combo >> i & 1]
+
+
+def reduced_row_echelon(masks: Iterable[int]) -> list[int]:
+    """Fully reduced (canonical) row-echelon form of the span.
+
+    Each basis element's leading bit appears in no other element, so the
+    result is the unique canonical basis of the span (sorted descending).
+    """
+    basis = row_echelon(masks)
+    for i in range(len(basis)):
+        for j in range(len(basis)):
+            if i != j and basis[i] ^ basis[j] < basis[i]:
+                basis[i] ^= basis[j]
+    return sorted(basis, reverse=True)
+
+
+# Backwards-compatible private alias (used before the function was public).
+_reduced_row_echelon = reduced_row_echelon
+
+
+def nullspace_basis(rows: Sequence[int], width: int) -> list[int]:
+    """Basis of ``{m : parity(m & row) == 0 for every row}`` in GF(2)^width.
+
+    ``rows`` are equation masks over ``width`` variables. This is the core
+    of bank-address-function detection: the XOR masks constant across a
+    same-bank address pile are exactly the nullspace of the pile's address
+    differences.
+
+    Returns one basis vector per free column, i.e. ``width - rank(rows)``
+    vectors (all non-zero, mutually independent).
+    """
+    if width < 0:
+        raise ValueError("width must be non-negative")
+    limit = 1 << width
+    for row in rows:
+        if not 0 <= row < limit:
+            raise ValueError(f"row {row:#x} exceeds width {width}")
+    basis = reduced_row_echelon(rows)
+    pivots = {mask.bit_length() - 1 for mask in basis}
+    vectors = []
+    for free in range(width):
+        if free in pivots:
+            continue
+        vector = 1 << free
+        for mask in basis:
+            if mask >> free & 1:
+                vector |= 1 << (mask.bit_length() - 1)
+        vectors.append(vector)
+    return vectors

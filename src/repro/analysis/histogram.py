@@ -1,0 +1,83 @@
+"""ASCII latency histograms — how every tool author actually debugs the
+timing channel.
+
+The first thing anyone reverse-engineering DRAM does is plot a histogram
+of pair latencies and look for the two humps. This module renders that
+plot in plain text so examples, CLI output and failing-test diagnostics
+can show the channel the algorithms are standing on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["Histogram", "build_histogram", "render_histogram"]
+
+
+@dataclass(frozen=True)
+class Histogram:
+    """A binned latency distribution.
+
+    Attributes:
+        edges: bin edges (length = bins + 1).
+        counts: per-bin sample counts.
+    """
+
+    edges: np.ndarray
+    counts: np.ndarray
+
+    @property
+    def total(self) -> int:
+        return int(self.counts.sum())
+
+    def mode_bin(self) -> int:
+        """Index of the fullest bin."""
+        return int(np.argmax(self.counts))
+
+
+def build_histogram(
+    samples: np.ndarray, bins: int = 40, clip_percentile: float = 99.5
+) -> Histogram:
+    """Bin a latency sample, clipping the far spike tail for readability.
+
+    Args:
+        samples: latency values (ns).
+        bins: bin count.
+        clip_percentile: samples above this percentile are folded into the
+            last bin (preemption spikes would otherwise stretch the axis).
+    """
+    data = np.asarray(samples, dtype=np.float64)
+    if data.size == 0:
+        raise ValueError("cannot histogram an empty sample")
+    if bins < 2:
+        raise ValueError("need at least 2 bins")
+    ceiling = float(np.percentile(data, clip_percentile))
+    floor = float(data.min())
+    if ceiling <= floor:
+        ceiling = floor + 1.0
+    clipped = np.minimum(data, ceiling)
+    counts, edges = np.histogram(clipped, bins=bins, range=(floor, ceiling))
+    return Histogram(edges=edges, counts=counts)
+
+
+def render_histogram(
+    histogram: Histogram, width: int = 50, cutoff: float | None = None
+) -> str:
+    """Render one bar per bin; optionally mark a classifier cutoff line."""
+    peak = max(int(histogram.counts.max()), 1)
+    lines = []
+    cutoff_drawn = cutoff is None
+    for index in range(histogram.counts.size):
+        low = histogram.edges[index]
+        high = histogram.edges[index + 1]
+        if not cutoff_drawn and cutoff < high:
+            lines.append(f"{'-' * 12}  <- cutoff {cutoff:.1f} ns")
+            cutoff_drawn = True
+        count = int(histogram.counts[index])
+        bar = "#" * max(0, round(width * count / peak))
+        lines.append(f"{low:7.1f}-{high:7.1f}  {count:>5}  {bar}")
+    if not cutoff_drawn:
+        lines.append(f"{'-' * 12}  <- cutoff {cutoff:.1f} ns")
+    return "\n".join(lines)

@@ -1,0 +1,80 @@
+"""Kernel repair: compensate a probe mask against a set of XOR functions.
+
+Several components need the same operation: given a candidate flip mask
+and a set of bank address functions, find extra bits to flip so the whole
+mask lies in the *kernel* of the bank map (every function's parity
+preserved — the two addresses stay in the same bank). The fine-grained
+detector repairs its row probes this way, Xiao et al.'s partner search
+compensates against its channel templates, and attackers repair aggressor
+addresses under their believed mapping.
+
+The search prefers repairs that are *low single bits* (on Intel layouts
+low bits are column/bank wires, never rows, so they cannot fake a
+row-conflict), then low pairs, then any GF(2) solution.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.analysis.bits import parity
+from repro.analysis.gf2 import solve_parity_system
+
+__all__ = ["kernel_repair"]
+
+
+def kernel_repair(
+    candidate: int, functions: Sequence[int], available: Sequence[int]
+) -> int | None:
+    """Find a repair mask over ``available`` bits.
+
+    Returns the smallest-preference mask ``r`` (disjoint from ``candidate``)
+    such that ``parity((candidate ^ r) & f)`` is 0 for every function; 0
+    when no repair is needed; None when the system is unsolvable.
+
+    Args:
+        candidate: the bits the caller wants to flip.
+        functions: XOR masks whose parity must be preserved.
+        available: bit positions the repair may use (must not intersect
+            ``candidate``); tried in ascending order.
+    """
+    targets = tuple(parity(candidate & f) for f in functions)
+    if not any(targets):
+        return 0
+    positions = sorted(available)
+    for position in positions:
+        if candidate >> position & 1:
+            raise ValueError(
+                f"available bit {position} overlaps the candidate mask"
+            )
+    syndromes = {
+        position: tuple(parity((1 << position) & f) for f in functions)
+        for position in positions
+    }
+    # Single low bits first.
+    for position in positions:
+        if syndromes[position] == targets:
+            return 1 << position
+    # Then low pairs.
+    for index, first in enumerate(positions):
+        for second in positions[index + 1 :]:
+            combined = tuple(
+                a ^ b for a, b in zip(syndromes[first], syndromes[second])
+            )
+            if combined == targets:
+                return (1 << first) | (1 << second)
+    # General GF(2) solve as the fallback.
+    equations = []
+    for row_index in range(len(functions)):
+        coefficients = 0
+        for column, position in enumerate(positions):
+            coefficients |= syndromes[position][row_index] << column
+        equations.append((coefficients, targets[row_index]))
+    solution = solve_parity_system(equations, len(positions))
+    if solution is None:
+        return None
+    repair = 0
+    for column, position in enumerate(positions):
+        if solution >> column & 1:
+            repair |= 1 << position
+    return repair

@@ -1,0 +1,18 @@
+"""Baseline reverse-engineering tools: DRAMA, Xiao et al., Seaborn."""
+
+from repro.baselines.drama import DramaConfig, DramaResult, DramaTool
+from repro.baselines.seaborn import SeabornConfig, SeabornResult, SeabornTool
+from repro.baselines.xiao import CHANNEL_TEMPLATES, XiaoConfig, XiaoResult, XiaoTool
+
+__all__ = [
+    "SeabornConfig",
+    "SeabornResult",
+    "SeabornTool",
+    "DramaConfig",
+    "DramaResult",
+    "DramaTool",
+    "CHANNEL_TEMPLATES",
+    "XiaoConfig",
+    "XiaoResult",
+    "XiaoTool",
+]

@@ -1,0 +1,153 @@
+"""Seaborn & Dullien baseline: blind rowhammer probing.
+
+The 2015 approach that predates timing-channel tools: pick a candidate
+stride, hammer address pairs ``(x, x + stride)``, and look for bit flips.
+A stride "works" when it tends to land the pair in the same bank but
+different rows — only then is the row buffer bypassed and only then do the
+aggressors disturb their neighbour rows. Seaborn collected the working
+strides/offsets on his Sandy Bridge machines and *manually* derived the
+published mapping from them; the derivation step is human analysis, which
+is why the paper's Table I scores the approach as not generic (the
+analysis was redone per machine) and not efficient (each stride probe is a
+multi-second hammer run, a sweep is hours).
+
+This implementation automates exactly what the tool automated — the blind
+stride sweep and flip counting — and leaves the mapping derivation out,
+as the original did. It demonstrates the two failure axes the paper
+assigns to the approach:
+
+* **solid DIMMs**: no flips ever, nothing to analyse (machine No.5);
+* **blindness is slow**: the sweep burns simulated hours even when it
+  works.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.errors import ToolStuckError
+from repro.dram.presets import MachinePreset
+from repro.machine.machine import SimulatedMachine
+
+__all__ = ["SeabornConfig", "SeabornResult", "SeabornTool"]
+
+# Expected flips per hammered SBDR pair, per unit weak-cell density:
+# both aggressors stay open alternately for a whole refresh window, so
+# their four neighbour rows each receive single-sided disturbance.
+_FLIPS_PER_PAIR_FACTOR = 0.3
+
+
+@dataclass(frozen=True)
+class SeabornConfig:
+    """Blind-sweep parameters.
+
+    Attributes:
+        stride_exponents: candidate power-of-two strides to probe.
+        pairs_per_stride: hammer attempts per candidate stride.
+        seconds_per_pair: simulated cost of one attempt (hammer one refresh
+            window, then scan the buffer for flips).
+        min_flips: flips needed to call a stride "working".
+        buffer_fraction: attacker buffer size.
+    """
+
+    stride_exponents: tuple[int, ...] = tuple(range(13, 27))
+    pairs_per_stride: int = 128
+    seconds_per_pair: float = 2.5
+    min_flips: int = 2
+    buffer_fraction: float = 0.4
+
+
+@dataclass
+class SeabornResult:
+    """Outcome of the blind sweep.
+
+    Attributes:
+        working_strides: strides that induced at least ``min_flips``.
+        flips_observed: total flips across the sweep.
+        sbdr_rates: per-stride fraction of probed pairs that were truly
+            same-bank-different-row (the quantity a human analyst would
+            reverse the mapping from).
+        seconds: simulated time burned (hours even on success).
+    """
+
+    working_strides: list[int] = field(default_factory=list)
+    flips_observed: int = 0
+    sbdr_rates: dict[int, float] = field(default_factory=dict)
+    seconds: float = 0.0
+
+
+class SeabornTool:
+    """The blind rowhammer stride sweep."""
+
+    def __init__(self, config: SeabornConfig | None = None, seed: int = 5):
+        self.config = config if config is not None else SeabornConfig()
+        self._rng = np.random.default_rng(seed)
+
+    def run(self, machine: SimulatedMachine, preset: MachinePreset) -> SeabornResult:
+        """Sweep strides on ``machine``; the preset supplies the DIMMs'
+        weak-cell density (the tool itself knows nothing about the machine
+        and observes only flips).
+
+        Raises:
+            ToolStuckError: when no stride flips anything — solid DIMMs or
+                a budget-exhausted sweep; there is nothing to analyse.
+        """
+        config = self.config
+        clock = machine.clock
+        start_ns = clock.checkpoint()
+        truth = machine.ground_truth
+        pages = machine.allocate(
+            int(machine.total_bytes * config.buffer_fraction), "hugepages"
+        )
+
+        result = SeabornResult()
+        for exponent in config.stride_exponents:
+            stride = 1 << exponent
+            if stride * 2 >= machine.total_bytes:
+                continue
+            flips, sbdr_rate = self._try_stride(
+                machine, pages, truth, preset.hammer_vulnerability, stride
+            )
+            machine.charge_analysis(
+                config.pairs_per_stride * config.seconds_per_pair * 1e9
+            )
+            result.flips_observed += flips
+            result.sbdr_rates[stride] = sbdr_rate
+            if flips >= config.min_flips:
+                result.working_strides.append(stride)
+        result.seconds = clock.since(start_ns) / 1e9
+        if not result.working_strides:
+            raise ToolStuckError(
+                f"blind sweep found no flipping stride after "
+                f"{result.seconds / 3600:.1f} simulated hours",
+                partial_result=result,
+            )
+        return result
+
+    # -------------------------------------------------------------- internals
+
+    def _try_stride(
+        self, machine, pages, truth, vulnerability: float, stride: int
+    ) -> tuple[int, float]:
+        """Hammer pairs at this stride; flips arise only from pairs the
+        ground truth says are same-bank-different-row."""
+        config = self.config
+        flips = 0
+        sbdr = 0
+        attempted = 0
+        bases = pages.sample_addresses(config.pairs_per_stride, self._rng)
+        for index in range(config.pairs_per_stride):
+            base = int(bases[index])
+            partner = base + stride
+            if partner >= machine.total_bytes or not pages.has_page(partner):
+                continue
+            attempted += 1
+            if not truth.is_row_conflict(base, partner):
+                continue  # row buffer not bypassed: harmless accesses
+            sbdr += 1
+            expectation = vulnerability * _FLIPS_PER_PAIR_FACTOR
+            flips += int(self._rng.poisson(expectation))
+        rate = sbdr / attempted if attempted else 0.0
+        return flips, rate

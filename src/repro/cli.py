@@ -1,0 +1,210 @@
+"""Command-line interface: ``dramdig`` / ``python -m repro``.
+
+Subcommands mirror the paper:
+
+* ``dramdig run No.6``        — reverse-engineer one machine with DRAMDig.
+* ``dramdig compare No.6``    — run DRAMDig, DRAMA and Xiao on one machine.
+* ``dramdig explain No.6``    — the bit-layout diagram of a ground truth.
+* ``dramdig hammer No.2``     — reverse-engineer, then run rowhammer tests.
+* ``dramdig table1|table2|figure2|table3`` — regenerate a paper artefact.
+* ``dramdig list``            — show the machine presets.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.baselines.drama import DramaTool
+from repro.baselines.xiao import XiaoTool
+from repro.core.dramdig import DramDig
+from repro.dram.belief import BeliefMapping
+from repro.dram.errors import ReproError
+from repro.dram.explain import explain_mapping
+from repro.dram.presets import TABLE2_ORDER, preset
+from repro.dram.serialization import save_mapping
+from repro.evalsuite import (
+    render_figure2,
+    render_table1,
+    render_table2,
+    render_table3,
+    run_figure2,
+    run_table1,
+    run_table2,
+    run_table3,
+)
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.assess import assess_vulnerability
+from repro.rowhammer.hammer import HammerConfig
+
+__all__ = ["main"]
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="dramdig",
+        description="DRAMDig reproduction (DAC 2020) on a simulated memory substrate",
+    )
+    parser.add_argument("--seed", type=int, default=1, help="machine seed (default 1)")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    run_cmd = commands.add_parser("run", help="run DRAMDig on one machine preset")
+    run_cmd.add_argument("machine", choices=TABLE2_ORDER)
+    run_cmd.add_argument(
+        "--save", metavar="PATH", help="write the recovered mapping as JSON"
+    )
+
+    compare_cmd = commands.add_parser(
+        "compare", help="run DRAMDig, DRAMA and Xiao et al. on one machine"
+    )
+    compare_cmd.add_argument("machine", choices=TABLE2_ORDER)
+
+    explain_cmd = commands.add_parser(
+        "explain", help="show a machine's ground-truth bit layout"
+    )
+    explain_cmd.add_argument("machine", choices=TABLE2_ORDER)
+
+    hammer_cmd = commands.add_parser(
+        "hammer", help="reverse-engineer, then run double-sided rowhammer tests"
+    )
+    hammer_cmd.add_argument("machine", choices=TABLE2_ORDER)
+    hammer_cmd.add_argument(
+        "--tests", type=int, default=5, help="timed tests (default 5)"
+    )
+    hammer_cmd.add_argument(
+        "--minutes", type=float, default=5.0, help="minutes per test (default 5)"
+    )
+
+    commands.add_parser("list", help="list machine presets")
+    report_cmd = commands.add_parser(
+        "report", help="regenerate every artefact into one markdown report"
+    )
+    report_cmd.add_argument("--out", metavar="PATH", help="write the report here")
+    commands.add_parser("table1", help="regenerate Table I (tool comparison)")
+    commands.add_parser("table2", help="regenerate Table II (mappings, 9 machines)")
+    commands.add_parser("figure2", help="regenerate Figure 2 (time costs)")
+    table3_cmd = commands.add_parser(
+        "table3", help="regenerate Table III (rowhammer flips)"
+    )
+    table3_cmd.add_argument(
+        "--tests", type=int, default=5, help="tests per machine (default 5)"
+    )
+    return parser
+
+
+def _command_run(args) -> int:
+    machine_preset = preset(args.machine)
+    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    print(f"Reverse-engineering {args.machine} "
+          f"({machine_preset.microarchitecture}, {machine_preset.geometry.describe()})")
+    result = DramDig().run(machine)
+    print(result.summary())
+    verdict = result.mapping.equivalent_to(machine_preset.mapping)
+    print(f"matches ground truth: {'yes' if verdict else 'NO'}")
+    if args.save:
+        save_mapping(result.mapping, args.save)
+        print(f"mapping saved to {args.save}")
+    return 0 if verdict else 1
+
+
+def _command_compare(args) -> int:
+    machine_preset = preset(args.machine)
+    print(f"== DRAMDig on {args.machine} ==")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    result = DramDig().run(machine)
+    print(result.summary())
+
+    print(f"\n== DRAMA on {args.machine} ==")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    drama = DramaTool(seed=args.seed).run(machine)
+    if drama.belief is None:
+        print(f"timed out after {drama.seconds:.0f} simulated seconds "
+              f"({drama.attempts} attempts)")
+    else:
+        agrees = drama.belief.hammer_equivalent(machine_preset.mapping)
+        print(f"finished in {drama.seconds:.0f} s, {drama.attempts} attempts, "
+              f"hammer-equivalent to truth: {agrees}")
+
+    print(f"\n== Xiao et al. on {args.machine} ==")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    try:
+        xiao = XiaoTool().run(machine)
+    except ReproError as error:
+        print(f"failed: {error}")
+    else:
+        agrees = xiao.belief.hammer_equivalent(machine_preset.mapping)
+        print(f"finished in {xiao.seconds:.0f} s, "
+              f"hammer-equivalent to truth: {agrees}")
+    return 0
+
+
+def _command_explain(args) -> int:
+    print(explain_mapping(preset(args.machine).mapping))
+    return 0
+
+
+def _command_hammer(args) -> int:
+    machine_preset = preset(args.machine)
+    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    print(f"Reverse-engineering {args.machine} with DRAMDig ...")
+    result = DramDig().run(machine)
+    print(f"mapping recovered in {result.total_seconds:.0f} simulated seconds")
+    report = assess_vulnerability(
+        machine,
+        BeliefMapping.from_mapping(result.mapping),
+        vulnerability=machine_preset.hammer_vulnerability,
+        tests=args.tests,
+        config=HammerConfig(duration_seconds=args.minutes * 60.0),
+        seed=args.seed,
+    )
+    print(report.summary())
+    return 0
+
+
+def _command_list(_args) -> int:
+    for name in TABLE2_ORDER:
+        machine_preset = preset(name)
+        print(f"{name}: {machine_preset.microarchitecture} {machine_preset.cpu}, "
+              f"{machine_preset.geometry.describe()}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    args = _build_parser().parse_args(argv)
+    if args.command == "run":
+        return _command_run(args)
+    if args.command == "compare":
+        return _command_compare(args)
+    if args.command == "explain":
+        return _command_explain(args)
+    if args.command == "hammer":
+        return _command_hammer(args)
+    if args.command == "list":
+        return _command_list(args)
+    if args.command == "report":
+        from repro.evalsuite.report import ReportConfig, generate_report
+
+        report = generate_report(ReportConfig(seed=args.seed), path=args.out)
+        if args.out:
+            print(f"report written to {args.out}")
+        else:
+            print(report)
+        return 0
+    if args.command == "table1":
+        print(render_table1(run_table1(seed=args.seed)))
+        return 0
+    if args.command == "table2":
+        print(render_table2(run_table2(seed=args.seed)))
+        return 0
+    if args.command == "figure2":
+        print(render_figure2(run_figure2(seed=args.seed)))
+        return 0
+    if args.command == "table3":
+        print(render_table3(run_table3(seed=args.seed, tests=args.tests)))
+        return 0
+    raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

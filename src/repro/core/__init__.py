@@ -1,0 +1,38 @@
+"""DRAMDig core: the knowledge-assisted reverse-engineering pipeline."""
+
+from repro.core.bankfuncs import FunctionSearchResult, bank_number, detect_bank_functions
+from repro.core.coarse import CoarseDetector, CoarseResult
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.fine import FineDetector, FineResult
+from repro.core.knowledge import DomainKnowledge
+from repro.core.pairs import find_pair, find_pairs
+from repro.core.partition import PartitionConfig, PartitionResult, partition_pool
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.result import DramDigResult
+from repro.core.selection import SelectionResult, select_addresses
+from repro.core.verify import VerificationReport, verify_mapping
+
+__all__ = [
+    "FunctionSearchResult",
+    "bank_number",
+    "detect_bank_functions",
+    "CoarseDetector",
+    "CoarseResult",
+    "DramDig",
+    "DramDigConfig",
+    "FineDetector",
+    "FineResult",
+    "DomainKnowledge",
+    "find_pair",
+    "find_pairs",
+    "PartitionConfig",
+    "PartitionResult",
+    "partition_pool",
+    "LatencyProbe",
+    "ProbeConfig",
+    "DramDigResult",
+    "SelectionResult",
+    "select_addresses",
+    "VerificationReport",
+    "verify_mapping",
+]

@@ -1,0 +1,206 @@
+"""Step 2, phase 3 — bank address function detection (paper Algorithm 3).
+
+A candidate XOR mask over the bank bits ``B`` is a *possible* bank function
+when it evaluates to a constant on every address of every pile (all
+addresses of a pile share a bank). The paper enumerates masks from one bit
+upwards per pile and intersects the per-pile sets; algebraically that
+intersection is exactly the GF(2) nullspace of the piles' internal address
+differences projected onto ``B``, so the default strategy computes it
+directly (and scales to the 14-bit ``B`` of machines No.6/No.9). The
+literal per-pile-enumeration strategy is kept for cross-checking; both are
+proven equivalent by the test-suite.
+
+After the candidate space is known, the paper's three clean-up steps run:
+
+* ``prioritize``      — order candidates by bit count (fewest first);
+* ``remove_redundant``— drop candidates that are GF(2) linear combinations
+  of higher-priority ones (e.g. (14,15,18,19) given (14,18) and (15,19));
+* ``check_numbering`` — exactly ``log2(#bank)`` functions must assign
+  distinct numbers to all piles, counting them 0..#bank-1 when every bank
+  produced a pile; when more candidates survive, combinations are tested
+  in priority order.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis import gf2
+from repro.analysis.bits import deposit_bits, parity
+from repro.dram.errors import FunctionSearchError
+
+__all__ = ["FunctionSearchResult", "detect_bank_functions", "bank_number"]
+
+
+@dataclass(frozen=True)
+class FunctionSearchResult:
+    """Outcome of Algorithm 3.
+
+    Attributes:
+        functions: the chosen bank address functions, priority-ordered
+            (function *i* produces bank-index bit *i*).
+        candidates: the full candidate space (every mask constant on every
+            pile), priority-ordered — what Algorithm 3 sees before clean-up.
+        numbering: pile pivot -> bank number under ``functions``.
+    """
+
+    functions: tuple[int, ...]
+    candidates: tuple[int, ...]
+    numbering: dict[int, int]
+
+
+def bank_number(address: int, functions: tuple[int, ...]) -> int:
+    """Bank index of ``address`` under an ordered function set."""
+    number = 0
+    for position, mask in enumerate(functions):
+        number |= parity(address & mask) << position
+    return number
+
+
+def detect_bank_functions(
+    piles: dict[int, np.ndarray],
+    bank_bits: tuple[int, ...],
+    expected_count: int,
+    num_banks: int,
+    strategy: str = "nullspace",
+) -> FunctionSearchResult:
+    """Run Algorithm 3 over accepted piles.
+
+    Args:
+        piles: pivot -> member addresses from Algorithm 2.
+        bank_bits: the candidate bank bits ``B`` from Step 1.
+        expected_count: log2(#banks) — from domain knowledge.
+        num_banks: total banks — for the numbering check.
+        strategy: ``"nullspace"`` (default, scalable) or ``"enumerate"``
+            (the paper's literal per-pile formulation).
+
+    Raises:
+        FunctionSearchError: candidate space too small (noisy piles) or no
+            combination numbers the piles distinctly.
+    """
+    if not piles:
+        raise FunctionSearchError("no piles to analyse")
+    if expected_count < 1:
+        raise FunctionSearchError("expected at least one bank function")
+    positions = tuple(sorted(bank_bits))
+    width = len(positions)
+    if width < expected_count:
+        raise FunctionSearchError(
+            f"only {width} candidate bank bits for {expected_count} functions"
+        )
+
+    if strategy == "nullspace":
+        candidates = _candidates_nullspace(piles, positions)
+    elif strategy == "enumerate":
+        candidates = _candidates_enumerate(piles, positions)
+    else:
+        raise ValueError(f"unknown strategy {strategy!r}")
+
+    # prioritize: fewest bits first, then numerically.
+    candidates.sort(key=lambda mask: (bin(mask).count("1"), mask))
+    # remove_redundant: keep the highest-priority independent subset.
+    independent = gf2.reduce_to_basis(candidates)
+    if len(independent) < expected_count:
+        raise FunctionSearchError(
+            f"candidate space has rank {len(independent)}, "
+            f"need {expected_count} (noisy piles or too few addresses)"
+        )
+
+    # check_numbering over combinations in priority order.
+    pivots = list(piles)
+    for combo in itertools.combinations(independent, expected_count):
+        numbering = {pivot: bank_number(pivot, combo) for pivot in pivots}
+        if _numbering_valid(numbering, num_banks):
+            return FunctionSearchResult(
+                functions=tuple(combo),
+                candidates=tuple(candidates),
+                numbering=numbering,
+            )
+    raise FunctionSearchError(
+        f"no combination of {expected_count} candidate functions "
+        f"numbers the {len(pivots)} piles distinctly"
+    )
+
+
+def _numbering_valid(numbering: dict[int, int], num_banks: int) -> bool:
+    """Piles must get distinct numbers; with a full set of piles they must
+    count exactly 0..#bank-1 (the paper's wording)."""
+    numbers = list(numbering.values())
+    if len(set(numbers)) != len(numbers):
+        return False
+    if len(numbers) == num_banks:
+        return set(numbers) == set(range(num_banks))
+    return all(0 <= n < num_banks for n in numbers)
+
+
+# --------------------------------------------------------------- strategies
+
+
+def _pile_difference_projections(
+    piles: dict[int, np.ndarray], positions: tuple[int, ...]
+) -> list[int]:
+    """Project every within-pile address difference onto the bank bits.
+
+    Differences must only involve bank bits — Algorithm 1 guarantees it; a
+    violation means the pool was built against a different bit
+    classification and is a hard error.
+    """
+    allowed = 0
+    for position in positions:
+        allowed |= 1 << position
+    projections: list[int] = []
+    for pivot, members in piles.items():
+        if members.size == 0:
+            continue
+        diffs = members.astype(np.uint64) ^ np.uint64(pivot)
+        if int(np.bitwise_or.reduce(diffs)) & ~allowed:
+            raise FunctionSearchError(
+                "pile addresses differ outside the candidate bank bits; "
+                "selection and coarse detection disagree"
+            )
+        projected = np.zeros(diffs.shape, dtype=np.uint64)
+        for index, position in enumerate(positions):
+            projected |= ((diffs >> np.uint64(position)) & np.uint64(1)) << np.uint64(index)
+        projections.extend(int(value) for value in np.unique(projected) if value)
+    return projections
+
+
+def _expand(compact_masks: list[int], positions: tuple[int, ...]) -> list[int]:
+    """Map compact ``B``-space masks back to physical bit positions."""
+    return [deposit_bits(mask, positions) for mask in compact_masks]
+
+
+def _candidates_nullspace(
+    piles: dict[int, np.ndarray], positions: tuple[int, ...]
+) -> list[int]:
+    """Candidate space as the nullspace of all pile difference projections."""
+    projections = _pile_difference_projections(piles, positions)
+    basis = gf2.nullspace_basis(gf2.row_echelon(projections), len(positions))
+    return _expand(gf2.span(basis), positions)
+
+
+def _candidates_enumerate(
+    piles: dict[int, np.ndarray], positions: tuple[int, ...]
+) -> list[int]:
+    """The paper's literal formulation: per-pile constant masks, then
+    intersection across piles.
+
+    Per pile, the constant masks are the nullspace of that pile's own
+    differences (enumerated as a full span, as ``gen_xor_masks`` +
+    ``apply_xor_mask_to_pile`` would produce); the intersection of the
+    per-pile sets follows.
+    """
+    width = len(positions)
+    candidate_set: set[int] | None = None
+    for pivot, members in piles.items():
+        single = {pivot: members}
+        projections = _pile_difference_projections(single, positions)
+        basis = gf2.nullspace_basis(gf2.row_echelon(projections), width)
+        pile_masks = set(gf2.span(basis))
+        candidate_set = pile_masks if candidate_set is None else candidate_set & pile_masks
+        if not candidate_set:
+            break
+    return _expand(sorted(candidate_set or ()), positions)

@@ -1,0 +1,138 @@
+"""Step 1 — coarse-grained row & column bit detection (paper Section III-C).
+
+Row bits: measure a pair differing in exactly one bit. High latency means
+the two addresses are same-bank-different-row (SBDR), and since only that
+bit differs, it is a row bit. A row bit that *also* feeds a bank function
+flips the bank when toggled, reads fast, and is therefore missed here —
+that is what makes this step coarse (Step 3 recovers the shared bits).
+
+Column bits: measure a pair differing in one *detected* row bit plus one
+non-row candidate. High latency means same bank (so the candidate is not a
+bank bit) and different row (the row bit), hence the candidate only moved
+the column: a column bit. Again, column bits shared with bank functions
+read fast and are missed.
+
+Everything left over is a candidate bank bit — the ``B`` input of
+Algorithms 1-3.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.bits import bit
+from repro.core.pairs import find_pairs
+from repro.core.probe import LatencyProbe
+from repro.dram.errors import SelectionError
+from repro.machine.allocator import PhysPages
+
+__all__ = ["CoarseResult", "CoarseDetector"]
+
+
+@dataclass(frozen=True)
+class CoarseResult:
+    """Outcome of Step 1.
+
+    Attributes:
+        row_bits: pure row bits (not shared with bank functions).
+        column_bits: pure column bits.
+        bank_bits: everything else — candidates for Algorithm 1's ``B``.
+    """
+
+    row_bits: tuple[int, ...]
+    column_bits: tuple[int, ...]
+    bank_bits: tuple[int, ...]
+
+    def classified(self) -> int:
+        """Total number of classified bits."""
+        return len(self.row_bits) + len(self.column_bits) + len(self.bank_bits)
+
+
+class CoarseDetector:
+    """Runs Step 1 over a calibrated probe.
+
+    Args:
+        probe: calibrated latency probe.
+        pages: the tool's allocated physical pages.
+        address_bits: physical address width (from domain knowledge).
+        rng: the tool's own RNG (not the machine's) — fixing its seed makes
+            the whole tool deterministic.
+        votes: latency opinions per bit; the majority wins. Refresh noise
+            only ever inflates latency, so 2 agreeing votes (escalating to a
+            3rd on disagreement) is enough in practice.
+    """
+
+    def __init__(
+        self,
+        probe: LatencyProbe,
+        pages: PhysPages,
+        address_bits: int,
+        rng: np.random.Generator,
+        votes: int = 2,
+    ):
+        if votes < 1:
+            raise ValueError("votes must be at least 1")
+        self.probe = probe
+        self.pages = pages
+        self.address_bits = address_bits
+        self.rng = rng
+        self.votes = votes
+
+    # ----------------------------------------------------------------- steps
+
+    def detect(self) -> CoarseResult:
+        """Run both detections and classify every address bit."""
+        row_bits = self.detect_row_bits()
+        column_bits = self.detect_column_bits(row_bits)
+        bank_bits = tuple(
+            position
+            for position in range(self.address_bits)
+            if position not in row_bits and position not in column_bits
+        )
+        return CoarseResult(row_bits=row_bits, column_bits=column_bits, bank_bits=bank_bits)
+
+    def detect_row_bits(self) -> tuple[int, ...]:
+        """Single-bit-flip scan over every physical address bit."""
+        rows = []
+        for position in range(self.address_bits):
+            if self._voted_conflict(bit(position)):
+                rows.append(position)
+        return tuple(rows)
+
+    def detect_column_bits(self, row_bits: tuple[int, ...]) -> tuple[int, ...]:
+        """Two-bit-flip scan (detected row bit + candidate) over non-row bits."""
+        if not row_bits:
+            raise SelectionError(
+                "no row bits detected; cannot run column detection "
+                "(timing channel broken or buffer too small)"
+            )
+        reference_row = row_bits[-1]  # any pure row bit works; use the highest
+        columns = []
+        for position in range(self.address_bits):
+            if position in row_bits:
+                continue
+            if self._voted_conflict(bit(reference_row) | bit(position)):
+                columns.append(position)
+        return tuple(columns)
+
+    # -------------------------------------------------------------- internals
+
+    def _voted_conflict(self, mask: int) -> bool:
+        """Majority-vote conflict decision over several independent pairs."""
+        try:
+            pairs = find_pairs(self.pages, mask, self.votes, self.rng)
+        except SelectionError:
+            # No pair exists for this mask (e.g. top bit with a small
+            # buffer): the bit cannot be probed, treat as not-a-row/column;
+            # it ends up a bank candidate and Algorithm 3 sorts it out.
+            return False
+        decisions = [self.probe.is_conflict(a, b) for a, b in pairs]
+        agreed = sum(decisions)
+        if agreed not in (0, len(decisions)) and len(decisions) >= 2:
+            # Disagreement: one tie-breaking extra pair.
+            base, partner = find_pairs(self.pages, mask, 1, self.rng)[0]
+            decisions.append(self.probe.is_conflict(base, partner))
+            agreed = sum(decisions)
+        return agreed * 2 > len(decisions)

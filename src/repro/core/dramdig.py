@@ -1,0 +1,238 @@
+"""The DRAMDig pipeline orchestrator (paper Figure 1).
+
+Runs the three steps in order against a simulated machine:
+
+1. gather domain knowledge (parse dmidecode, consult the DDR spec),
+2. allocate a large buffer and calibrate the timing probe,
+3. Step 1 (coarse row/column detection), Algorithm 1 (selection),
+   Algorithm 2 (partition), Algorithm 3 (bank functions), Step 3 (fine
+   detection),
+4. assemble and *validate* the recovered mapping — validation (coverage,
+   GF(2) independence, bijectivity) is itself knowledge-assisted checking:
+   a noise-corrupted run cannot silently produce garbage, it fails
+   validation and is retried with stronger noise suppression.
+
+The tool's own randomness (pivot choices, pair sampling) comes from a
+fixed seed, so the recovered mapping is a deterministic function of the
+machine — the property the paper's Table I claims for DRAMDig and denies
+for DRAMA.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.bankfuncs import detect_bank_functions
+from repro.core.coarse import CoarseDetector
+from repro.core.fine import FineDetector
+from repro.core.knowledge import DomainKnowledge
+from repro.core.partition import PartitionConfig, partition_pool
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.result import DramDigResult
+from repro.core.selection import select_addresses
+from repro.dram.errors import (
+    FineDetectionError,
+    FunctionSearchError,
+    MappingError,
+    PartitionError,
+    ReproError,
+)
+from repro.dram.mapping import AddressMapping
+from repro.machine.machine import SimulatedMachine
+from repro.machine.sysinfo import gather_system_info
+
+__all__ = ["DramDig", "DramDigConfig"]
+
+# Simulated cost of faulting in and touching one byte of the buffer
+# (page-fault + zeroing throughput of roughly 2.9 GiB/s).
+_ALLOC_NS_PER_BYTE = 0.33
+
+
+@dataclass(frozen=True)
+class DramDigConfig:
+    """Tool configuration (defaults reproduce the paper's settings).
+
+    Attributes:
+        probe: measurement policy.
+        partition: Algorithm 2 tolerances (delta=0.2, per_threshold=85%).
+        alloc_fraction: fraction of physical memory to allocate; row bits
+            near the top of the address space need a buffer larger than
+            half of memory to be probed at all.
+        alloc_strategy: allocation behaviour to request from the OS.
+        coarse_votes: majority-vote width for Steps 1 and 3.
+        function_strategy: Algorithm 3 implementation ("nullspace" or the
+            paper-literal "enumerate").
+        tool_seed: the tool's internal RNG seed — fixed, hence determinism.
+        max_retries: pipeline restarts allowed on validation failure, with
+            measurement repeats escalated each time.
+    """
+
+    probe: ProbeConfig = ProbeConfig()
+    partition: PartitionConfig = PartitionConfig()
+    alloc_fraction: float = 0.85
+    alloc_strategy: str = "contiguous"
+    coarse_votes: int = 2
+    function_strategy: str = "nullspace"
+    tool_seed: int = 0xD16
+    max_retries: int = 2
+
+    def __post_init__(self) -> None:
+        if not 0 < self.alloc_fraction <= 1:
+            raise ValueError("alloc_fraction must be in (0, 1]")
+        if self.max_retries < 0:
+            raise ValueError("max_retries must be non-negative")
+
+
+class DramDig:
+    """The knowledge-assisted reverse-engineering tool."""
+
+    def __init__(self, config: DramDigConfig | None = None):
+        self.config = config if config is not None else DramDigConfig()
+
+    def run(self, machine: SimulatedMachine) -> DramDigResult:
+        """Reverse-engineer ``machine``'s DRAM address mapping.
+
+        Raises:
+            ReproError: when every retry fails (in practice: noise far
+                beyond what the escalation handles, or a broken setup).
+        """
+        config = self.config
+        last_error: ReproError | None = None
+        for attempt in range(config.max_retries + 1):
+            try:
+                result = self._run_once(machine, config)
+                result.retries = attempt
+                return result
+            except (
+                PartitionError,
+                FunctionSearchError,
+                FineDetectionError,
+                MappingError,
+            ) as error:
+                last_error = error
+                # Escalate noise suppression and try again.
+                config = dataclasses.replace(
+                    config,
+                    probe=dataclasses.replace(
+                        config.probe, repeats=config.probe.repeats + 1
+                    ),
+                )
+        raise ReproError(
+            f"DRAMDig failed after {self.config.max_retries + 1} attempts: "
+            f"{last_error}"
+        ) from last_error
+
+    # ----------------------------------------------------------- single pass
+
+    def _run_once(self, machine: SimulatedMachine, config: DramDigConfig) -> DramDigResult:
+        rng = np.random.default_rng(config.tool_seed)
+        clock = machine.clock
+        phase_seconds: dict[str, float] = {}
+        start_ns = clock.checkpoint()
+
+        # Knowledge + allocation.
+        mark = clock.checkpoint()
+        knowledge = DomainKnowledge.gather(
+            gather_system_info(machine.dmidecode_text(), machine.decode_dimms_text())
+        )
+        pages = machine.allocate(
+            int(machine.total_bytes * config.alloc_fraction), config.alloc_strategy
+        )
+        machine.charge_analysis(pages.byte_count * _ALLOC_NS_PER_BYTE)
+        phase_seconds["allocate"] = clock.since(mark) / 1e9
+
+        # Probe calibration.
+        mark = clock.checkpoint()
+        probe = LatencyProbe(machine, config.probe)
+        probe.calibrate(pages, rng)
+        phase_seconds["calibrate"] = clock.since(mark) / 1e9
+
+        # Step 1 — coarse detection.
+        mark = clock.checkpoint()
+        coarse = CoarseDetector(
+            probe, pages, knowledge.address_bits, rng, votes=config.coarse_votes
+        ).detect()
+        phase_seconds["coarse"] = clock.since(mark) / 1e9
+
+        # Step 2 — Algorithm 1: selection. Degenerate pools (fewer than
+        # two addresses per bank — machines whose functions are single
+        # bits, e.g. AMD with bank swizzle off) are padded by admitting
+        # the lowest row bits into the selection range: their variation
+        # adds same-bank partners to every pile without enlarging the
+        # candidate function space.
+        mark = clock.checkpoint()
+        selection_bits = coarse.bank_bits
+        selection = select_addresses(pages, selection_bits)
+        for row_bit in coarse.row_bits:
+            if len(selection) >= 2 * knowledge.total_banks:
+                break
+            selection_bits = tuple(sorted(selection_bits + (row_bit,)))
+            selection = select_addresses(pages, selection_bits)
+        phase_seconds["select"] = clock.since(mark) / 1e9
+
+        # Step 2 — Algorithm 2: partition.
+        mark = clock.checkpoint()
+        partition = partition_pool(
+            probe, selection.pool, knowledge.total_banks, rng, config.partition
+        )
+        phase_seconds["partition"] = clock.since(mark) / 1e9
+
+        # Step 2 — Algorithm 3: bank address functions.
+        mark = clock.checkpoint()
+        search = detect_bank_functions(
+            partition.piles,
+            selection_bits,
+            knowledge.num_bank_functions,
+            knowledge.total_banks,
+            strategy=config.function_strategy,
+        )
+        phase_seconds["functions"] = clock.since(mark) / 1e9
+
+        # Step 3 — fine-grained detection.
+        mark = clock.checkpoint()
+        fine = FineDetector(
+            probe, knowledge, pages, rng, votes=config.coarse_votes
+        ).detect(coarse, search.functions)
+        phase_seconds["fine"] = clock.since(mark) / 1e9
+
+        # Assemble + validate (raises MappingError on an inconsistent result).
+        geometry = _geometry_from_knowledge(knowledge)
+        mapping = AddressMapping(
+            geometry=geometry,
+            bank_functions=search.functions,
+            row_bits=fine.row_bits,
+            column_bits=fine.column_bits,
+        )
+
+        return DramDigResult(
+            mapping=mapping,
+            total_seconds=clock.since(start_ns) / 1e9,
+            phase_seconds=phase_seconds,
+            measurements=machine.stats.measurements,
+            pool_size=len(selection),
+            raw_pool_size=selection.raw_count,
+            pile_count=partition.pile_count,
+            partition_rounds=partition.rounds,
+            coarse=coarse,
+            fine=fine,
+        )
+
+
+def _geometry_from_knowledge(knowledge: DomainKnowledge):
+    """Build the machine geometry DRAMDig believes in from its knowledge."""
+    from repro.dram.geometry import DramGeometry
+
+    info = knowledge.info
+    return DramGeometry(
+        generation=info.generation,
+        total_bytes=info.total_bytes,
+        channels=info.channels,
+        dimms_per_channel=info.dimms_per_channel,
+        ranks_per_dimm=info.ranks_per_dimm,
+        banks_per_rank=info.banks_per_rank,
+        row_bytes=knowledge.row_bytes,
+        ecc=info.ecc,
+    )

@@ -1,0 +1,122 @@
+"""Domain knowledge provider (paper Section III-A).
+
+DRAMDig's defining idea is that reverse engineering should *consume
+knowledge* instead of brute-forcing. Three knowledge groups feed the
+pipeline:
+
+1. **Specifications** — DDR3/DDR4 data sheets give the number of
+   physical-address bits that index rows and columns for a given chip
+   organisation (:mod:`repro.dram.spec`).
+2. **System information** — dmidecode/decode-dimms give the total bank
+   count, memory size and ECC flag (:mod:`repro.machine.sysinfo`).
+3. **Empirical observations** — (a) Intel bank address functions are XORs
+   of physical-address bits; (b) since Ivy Bridge, the lowest bit of the
+   bank function with the most bits is not a column bit.
+
+:class:`DomainKnowledge` derives, from those inputs, every bound the three
+pipeline steps need: expected bank-function count, expected row/column bit
+counts, and the fine-grained column exclusion rule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.spec import DdrGeneration, chip_spec, rank_page_bytes
+from repro.machine.sysinfo import SystemInfo
+
+__all__ = ["DomainKnowledge"]
+
+
+def _infer_chip_width(generation: DdrGeneration, banks_per_rank: int) -> int:
+    """Infer the chip width from the SPD bank count.
+
+    Consumer DIMMs are x8 or x16. DDR4 x16 parts have 8 banks (2 bank
+    groups) while x8 parts have 16, so the bank count identifies the width.
+    DDR3 parts all have 8 banks; x8 is the overwhelmingly common consumer
+    organisation and both widths yield the same 8 KiB rank page anyway.
+    """
+    if generation is DdrGeneration.DDR4 and banks_per_rank == 8:
+        return 16
+    return 8
+
+
+@dataclass(frozen=True)
+class DomainKnowledge:
+    """Everything DRAMDig knows before the first latency measurement.
+
+    Attributes:
+        info: parsed system information.
+    """
+
+    info: SystemInfo
+
+    @classmethod
+    def gather(cls, info: SystemInfo) -> "DomainKnowledge":
+        """Assemble knowledge from parsed system information."""
+        return cls(info=info)
+
+    # ------------------------------------------------------- derived bounds
+
+    @property
+    def address_bits(self) -> int:
+        """Physical address width: log2(installed memory)."""
+        return self.info.total_bytes.bit_length() - 1
+
+    @property
+    def total_banks(self) -> int:
+        """Bank count across channels/DIMMs/ranks — Algorithm 2's ``#bank``."""
+        return self.info.total_banks
+
+    @property
+    def num_bank_functions(self) -> int:
+        """Expected number of bank address functions: log2(#banks)."""
+        return self.total_banks.bit_length() - 1
+
+    @property
+    def row_bytes(self) -> int:
+        """Rank page size from the data sheet (column address space)."""
+        width = _infer_chip_width(self.info.generation, self.info.banks_per_rank)
+        return rank_page_bytes(chip_spec(self.info.generation, width))
+
+    @property
+    def num_column_bits(self) -> int:
+        """Spec-mandated number of column bits: log2(rank page size)."""
+        return self.row_bytes.bit_length() - 1
+
+    @property
+    def num_row_bits(self) -> int:
+        """Spec-mandated number of row bits: whatever the address has left."""
+        return self.address_bits - self.num_column_bits - self.num_bank_functions
+
+    # ------------------------------------------------ empirical observations
+
+    @staticmethod
+    def excluded_column_bit(bank_functions: list[int]) -> int | None:
+        """Empirical observation 2: the lowest bit of the bank function with
+        the most bits is *not* a column bit.
+
+        Among ties (several functions with the maximal bit count — the
+        all-two-bit DDR3/DDR4 single-rank layouts) the observation is only
+        ever needed for the many-bit channel-hash functions, so we pick the
+        tied function whose lowest bit is highest; low column candidates are
+        then never wrongly excluded.
+
+        Returns None when there are no functions.
+        """
+        if not bank_functions:
+            return None
+        best = max(
+            bank_functions,
+            key=lambda mask: (bin(mask).count("1"), mask & -mask),
+        )
+        return (best & -best).bit_length() - 1
+
+    def describe(self) -> str:
+        """Human-readable knowledge summary (what DRAMDig logs at start)."""
+        return (
+            f"{self.info.generation}, {self.info.total_bytes / 2**30:g} GiB, "
+            f"{self.total_banks} banks -> expecting "
+            f"{self.num_bank_functions} bank functions, "
+            f"{self.num_row_bits} row bits, {self.num_column_bits} column bits"
+        )

@@ -1,0 +1,95 @@
+"""Finding physical-address pairs with a prescribed bit difference.
+
+Steps 1 and 3 of the pipeline repeatedly need two *allocated* physical
+addresses that differ in exactly the bits of a mask (one bit for row
+detection, row+candidate for column detection, a whole bank function for
+fine-grained detection). On real hardware the tool scans its buffer's
+pagemap for such pairs; here we scan the allocated page set, first by
+random sampling (cheap, succeeds immediately on dense buffers) and then by
+an exhaustive vectorized sweep (so sparse/fragmented allocations still
+work when a pair exists at all).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.errors import SelectionError
+from repro.machine.allocator import PAGE_SHIFT, PhysPages
+
+__all__ = ["find_pair", "find_pairs"]
+
+
+def find_pair(
+    pages: PhysPages,
+    mask: int,
+    rng: np.random.Generator,
+    sample_tries: int = 64,
+) -> tuple[int, int]:
+    """Return allocated addresses ``(a, a ^ mask)``.
+
+    Random sampling first; exhaustive page-set sweep as fallback.
+
+    Raises:
+        SelectionError: when no allocated pair differs by ``mask`` (e.g. the
+            buffer is smaller than half the address space and ``mask`` flips
+            the top bit).
+    """
+    if mask <= 0:
+        raise SelectionError("pair mask must be positive")
+    if mask >= pages.total_bytes:
+        raise SelectionError(
+            f"mask {mask:#x} exceeds the {pages.total_bytes:#x}-byte address space"
+        )
+    page_mask = mask >> PAGE_SHIFT
+
+    # Fast path: random allocated addresses, check the partner's page.
+    samples = pages.sample_addresses(sample_tries, rng)
+    partners = samples ^ np.uint64(mask)
+    valid = (partners < pages.total_bytes) & pages.has_pages(partners)
+    hits = np.flatnonzero(valid)
+    if hits.size:
+        base = int(samples[hits[0]])
+        return base, base ^ mask
+
+    # Exhaustive path: frames whose xor-partner frame is also allocated.
+    frames = pages.page_numbers
+    partner_frames = frames ^ np.uint64(page_mask)
+    valid = np.isin(partner_frames, frames)
+    hits = np.flatnonzero(valid)
+    if hits.size == 0:
+        raise SelectionError(
+            f"no allocated address pair differs by mask {mask:#x}; "
+            f"allocate a larger buffer"
+        )
+    index = int(hits[rng.integers(hits.size)])
+    # Sub-page bits of the base are zero, so base ^ mask flips them in-page.
+    base = int(frames[index]) << PAGE_SHIFT
+    return base, base ^ mask
+
+
+def find_pairs(
+    pages: PhysPages,
+    mask: int,
+    count: int,
+    rng: np.random.Generator,
+) -> list[tuple[int, int]]:
+    """Up to ``count`` distinct pairs differing by ``mask`` (at least one).
+
+    Used when a detection step wants majority voting over several bases.
+    """
+    if count <= 0:
+        raise SelectionError("pair count must be positive")
+    pairs: list[tuple[int, int]] = []
+    seen: set[int] = set()
+    attempts = 0
+    while len(pairs) < count and attempts < 8 * count:
+        attempts += 1
+        base, partner = find_pair(pages, mask, rng)
+        if base not in seen:
+            seen.add(base)
+            seen.add(partner)
+            pairs.append((base, partner))
+    if not pairs:
+        raise SelectionError(f"could not find any pair for mask {mask:#x}")
+    return pairs

@@ -1,0 +1,148 @@
+"""Step 2, phase 2 — physical-address partition (paper Algorithm 2).
+
+Partition the selected pool into ``#bank`` piles of mutually
+same-bank-different-row (SBDR) addresses:
+
+* pick a random pivot ``p`` from the pool, measure it against everything
+  remaining; the addresses reading slow are SBDR with ``p`` and form its
+  pile;
+* accept the pile when its size is within ``1 ± delta`` of the ideal
+  ``pool / #bank`` (paper: delta = 0.2) — noise or an unlucky pivot
+  otherwise leaves the pool untouched and a new pivot is drawn;
+* stop when ``per_threshold`` (paper: 85%) of the pool has been
+  partitioned or all ``#bank`` piles were found.
+
+Two practical notes, both visible in the paper's own discussion of noise:
+
+* A pool address that shares *bank and row* with the pivot reads fast and
+  is left out of the pile (it differs from the pivot only in bank-shared
+  column bits). These few per-pile stragglers are exactly why the
+  ``per_threshold`` slack exists.
+* Algorithm 2's printed stop condition (``phys_pool.size() >
+  per_threshold * pool_sz``) reads inverted; the text ("it stops when
+  enough addresses have been partitioned") makes the intent clear and we
+  implement that: stop once the *partitioned fraction* reaches
+  ``per_threshold``.
+
+Accepted piles are re-verified with a second measurement sweep: refresh
+spikes only ever add latency, so an address that fails to read slow twice
+in a row is dropped from the pile. This keeps Algorithm 3's per-pile
+constancy analysis clean at realistic noise levels.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.core.probe import LatencyProbe
+from repro.dram.errors import PartitionError
+
+__all__ = ["PartitionConfig", "PartitionResult", "partition_pool"]
+
+
+@dataclass(frozen=True)
+class PartitionConfig:
+    """Algorithm 2 tuning (defaults are the paper's)."""
+
+    delta: float = 0.2
+    per_threshold: float = 0.85
+    max_rounds_factor: int = 8
+    verify_members: bool = True
+
+    def __post_init__(self) -> None:
+        if not 0 < self.delta < 1:
+            raise ValueError("delta must be in (0, 1)")
+        if not 0 < self.per_threshold <= 1:
+            raise ValueError("per_threshold must be in (0, 1]")
+        if self.max_rounds_factor < 1:
+            raise ValueError("max_rounds_factor must be at least 1")
+
+
+@dataclass
+class PartitionResult:
+    """Outcome of Algorithm 2.
+
+    Attributes:
+        piles: pivot address -> member addresses (pivot *not* included).
+        leftovers: pool addresses never placed into an accepted pile.
+        rounds: pivots tried (accepted + rejected).
+        rejected_piles: pivots whose pile size fell outside tolerance.
+    """
+
+    piles: dict[int, np.ndarray] = field(default_factory=dict)
+    leftovers: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint64))
+    rounds: int = 0
+    rejected_piles: int = 0
+
+    @property
+    def pile_count(self) -> int:
+        """Number of accepted piles."""
+        return len(self.piles)
+
+    def partitioned_count(self) -> int:
+        """Addresses placed in piles, pivots included."""
+        return sum(members.size + 1 for members in self.piles.values())
+
+
+def partition_pool(
+    probe: LatencyProbe,
+    pool: np.ndarray,
+    num_banks: int,
+    rng: np.random.Generator,
+    config: PartitionConfig | None = None,
+) -> PartitionResult:
+    """Run Algorithm 2.
+
+    Raises:
+        PartitionError: when the round budget is exhausted before either
+            all piles are found or the partitioned fraction reaches the
+            threshold — on real machines the signature of a mis-calibrated
+            threshold or wrong ``#bank``.
+    """
+    config = config if config is not None else PartitionConfig()
+    pool = np.unique(np.asarray(pool, dtype=np.uint64))
+    pool_size = int(pool.size)
+    if num_banks < 2:
+        raise PartitionError(f"#banks must be at least 2, got {num_banks}")
+    if pool_size < 2 * num_banks:
+        raise PartitionError(
+            f"pool of {pool_size} addresses cannot form {num_banks} piles"
+        )
+    ideal_pile = pool_size / num_banks
+    low = (1.0 - config.delta) * ideal_pile
+    high = (1.0 + config.delta) * ideal_pile
+    max_rounds = config.max_rounds_factor * num_banks
+
+    result = PartitionResult()
+    remaining = pool
+    while result.pile_count < num_banks:
+        partitioned_fraction = 1.0 - remaining.size / pool_size
+        if partitioned_fraction >= config.per_threshold:
+            break
+        if result.rounds >= max_rounds:
+            raise PartitionError(
+                f"no convergence after {result.rounds} rounds: "
+                f"{result.pile_count}/{num_banks} piles, "
+                f"{partitioned_fraction:.0%} partitioned"
+            )
+        if remaining.size < max(2, low):
+            break
+        result.rounds += 1
+        pivot_index = int(rng.integers(remaining.size))
+        pivot = int(remaining[pivot_index])
+        others = np.delete(remaining, pivot_index)
+        members = others[probe.conflict_mask(pivot, others)]
+        if config.verify_members and members.size:
+            members = members[probe.conflict_mask(pivot, members)]
+        pile_size = members.size + 1  # pivot belongs to its own pile
+        if low <= pile_size <= high:
+            result.piles[pivot] = members
+            keep = ~np.isin(remaining, members)
+            keep[pivot_index] = False
+            remaining = remaining[keep]
+        else:
+            result.rejected_piles += 1
+    result.leftovers = remaining
+    return result

@@ -1,0 +1,141 @@
+"""Calibrated latency probe — the tools' only window into the machine.
+
+Wraps :class:`~repro.machine.machine.SimulatedMachine`'s timing primitive
+with the two things every real tool needs on top of raw latencies:
+
+* **Calibration**: anchor the fast mode with reference pairs that are
+  provably conflict-free (two addresses in one OS page share their row
+  bits), then place the cutoff against the slow population of a few
+  hundred random pairs (:func:`repro.analysis.stats.calibrate_threshold`).
+  This survives the preemption/refresh spike tails that hijack a plain
+  Otsu split.
+* **Noise suppression**: refresh collisions and preemption only ever *add*
+  latency, so the probe measures each pair ``repeats`` times and takes the
+  minimum — the standard hardware trick — before classifying.
+
+The probe also exposes batch classification, because Algorithm 2 measures
+one pivot address against thousands of pool addresses at a time.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.analysis.stats import LatencyThreshold, calibrate_threshold
+from repro.dram.errors import CalibrationError
+from repro.machine.allocator import PhysPages
+from repro.machine.machine import SimulatedMachine
+
+__all__ = ["LatencyProbe", "ProbeConfig"]
+
+
+@dataclass(frozen=True)
+class ProbeConfig:
+    """Measurement policy.
+
+    Attributes:
+        rounds: alternating accesses per measurement (more rounds = a more
+            stable median, more simulated time).
+        repeats: independent measurements per pair; the minimum is used.
+        calibration_pairs: random pairs sampled to fit the threshold.
+        reference_pairs: known-fast same-page pairs anchoring the fast mode.
+        min_separation: required relative fast/slow gap during calibration.
+    """
+
+    rounds: int = 4000
+    repeats: int = 2
+    calibration_pairs: int = 512
+    reference_pairs: int = 64
+    min_separation: float = 0.08
+
+    def __post_init__(self) -> None:
+        if self.rounds <= 0:
+            raise ValueError("rounds must be positive")
+        if self.repeats <= 0:
+            raise ValueError("repeats must be positive")
+        if self.calibration_pairs < 8:
+            raise ValueError("need at least 8 calibration pairs")
+
+
+class LatencyProbe:
+    """A calibrated fast/slow classifier over a simulated machine."""
+
+    def __init__(self, machine: SimulatedMachine, config: ProbeConfig | None = None):
+        self.machine = machine
+        self.config = config if config is not None else ProbeConfig()
+        self.threshold: LatencyThreshold | None = None
+
+    # ------------------------------------------------------------ calibration
+
+    def calibrate(self, pages: PhysPages, rng: np.random.Generator) -> LatencyThreshold:
+        """Fit the fast/slow threshold from reference and random pairs.
+
+        Reference pairs live within one OS page, sharing all row bits, so
+        they are guaranteed conflict-free and anchor the fast mode robustly
+        even under heavy spike noise. Random pairs hit the same bank with
+        probability 1/#banks and supply the slow population. Raises
+        :class:`CalibrationError` when no slow population is visible
+        (broken timing loop on real hardware).
+        """
+        reference_count = self.config.reference_pairs
+        references = np.empty(reference_count, dtype=np.float64)
+        bases = pages.sample_addresses(reference_count, rng)
+        for index in range(reference_count):
+            base = int(bases[index])
+            # Flipping bit 7 stays within the page: never a row conflict.
+            references[index] = self._measure_min(base, base ^ 0x80)
+        count = self.config.calibration_pairs
+        bases = pages.sample_addresses(count, rng)
+        partners = pages.sample_addresses(count, rng)
+        samples = np.empty(count, dtype=np.float64)
+        for index in range(count):
+            samples[index] = self._measure_min(int(bases[index]), int(partners[index]))
+        try:
+            self.threshold = calibrate_threshold(
+                references, samples, self.config.min_separation
+            )
+        except ValueError as error:
+            raise CalibrationError(str(error)) from error
+        return self.threshold
+
+    def require_threshold(self) -> LatencyThreshold:
+        """The calibrated threshold, or a CalibrationError if absent."""
+        if self.threshold is None:
+            raise CalibrationError("probe used before calibrate()")
+        return self.threshold
+
+    # ----------------------------------------------------------- measurement
+
+    def _measure_min(self, addr_a: int, addr_b: int) -> float:
+        latency = np.inf
+        for _ in range(self.config.repeats):
+            latency = min(
+                latency, self.machine.measure_latency(addr_a, addr_b, self.config.rounds)
+            )
+        return latency
+
+    def is_conflict(self, addr_a: int, addr_b: int) -> bool:
+        """Classify one pair: True = same bank, different row (slow)."""
+        return self.require_threshold().is_slow(self._measure_min(addr_a, addr_b))
+
+    def conflict_mask(self, base: int, others: np.ndarray) -> np.ndarray:
+        """Classify ``base`` against many addresses; boolean array.
+
+        Takes the element-wise minimum over ``repeats`` batched measurement
+        sweeps before thresholding.
+        """
+        others = np.asarray(others, dtype=np.uint64)
+        latencies = self.machine.measure_latency_batch(base, others, self.config.rounds)
+        for _ in range(self.config.repeats - 1):
+            latencies = np.minimum(
+                latencies,
+                self.machine.measure_latency_batch(base, others, self.config.rounds),
+            )
+        return self.require_threshold().classify(latencies)
+
+    @property
+    def measurements_taken(self) -> int:
+        """Total pair measurements charged so far on the machine."""
+        return self.machine.stats.measurements

@@ -1,0 +1,69 @@
+"""Result types for a DRAMDig run."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.analysis.bits import format_mask
+from repro.core.coarse import CoarseResult
+from repro.core.fine import FineResult
+from repro.dram.mapping import AddressMapping
+
+__all__ = ["DramDigResult"]
+
+
+@dataclass
+class DramDigResult:
+    """Everything a DRAMDig run produces.
+
+    Attributes:
+        mapping: the recovered (validated) address mapping.
+        total_seconds: simulated wall-clock cost of the whole run.
+        phase_seconds: per-phase simulated seconds (allocate / calibrate /
+            coarse / select / partition / functions / fine).
+        measurements: total pair-latency measurements performed.
+        pool_size: unique addresses selected by Algorithm 1.
+        raw_pool_size: Algorithm 1 pool before alias deduplication (the
+            count the paper quotes in Section IV-B).
+        pile_count: piles accepted by Algorithm 2.
+        partition_rounds: pivots tried by Algorithm 2.
+        coarse: Step 1 classification.
+        fine: Step 3 completion.
+        retries: pipeline restarts needed (0 in a clean run).
+    """
+
+    mapping: AddressMapping
+    total_seconds: float
+    phase_seconds: dict[str, float] = field(default_factory=dict)
+    measurements: int = 0
+    pool_size: int = 0
+    raw_pool_size: int = 0
+    pile_count: int = 0
+    partition_rounds: int = 0
+    coarse: CoarseResult | None = None
+    fine: FineResult | None = None
+    retries: int = 0
+
+    @property
+    def bank_functions(self) -> tuple[int, ...]:
+        """The recovered bank address functions."""
+        return self.mapping.bank_functions
+
+    def summary(self) -> str:
+        """Multi-line human-readable report (what the CLI prints)."""
+        functions = ", ".join(format_mask(m) for m in self.mapping.bank_functions)
+        lines = [
+            f"recovered in {self.total_seconds:.1f} simulated seconds "
+            f"({self.measurements} measurements, {self.retries} retries)",
+            f"bank functions: {functions}",
+            self.mapping.describe().splitlines()[1],
+            self.mapping.describe().splitlines()[2],
+            f"pool: {self.pool_size} unique addresses "
+            f"({self.raw_pool_size} raw), {self.pile_count} piles "
+            f"in {self.partition_rounds} rounds",
+        ]
+        phases = ", ".join(
+            f"{name} {seconds:.1f}s" for name, seconds in self.phase_seconds.items()
+        )
+        lines.append(f"phases: {phases}")
+        return "\n".join(lines)

@@ -1,0 +1,117 @@
+"""Step 2, phase 1 — physical-address selection (paper Algorithm 1).
+
+Given the candidate bank bits ``B`` from Step 1, select the smallest set of
+allocated addresses whose ``B``-bit patterns cover every combination:
+
+1. ``range_mask`` spans ``[b_min, b_max]``; find an allocated page ``p``
+   with all range bits set whose whole covered range ``[p - range_mask,
+   p + PAGE_SIZE)`` is allocated (retrying over pages on misses — the
+   ``page_miss`` path of the paper).
+2. ``miss_mask`` marks the in-range bits *not* in ``B``; ORing it into each
+   candidate collapses addresses that differ only in irrelevant bits, "so
+   that we only focus on the reasonable number of addresses that actually
+   matter the address functions".
+3. Walk the range in ``1 << b_min`` strides, force the miss bits, keep the
+   addresses whose page is allocated.
+
+Implementation note: the paper states the page-selection condition as
+``(p & range_mask) == range_mask``, which cannot hold verbatim when
+``b_min`` is below the page shift (page-aligned addresses have zero
+sub-page bits — e.g. channel bit 6 on machines No.1/No.7/No.8). We apply
+the condition to the page-visible part of the mask, which is what any
+working implementation must do; sub-page strides are handled inside the
+found range.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.errors import SelectionError
+from repro.machine.allocator import PAGE_SIZE, PhysPages
+
+__all__ = ["SelectionResult", "select_addresses"]
+
+
+@dataclass(frozen=True)
+class SelectionResult:
+    """Outcome of Algorithm 1.
+
+    Attributes:
+        pool: unique selected physical addresses (``phys_pool``), sorted.
+        raw_count: pool size before deduplicating miss-mask aliases — the
+            count the paper quotes (~16,000 on No.6/No.9).
+        range_start: ``P_start``.
+        range_end: ``P_end``.
+        range_mask: the ``[b_min, b_max]`` span mask.
+        miss_mask: in-range bits irrelevant to bank functions (forced to 1).
+    """
+
+    pool: np.ndarray
+    raw_count: int
+    range_start: int
+    range_end: int
+    range_mask: int
+    miss_mask: int
+
+    def __len__(self) -> int:
+        return int(self.pool.size)
+
+
+def select_addresses(pages: PhysPages, bank_bits: tuple[int, ...]) -> SelectionResult:
+    """Run Algorithm 1 over the allocated pages.
+
+    Raises:
+        SelectionError: when no allocated page range covers the bank bits.
+    """
+    if not bank_bits:
+        raise SelectionError("no candidate bank bits to select over")
+    b_min, b_max = min(bank_bits), max(bank_bits)
+    if b_min < 0:
+        raise SelectionError("bank bits must be non-negative")
+    range_mask = (1 << (b_max + 1)) - (1 << b_min)
+    miss_mask = 0
+    for position in range(b_min, b_max + 1):
+        if position not in bank_bits:
+            miss_mask += 1 << position
+
+    # Page-visible part of the range condition (see module docstring).
+    condition_mask = range_mask & ~(PAGE_SIZE - 1)
+
+    page_addresses = pages.addresses()
+    candidates = page_addresses[
+        (page_addresses & np.uint64(condition_mask)) == np.uint64(condition_mask)
+    ]
+    range_start = range_end = -1
+    for candidate in candidates:
+        p_start = int(candidate) - condition_mask
+        p_end = int(candidate) + PAGE_SIZE
+        if pages.has_range(p_start, p_end):
+            range_start, range_end = p_start, p_end
+            break
+    if range_start < 0:
+        raise SelectionError(
+            f"no allocated page range covers bank bits {sorted(bank_bits)} "
+            f"(need {condition_mask + PAGE_SIZE:#x} contiguous bytes)"
+        )
+
+    stride = 1 << b_min
+    walk = np.arange(range_start, range_end, stride, dtype=np.uint64)
+    primed = walk | np.uint64(miss_mask)
+    in_memory = primed < np.uint64(pages.total_bytes)
+    primed = primed[in_memory]
+    allocated = primed[pages.has_pages(primed)]
+    raw_count = int(allocated.size)
+    pool = np.unique(allocated)
+    if pool.size == 0:
+        raise SelectionError("selection produced an empty address pool")
+    return SelectionResult(
+        pool=pool,
+        raw_count=raw_count,
+        range_start=range_start,
+        range_end=range_end,
+        range_mask=range_mask,
+        miss_mask=miss_mask,
+    )

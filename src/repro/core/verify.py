@@ -1,0 +1,113 @@
+"""Ground-truth-free verification of a recovered mapping.
+
+The evaluation harness can compare against the simulator's hidden truth,
+but a user on a real machine cannot. What they *can* do — and what this
+module implements — is hold the mapping to account against fresh timing
+measurements: predict same-bank-different-row for random address pairs
+from the mapping, measure the pairs, and score the agreement. A correct
+mapping predicts the timing channel near-perfectly; a mapping with a
+missing function or a phantom row bit mispredicts a measurable fraction
+(each wrong function costs roughly ``1/#banks`` of agreement, which is why
+the threshold must scale with the machine's bank count).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.probe import LatencyProbe
+from repro.dram.belief import BeliefMapping
+from repro.machine.allocator import PhysPages
+
+__all__ = ["VerificationReport", "verify_mapping"]
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Agreement between a mapping's predictions and the timing channel.
+
+    Attributes:
+        pairs_tested: random pairs measured.
+        agreements: pairs where prediction matched measurement.
+        false_conflicts: predicted slow, measured fast.
+        missed_conflicts: predicted fast, measured slow.
+        threshold: required agreement for :attr:`verdict`.
+    """
+
+    pairs_tested: int
+    agreements: int
+    false_conflicts: int
+    missed_conflicts: int
+    threshold: float
+
+    @property
+    def agreement(self) -> float:
+        """Fraction of pairs predicted correctly."""
+        return self.agreements / self.pairs_tested if self.pairs_tested else 0.0
+
+    @property
+    def verdict(self) -> bool:
+        """True when the mapping explains the timing channel."""
+        return self.agreement >= self.threshold
+
+    def describe(self) -> str:
+        """One-line summary."""
+        status = "CONSISTENT" if self.verdict else "INCONSISTENT"
+        return (
+            f"{status}: {self.agreement:.1%} agreement over "
+            f"{self.pairs_tested} pairs "
+            f"({self.false_conflicts} false / {self.missed_conflicts} missed "
+            f"conflicts; threshold {self.threshold:.1%})"
+        )
+
+
+def verify_mapping(
+    probe: LatencyProbe,
+    pages: PhysPages,
+    belief: BeliefMapping,
+    rng: np.random.Generator,
+    pairs: int = 256,
+    total_banks: int | None = None,
+) -> VerificationReport:
+    """Score ``belief`` against fresh measurements through ``probe``.
+
+    Args:
+        probe: a *calibrated* latency probe.
+        pages: allocated pages to draw pairs from.
+        belief: the mapping under test.
+        rng: randomness for pair selection.
+        pairs: pairs to measure.
+        total_banks: when given, the pass threshold is set to
+            ``1 - 0.5/#banks`` (half a single wrong function's misprediction
+            budget); otherwise a flat 97 % is used.
+    """
+    if pairs < 8:
+        raise ValueError("need at least 8 verification pairs")
+    threshold = 1.0 - 0.5 / total_banks if total_banks else 0.97
+    bases = pages.sample_addresses(pairs, rng)
+    partners = pages.sample_addresses(pairs, rng)
+    agreements = 0
+    false_conflicts = 0
+    missed_conflicts = 0
+    for base, partner in zip(bases, partners):
+        base, partner = int(base), int(partner)
+        predicted = (
+            belief.bank_of(base) == belief.bank_of(partner)
+            and belief.row_of(base) != belief.row_of(partner)
+        )
+        measured = probe.is_conflict(base, partner)
+        if predicted == measured:
+            agreements += 1
+        elif predicted:
+            false_conflicts += 1
+        else:
+            missed_conflicts += 1
+    return VerificationReport(
+        pairs_tested=pairs,
+        agreements=agreements,
+        false_conflicts=false_conflicts,
+        missed_conflicts=missed_conflicts,
+        threshold=threshold,
+    )

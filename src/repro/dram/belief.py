@@ -1,0 +1,162 @@
+"""A *believed* DRAM address mapping — possibly wrong or incomplete.
+
+:class:`~repro.dram.mapping.AddressMapping` validates itself into a
+bijection; a reverse-engineering tool's output may not deserve that
+honour. DRAMA in particular can emit function sets with missing or
+spurious members and row ranges that miss shared bits — the paper's whole
+Table III is about what happens when such a belief is used to aim a
+double-sided rowhammer attack. :class:`BeliefMapping` holds any claim
+without judgement and implements the operations an *attacker* performs
+with it: decode bank/row, and construct aggressor addresses at row ± 1
+("aiming"), repairing the believed bank functions with believed non-row
+bits exactly the way a real attack tool computes its aggressors.
+
+Whether the aimed aggressors actually land next to the victim is decided
+by the machine's ground truth — a wrong belief mis-aims silently, which is
+the failure mode the rowhammer evaluation measures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bits import bits_of_mask, deposit_bits, extract_bits, parity
+from repro.analysis.gf2 import solve_parity_system
+from repro.dram.mapping import AddressMapping
+
+__all__ = ["BeliefMapping"]
+
+
+@dataclass(frozen=True)
+class BeliefMapping:
+    """A tool's claim about a machine's address mapping (unvalidated).
+
+    Attributes:
+        address_bits: physical address width the claim covers.
+        bank_functions: claimed XOR masks (any number, any quality).
+        row_bits: claimed row-index bit positions, ascending.
+        column_bits: claimed column bit positions, ascending.
+    """
+
+    address_bits: int
+    bank_functions: tuple[int, ...]
+    row_bits: tuple[int, ...]
+    column_bits: tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        object.__setattr__(self, "bank_functions", tuple(self.bank_functions))
+        object.__setattr__(self, "row_bits", tuple(sorted(self.row_bits)))
+        object.__setattr__(self, "column_bits", tuple(sorted(self.column_bits)))
+
+    @classmethod
+    def from_mapping(cls, mapping: AddressMapping) -> "BeliefMapping":
+        """Wrap a validated mapping (a correct belief)."""
+        return cls(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=mapping.bank_functions,
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+
+    # ------------------------------------------------------------- decoding
+
+    def bank_of(self, phys_addr: int) -> int:
+        """Bank index under the believed functions."""
+        index = 0
+        for position, mask in enumerate(self.bank_functions):
+            index |= parity(phys_addr & mask) << position
+        return index
+
+    def row_of(self, phys_addr: int) -> int:
+        """Row index under the believed row bits."""
+        return extract_bits(phys_addr, self.row_bits)
+
+    @property
+    def rows(self) -> int:
+        """Row count implied by the believed row bits."""
+        return 1 << len(self.row_bits)
+
+    # --------------------------------------------------------------- aiming
+
+    def aim_row_neighbor(self, phys_addr: int, row_delta: int) -> int | None:
+        """Address the attacker *believes* lies ``row_delta`` rows away from
+        ``phys_addr`` in the same bank.
+
+        Replaces the believed row field, then repairs the believed bank
+        functions by toggling believed non-row bits (pure bank bits
+        preferred, then column bits — toggling a believed column cannot
+        change the believed bank or row). Returns None when the believed row
+        leaves the addressable range or no repair exists under the belief.
+        """
+        row = self.row_of(phys_addr)
+        new_row = row + row_delta
+        if not 0 <= new_row < self.rows:
+            return None
+        candidate = phys_addr & ~deposit_bits((1 << len(self.row_bits)) - 1, self.row_bits)
+        candidate |= deposit_bits(new_row, self.row_bits)
+        if candidate >= (1 << self.address_bits):
+            return None
+        if self.bank_of(candidate) == self.bank_of(phys_addr):
+            return candidate
+        repaired = self._repair_bank(phys_addr, candidate)
+        return repaired
+
+    def _repair_bank(self, original: int, candidate: int) -> int | None:
+        """Toggle believed non-row bits on ``candidate`` until its believed
+        bank matches ``original``'s."""
+        row_set = set(self.row_bits)
+        # Believed pure-bank bits first (bits in functions, not rows/cols),
+        # then believed column bits that feed functions.
+        function_bits = {
+            position
+            for mask in self.bank_functions
+            for position in bits_of_mask(mask)
+        }
+        column_set = set(self.column_bits)
+        preferred = sorted(function_bits - row_set - column_set)
+        fallback = sorted(function_bits & column_set)
+        toggles = preferred + fallback
+        if not toggles:
+            return None
+        equations = []
+        for mask in self.bank_functions:
+            want = parity(original & mask)
+            have = parity(candidate & mask)
+            coefficients = 0
+            for column, position in enumerate(toggles):
+                coefficients |= parity(mask & (1 << position)) << column
+            equations.append((coefficients, want ^ have))
+        solution = solve_parity_system(equations, len(toggles))
+        if solution is None:
+            return None
+        repaired = candidate
+        for column, position in enumerate(toggles):
+            if solution >> column & 1:
+                repaired ^= 1 << position
+        if repaired >= (1 << self.address_bits):
+            return None
+        return repaired
+
+    # ----------------------------------------------------------- comparison
+
+    def agrees_with(self, mapping: AddressMapping) -> bool:
+        """True when the belief matches ground truth exactly (function span,
+        row set, column set)."""
+        from repro.analysis.gf2 import span_equal
+
+        return (
+            span_equal(self.bank_functions, mapping.bank_functions)
+            and self.row_bits == mapping.row_bits
+            and self.column_bits == mapping.column_bits
+        )
+
+    def hammer_equivalent(self, mapping: AddressMapping) -> bool:
+        """True when the belief aims rowhammer correctly: the bank-function
+        span and the row bits match ground truth (column beliefs are
+        irrelevant to aggressor placement)."""
+        from repro.analysis.gf2 import span_equal
+
+        return (
+            span_equal(self.bank_functions, mapping.bank_functions)
+            and self.row_bits == mapping.row_bits
+        )

@@ -1,0 +1,149 @@
+"""SECDED ECC: what the paper's "whether DRAM chips support ECC" knowledge
+is about.
+
+ECC DIMMs store 72 bits per 64-bit word — a Hamming(72, 64) SECDED code.
+For address-mapping purposes ECC changes nothing (the extra chips are not
+addressable), which is why :class:`~repro.dram.geometry.DramGeometry`
+carries ECC as a flag only. For *rowhammer* it changes everything: a
+single flipped bit per 64-bit word is corrected transparently, two flips
+in one word are detected (machine check), and only three or more can
+corrupt data silently. This module implements the actual code — encode,
+syndrome decode, correct — and the word-level statistics used by the ECC
+rowhammer extension bench.
+
+Layout: the classic (72, 64) extended Hamming code. Check bits sit at
+power-of-two positions of the 1-indexed 71-bit Hamming frame, plus an
+overall parity bit for double-error detection.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = ["EccOutcome", "EccWord", "encode_word", "decode_word", "flips_outcome"]
+
+_DATA_BITS = 64
+_CHECK_BITS = 7  # Hamming(71, 64) ...
+_TOTAL_BITS = 72  # ... plus overall parity.
+
+# 1-indexed Hamming positions that hold check bits.
+_CHECK_POSITIONS = tuple(1 << i for i in range(_CHECK_BITS))
+_DATA_POSITIONS = tuple(
+    position
+    for position in range(1, _DATA_BITS + _CHECK_BITS + 1)
+    if position not in _CHECK_POSITIONS
+)
+
+
+class EccOutcome(enum.Enum):
+    """What the memory controller reports for one read."""
+
+    CLEAN = "clean"
+    CORRECTED = "corrected"  # single-bit error, fixed transparently
+    DETECTED = "detected"  # double-bit error, machine-check raised
+    SILENT = "silent"  # >= 3 flips may alias to clean/corrected: data loss
+
+
+@dataclass(frozen=True)
+class EccWord:
+    """A 72-bit code word: 64 data bits + 7 Hamming checks + parity."""
+
+    frame: int  # 71-bit Hamming frame (1-indexed positions 1..71)
+    parity: int  # overall parity bit
+
+    def with_flips(self, positions: tuple[int, ...]) -> "EccWord":
+        """Flip code-word bit positions (0..71; 71 = the parity bit)."""
+        frame = self.frame
+        parity = self.parity
+        for position in positions:
+            if not 0 <= position < _TOTAL_BITS:
+                raise ValueError(f"bit position {position} outside the 72-bit word")
+            if position == _TOTAL_BITS - 1:
+                parity ^= 1
+            else:
+                frame ^= 1 << position  # bit i of frame = Hamming position i+1
+        return EccWord(frame=frame, parity=parity)
+
+
+def encode_word(data: int) -> EccWord:
+    """Encode 64 data bits into a (72, 64) SECDED word."""
+    if not 0 <= data < (1 << _DATA_BITS):
+        raise ValueError("data must fit in 64 bits")
+    frame = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if data >> index & 1:
+            frame |= 1 << (position - 1)
+    syndrome = _syndrome(frame)
+    for i in range(_CHECK_BITS):
+        if syndrome >> i & 1:
+            frame |= 1 << (_CHECK_POSITIONS[i] - 1)
+    parity = bin(frame).count("1") & 1
+    return EccWord(frame=frame, parity=parity)
+
+
+def decode_word(word: EccWord) -> tuple[int, EccOutcome]:
+    """Decode a possibly-corrupted word; returns (data, outcome).
+
+    SECDED semantics: zero syndrome + even parity = clean; non-zero
+    syndrome + odd parity = single error (corrected); non-zero syndrome +
+    even parity = double error (detected, data unreliable); zero syndrome
+    + odd parity = the parity bit itself flipped (corrected).
+    """
+    syndrome = _syndrome(word.frame)
+    overall = (bin(word.frame).count("1") & 1) ^ word.parity
+    frame = word.frame
+    if syndrome == 0 and overall == 0:
+        outcome = EccOutcome.CLEAN
+    elif syndrome == 0 and overall == 1:
+        outcome = EccOutcome.CORRECTED  # parity bit error only
+    elif overall == 1:
+        # Single-bit error at Hamming position `syndrome`.
+        if syndrome <= _DATA_BITS + _CHECK_BITS:
+            frame ^= 1 << (syndrome - 1)
+        outcome = EccOutcome.CORRECTED
+    else:
+        outcome = EccOutcome.DETECTED
+    data = 0
+    for index, position in enumerate(_DATA_POSITIONS):
+        if frame >> (position - 1) & 1:
+            data |= 1 << index
+    return data, outcome
+
+
+def _syndrome(frame: int) -> int:
+    syndrome = 0
+    for position in range(1, _DATA_BITS + _CHECK_BITS + 1):
+        if frame >> (position - 1) & 1:
+            syndrome ^= position
+    return syndrome
+
+
+def flips_outcome(
+    flips_in_word: int, rng: np.random.Generator, data: int | None = None
+) -> EccOutcome:
+    """Outcome of ``flips_in_word`` random flips in one protected word.
+
+    Runs the real code: encode, flip random positions, decode. For three
+    or more flips the decode may mis-correct (SILENT) or detect; the
+    distinction is exactly what the code yields for the drawn positions.
+    """
+    if flips_in_word < 0:
+        raise ValueError("flip count must be non-negative")
+    if flips_in_word == 0:
+        return EccOutcome.CLEAN
+    if data is None:
+        data = int(rng.integers(0, 2**63, dtype=np.uint64))
+    word = encode_word(data)
+    positions = tuple(
+        int(p) for p in rng.choice(_TOTAL_BITS, size=flips_in_word, replace=False)
+    )
+    corrupted = word.with_flips(positions)
+    decoded, outcome = decode_word(corrupted)
+    if flips_in_word >= 3 and outcome in (EccOutcome.CLEAN, EccOutcome.CORRECTED):
+        # The code was fooled: data silently wrong (or "corrected" to junk).
+        if decoded != data:
+            return EccOutcome.SILENT
+    return outcome

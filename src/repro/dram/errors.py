@@ -1,0 +1,80 @@
+"""Exception hierarchy for the DRAM substrate and the reverse-engineering
+pipeline.
+
+Every failure mode a tool can hit — bad geometry, an invalid mapping, a
+timing channel that cannot be calibrated, a partition that never converges,
+a function search that cannot number the piles — gets its own exception so
+callers (and the evaluation harness, which must *record* failures for
+Table I) can tell them apart.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "ReproError",
+    "GeometryError",
+    "MappingError",
+    "AllocationError",
+    "CalibrationError",
+    "SelectionError",
+    "PartitionError",
+    "FunctionSearchError",
+    "FineDetectionError",
+    "ToolStuckError",
+    "ToolTimeoutError",
+]
+
+
+class ReproError(Exception):
+    """Base class for all library-specific errors."""
+
+
+class GeometryError(ReproError):
+    """A DRAM geometry is internally inconsistent (sizes, counts, powers)."""
+
+
+class MappingError(ReproError):
+    """An address mapping fails validation (dependent functions, bit overlap,
+    non-bijective layout)."""
+
+
+class AllocationError(ReproError):
+    """The simulated OS could not satisfy a physical-memory allocation."""
+
+
+class CalibrationError(ReproError):
+    """The latency probe could not separate fast from slow accesses."""
+
+
+class SelectionError(ReproError):
+    """Algorithm 1 could not find a page range covering the bank bits."""
+
+
+class PartitionError(ReproError):
+    """Algorithm 2 failed to split the address pool into #bank valid piles."""
+
+
+class FunctionSearchError(ReproError):
+    """Algorithm 3 found no function set that numbers the piles 0..#bank-1."""
+
+
+class FineDetectionError(ReproError):
+    """Step 3 could not account for all spec-mandated row/column bits."""
+
+
+class ToolStuckError(ReproError):
+    """A baseline tool reached a state it cannot progress from (the paper
+    reports Xiao et al.'s tool getting stuck on settings No.2 and No.6-9)."""
+
+    def __init__(self, message: str, partial_result: object = None):
+        super().__init__(message)
+        self.partial_result = partial_result
+
+
+class ToolTimeoutError(ReproError):
+    """A tool exceeded its (simulated) time budget (the paper kills DRAMA
+    after roughly two hours on settings No.3 and No.7)."""
+
+    def __init__(self, message: str, elapsed_seconds: float = 0.0):
+        super().__init__(message)
+        self.elapsed_seconds = elapsed_seconds

@@ -1,0 +1,118 @@
+"""Human-readable explanations of address mappings.
+
+Renders the paper's Figure-1-style bit layout: for each physical address
+bit, which role(s) it plays — row index, column index, and/or input to a
+bank address function — with the shared bits (the whole point of the
+paper's Step 3) called out explicitly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.analysis.bits import bits_of_mask, format_mask
+from repro.dram.mapping import AddressMapping
+
+__all__ = ["BitRole", "explain_bit", "layout_lines", "explain_mapping"]
+
+
+@dataclass(frozen=True)
+class BitRole:
+    """The roles one physical address bit plays.
+
+    Attributes:
+        position: the physical address bit.
+        row_index: index within the row field, or None.
+        column_index: index within the column field, or None.
+        functions: indices of the bank functions this bit feeds.
+    """
+
+    position: int
+    row_index: int | None
+    column_index: int | None
+    functions: tuple[int, ...]
+
+    @property
+    def is_shared(self) -> bool:
+        """True when the bit feeds a bank function *and* the row or column
+        index — the bits Step 1 misses and Step 3 recovers."""
+        return bool(self.functions) and (
+            self.row_index is not None or self.column_index is not None
+        )
+
+    def describe(self) -> str:
+        """Short role string, e.g. ``row[1] + bank2 (shared)``."""
+        parts = []
+        if self.row_index is not None:
+            parts.append(f"row[{self.row_index}]")
+        if self.column_index is not None:
+            parts.append(f"col[{self.column_index}]")
+        parts.extend(f"bank{index}" for index in self.functions)
+        text = " + ".join(parts) if parts else "(unused)"
+        if self.is_shared:
+            text += "  (shared)"
+        return text
+
+
+def explain_bit(mapping: AddressMapping, position: int) -> BitRole:
+    """The roles of one bit of ``mapping``."""
+    if not 0 <= position < mapping.geometry.address_bits:
+        raise ValueError(
+            f"bit {position} outside the {mapping.geometry.address_bits}-bit space"
+        )
+    row_index = (
+        mapping.row_bits.index(position) if position in mapping.row_bits else None
+    )
+    column_index = (
+        mapping.column_bits.index(position)
+        if position in mapping.column_bits
+        else None
+    )
+    functions = tuple(
+        index
+        for index, mask in enumerate(mapping.bank_functions)
+        if position in bits_of_mask(mask)
+    )
+    return BitRole(
+        position=position,
+        row_index=row_index,
+        column_index=column_index,
+        functions=functions,
+    )
+
+
+def layout_lines(mapping: AddressMapping) -> list[str]:
+    """One line per address bit, MSB first."""
+    lines = []
+    for position in reversed(range(mapping.geometry.address_bits)):
+        role = explain_bit(mapping, position)
+        lines.append(f"{position:>3}  {role.describe()}")
+    return lines
+
+
+def explain_mapping(mapping: AddressMapping) -> str:
+    """Full report: summary, functions, shared bits, bit layout."""
+    shared = [
+        explain_bit(mapping, position)
+        for position in range(mapping.geometry.address_bits)
+        if explain_bit(mapping, position).is_shared
+    ]
+    lines = [
+        mapping.geometry.describe(),
+        mapping.describe(),
+        "",
+        "bank address functions:",
+    ]
+    for index, mask in enumerate(mapping.bank_functions):
+        lines.append(f"  bank{index} = XOR of bits {format_mask(mask)}")
+    if shared:
+        lines.append("")
+        lines.append(
+            "shared bits (invisible to coarse detection, recovered by Step 3):"
+        )
+        for role in shared:
+            lines.append(f"  bit {role.position}: {role.describe()}")
+    lines.append("")
+    lines.append("bit  role")
+    lines.extend(layout_lines(mapping))
+    return "\n".join(lines)

@@ -1,0 +1,123 @@
+"""Machine-level DRAM geometry.
+
+A geometry is the paper's "Config." quadruple — (channels, DIMMs per
+channel, ranks per DIMM, banks per rank) — plus the total memory size and
+the rank page size. From it every bit-count the tools need is derived:
+
+* ``address_bits``     — log2(total bytes),
+* ``num_bank_bits``    — log2(total banks) = number of bank address functions,
+* ``num_column_bits``  — log2(rank page bytes) (13 for all standard ranks),
+* ``num_row_bits``     — whatever remains.
+
+These derived counts are exactly the "Specifications" + "System
+Information" domain knowledge of paper Section III-A.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.errors import GeometryError
+from repro.dram.spec import DdrGeneration
+
+__all__ = ["DramGeometry"]
+
+
+def _log2_exact(value: int, what: str) -> int:
+    if value <= 0 or value & (value - 1):
+        raise GeometryError(f"{what} must be a power of two, got {value}")
+    return value.bit_length() - 1
+
+
+@dataclass(frozen=True)
+class DramGeometry:
+    """Full DRAM organisation of one machine.
+
+    Attributes:
+        generation: DDR3 or DDR4.
+        total_bytes: installed physical memory.
+        channels: memory channels in use.
+        dimms_per_channel: DIMMs on each channel.
+        ranks_per_dimm: ranks per DIMM (1 = single-sided, 2 = double-sided).
+        banks_per_rank: banks in each rank.
+        row_bytes: rank page size (row size in bytes); 8 KiB standard.
+        ecc: whether the DIMMs carry ECC (does not change addressing).
+    """
+
+    generation: DdrGeneration
+    total_bytes: int
+    channels: int
+    dimms_per_channel: int
+    ranks_per_dimm: int
+    banks_per_rank: int
+    row_bytes: int = 8192
+    ecc: bool = False
+
+    def __post_init__(self) -> None:
+        _log2_exact(self.total_bytes, "total_bytes")
+        _log2_exact(self.row_bytes, "row_bytes")
+        for name in ("channels", "dimms_per_channel", "ranks_per_dimm", "banks_per_rank"):
+            _log2_exact(getattr(self, name), name)
+        if self.rows_per_bank < 1:
+            raise GeometryError(
+                f"geometry does not fit: {self.total_bytes} bytes across "
+                f"{self.total_banks} banks of {self.row_bytes}-byte rows"
+            )
+        _log2_exact(self.rows_per_bank, "rows_per_bank")
+
+    # ---------------------------------------------------------------- counts
+
+    @property
+    def total_banks(self) -> int:
+        """Banks across the whole machine (channel and rank count as bank
+        dimensions, as in the paper's 3-tuple DRAM address)."""
+        return (
+            self.channels * self.dimms_per_channel * self.ranks_per_dimm * self.banks_per_rank
+        )
+
+    @property
+    def rows_per_bank(self) -> int:
+        """Rows in each bank."""
+        return self.total_bytes // (self.total_banks * self.row_bytes)
+
+    @property
+    def config_quadruple(self) -> tuple[int, int, int, int]:
+        """The paper's Config. column: (channels, DIMMs, ranks, banks)."""
+        return (
+            self.channels,
+            self.dimms_per_channel,
+            self.ranks_per_dimm,
+            self.banks_per_rank,
+        )
+
+    # ------------------------------------------------------------- bit maths
+
+    @property
+    def address_bits(self) -> int:
+        """Physical address width: log2(total_bytes)."""
+        return self.total_bytes.bit_length() - 1
+
+    @property
+    def num_bank_bits(self) -> int:
+        """log2(total banks) — equals the number of bank address functions."""
+        return self.total_banks.bit_length() - 1
+
+    @property
+    def num_column_bits(self) -> int:
+        """Physical-address bits that select a byte within a row."""
+        return self.row_bytes.bit_length() - 1
+
+    @property
+    def num_row_bits(self) -> int:
+        """Physical-address bits that select a row within a bank."""
+        return self.address_bits - self.num_bank_bits - self.num_column_bits
+
+    def describe(self) -> str:
+        """One-line human-readable summary."""
+        gib = self.total_bytes / 2**30
+        quad = ", ".join(str(n) for n in self.config_quadruple)
+        return (
+            f"{self.generation}, {gib:g}GiB, ({quad}): "
+            f"{self.total_banks} banks x {self.rows_per_bank} rows x "
+            f"{self.row_bytes} B"
+        )

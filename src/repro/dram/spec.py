@@ -1,0 +1,207 @@
+"""DDR3/DDR4 specification knowledge.
+
+The paper's first domain-knowledge source: "We refer to DDR3 and DDR4
+specifications to acquire physical-address bit numbers that index banks,
+rows and columns on specific DRAM chips" (Section III-A, citing the Micron
+MT41K/MT40A data sheets). This module encodes the relevant slice of those
+data sheets: per-generation chip organisations (banks, page size per chip
+width) and the standard speed-bin timings the memory-controller simulator
+uses.
+
+Key derived fact used by Step 3 (fine-grained detection): the number of
+physical-address bits that select a *column* equals ``log2(rank page size)``
+— for a standard non-ECC 64-bit rank this is 8 KiB (x8 chips: 1 KiB chip
+page x 8 chips; x16 chips: 2 KiB chip page x 4 chips), i.e. 13 bits, which
+matches every row of the paper's Table II.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.errors import GeometryError
+
+__all__ = [
+    "DdrGeneration",
+    "ChipSpec",
+    "DdrTimings",
+    "chip_spec",
+    "default_timings",
+    "rank_page_bytes",
+    "speed_bin_names",
+    "timings_for_bin",
+    "RANK_DATA_WIDTH_BITS",
+]
+
+# JEDEC rank data width (non-ECC). ECC ranks carry 72 bits but the extra 8
+# are not addressable, so address-mapping maths always uses 64.
+RANK_DATA_WIDTH_BITS = 64
+
+
+class DdrGeneration(enum.Enum):
+    """DRAM generation; determines bank counts and default timings."""
+
+    DDR3 = "DDR3"
+    DDR4 = "DDR4"
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.value
+
+
+@dataclass(frozen=True)
+class ChipSpec:
+    """Organisation of a single DRAM chip, as read off a data sheet.
+
+    Attributes:
+        generation: DDR3 or DDR4.
+        width_bits: chip data width (x4 / x8 / x16).
+        banks: banks per chip (DDR3: 8; DDR4: 16, except x16 parts: 8).
+        page_bytes: chip page (row) size in bytes.
+    """
+
+    generation: DdrGeneration
+    width_bits: int
+    banks: int
+    page_bytes: int
+
+    @property
+    def chips_per_rank(self) -> int:
+        """Chips ganged to fill the 64-bit rank data bus."""
+        return RANK_DATA_WIDTH_BITS // self.width_bits
+
+
+# Data-sheet table: (generation, width) -> (banks per chip, chip page bytes).
+# DDR3: Micron MT41K (8 banks; x4/x8 1KiB page, x16 2KiB page).
+# DDR4: Micron MT40A (4 bank groups x 4 banks = 16 for x4/x8;
+#        2 bank groups x 4 banks = 8 for x16; x4/x8 1KiB page, x16 2KiB).
+_CHIP_TABLE: dict[tuple[DdrGeneration, int], tuple[int, int]] = {
+    (DdrGeneration.DDR3, 4): (8, 1024),
+    (DdrGeneration.DDR3, 8): (8, 1024),
+    (DdrGeneration.DDR3, 16): (8, 2048),
+    (DdrGeneration.DDR4, 4): (16, 1024),
+    (DdrGeneration.DDR4, 8): (16, 1024),
+    (DdrGeneration.DDR4, 16): (8, 2048),
+}
+
+
+def chip_spec(generation: DdrGeneration, width_bits: int) -> ChipSpec:
+    """Look up a chip organisation in the data-sheet table.
+
+    >>> chip_spec(DdrGeneration.DDR3, 8).banks
+    8
+    """
+    key = (generation, width_bits)
+    if key not in _CHIP_TABLE:
+        raise GeometryError(
+            f"no data-sheet entry for {generation} x{width_bits}; "
+            f"supported widths are x4, x8, x16"
+        )
+    banks, page = _CHIP_TABLE[key]
+    return ChipSpec(generation=generation, width_bits=width_bits, banks=banks, page_bytes=page)
+
+
+def rank_page_bytes(spec: ChipSpec) -> int:
+    """Row (page) size of a whole rank: chip page x chips per rank.
+
+    8 KiB for every standard configuration, hence 13 column bits.
+    """
+    return spec.page_bytes * spec.chips_per_rank
+
+
+@dataclass(frozen=True)
+class DdrTimings:
+    """JEDEC speed-bin timings (nanoseconds) used by the latency model.
+
+    Attributes:
+        trcd: RAS-to-CAS delay (activate a row before a column access).
+        trp: row precharge time (close a row before opening another).
+        tcas: CAS latency (column access on an open row).
+        tras: minimum row-open time.
+        trefi: average refresh command interval.
+        trfc: refresh cycle time (bank unavailable during refresh).
+    """
+
+    trcd: float
+    trp: float
+    tcas: float
+    tras: float
+    trefi: float
+    trfc: float
+
+    def __post_init__(self) -> None:
+        for field in ("trcd", "trp", "tcas", "tras", "trefi", "trfc"):
+            if getattr(self, field) <= 0:
+                raise GeometryError(f"timing parameter {field} must be positive")
+
+    @property
+    def row_hit_ns(self) -> float:
+        """DRAM-side latency when the target row is already open."""
+        return self.tcas
+
+    @property
+    def row_closed_ns(self) -> float:
+        """DRAM-side latency when the bank is precharged (no open row)."""
+        return self.trcd + self.tcas
+
+    @property
+    def row_conflict_ns(self) -> float:
+        """DRAM-side latency when a different row is open (the timing channel
+        exploited by every tool in the paper)."""
+        return self.trp + self.trcd + self.tcas
+
+
+# Representative speed bins: DDR3-1600 CL11 and DDR4-2400 CL17.
+_DDR3_TIMINGS = DdrTimings(
+    trcd=13.75, trp=13.75, tcas=13.75, tras=35.0, trefi=7800.0, trfc=260.0
+)
+_DDR4_TIMINGS = DdrTimings(
+    trcd=14.16, trp=14.16, tcas=14.16, tras=32.0, trefi=7800.0, trfc=350.0
+)
+
+
+def default_timings(generation: DdrGeneration) -> DdrTimings:
+    """Default JEDEC timings for a generation."""
+    if generation is DdrGeneration.DDR3:
+        return _DDR3_TIMINGS
+    return _DDR4_TIMINGS
+
+
+# JEDEC speed bins: name -> (tRCD, tRP, tCAS, tRAS) in nanoseconds.
+# Absolute nanoseconds barely move across bins (the CL count scales with
+# the clock); what changes is bandwidth, which the address-mapping maths
+# never sees. tREFI/tRFC follow the generation defaults.
+_SPEED_BINS: dict[str, tuple[float, float, float, float]] = {
+    "DDR3-1066": (13.13, 13.13, 13.13, 37.5),
+    "DDR3-1333": (13.50, 13.50, 13.50, 36.0),
+    "DDR3-1600": (13.75, 13.75, 13.75, 35.0),
+    "DDR3-1866": (13.91, 13.91, 13.91, 34.0),
+    "DDR4-2133": (14.06, 14.06, 14.06, 33.0),
+    "DDR4-2400": (14.16, 14.16, 14.16, 32.0),
+    "DDR4-2666": (14.25, 14.25, 14.25, 32.0),
+    "DDR4-3200": (13.75, 13.75, 13.75, 32.0),
+}
+
+
+def speed_bin_names() -> tuple[str, ...]:
+    """All known speed-bin labels."""
+    return tuple(_SPEED_BINS)
+
+
+def timings_for_bin(name: str) -> DdrTimings:
+    """Timings for a JEDEC speed bin, e.g. ``"DDR4-3200"``.
+
+    Raises:
+        GeometryError: for an unknown bin label.
+    """
+    if name not in _SPEED_BINS:
+        raise GeometryError(
+            f"unknown speed bin {name!r}; known: {', '.join(_SPEED_BINS)}"
+        )
+    trcd, trp, tcas, tras = _SPEED_BINS[name]
+    generation = DdrGeneration.DDR3 if name.startswith("DDR3") else DdrGeneration.DDR4
+    defaults = default_timings(generation)
+    return DdrTimings(
+        trcd=trcd, trp=trp, tcas=tcas, tras=tras,
+        trefi=defaults.trefi, trfc=defaults.trfc,
+    )

@@ -1,0 +1,37 @@
+"""Evaluation harness: one module per paper table/figure."""
+
+from repro.evalsuite.determinism import (
+    DeterminismRow,
+    render_determinism,
+    run_determinism,
+)
+from repro.evalsuite.figure2 import Figure2Point, render_figure2, run_figure2
+from repro.evalsuite.report import ReportConfig, generate_report
+from repro.evalsuite.reporting import format_seconds, render_series, render_table
+from repro.evalsuite.table1 import ToolVerdict, render_table1, run_table1
+from repro.evalsuite.table2 import Table2Row, render_table2, run_table2
+from repro.evalsuite.table3 import TABLE3_MACHINES, Table3Row, render_table3, run_table3
+
+__all__ = [
+    "DeterminismRow",
+    "render_determinism",
+    "run_determinism",
+    "Figure2Point",
+    "render_figure2",
+    "run_figure2",
+    "ReportConfig",
+    "generate_report",
+    "format_seconds",
+    "render_series",
+    "render_table",
+    "ToolVerdict",
+    "render_table1",
+    "run_table1",
+    "Table2Row",
+    "render_table2",
+    "run_table2",
+    "TABLE3_MACHINES",
+    "Table3Row",
+    "render_table3",
+    "run_table3",
+]

@@ -1,0 +1,131 @@
+"""Determinism study: quantify Table I's third column.
+
+The paper writes: "we ran [DRAMA's] code for numerous times and found that
+it generated different DRAM mappings most of the time". This module turns
+that sentence into a measurement: run a tool N times on one machine,
+canonicalise each output (functions as a sorted reduced GF(2) basis, plus
+the row-bit set), and report
+
+* distinct outputs observed,
+* how often the modal output occurred,
+* how often the output was hammer-equivalent to ground truth.
+
+DRAMDig's row reads 1 distinct / 100 % / 100 %; DRAMA's does not — and the
+gap is the determinism claim, measured.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass, field
+
+from repro.analysis import gf2
+from repro.baselines.drama import DramaConfig, DramaTool
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.evalsuite.reporting import render_table
+from repro.machine.machine import SimulatedMachine
+
+__all__ = ["DeterminismRow", "run_determinism", "render_determinism"]
+
+
+@dataclass
+class DeterminismRow:
+    """One tool's repeated-run statistics on one machine.
+
+    Attributes:
+        tool: display name.
+        machine: preset label.
+        runs: attempts made.
+        completed: runs that produced a mapping.
+        distinct_outputs: canonicalised distinct mappings among completed.
+        modal_fraction: share of completed runs producing the most common
+            output.
+        correct_fraction: share of completed runs hammer-equivalent to the
+            ground truth.
+    """
+
+    tool: str
+    machine: str
+    runs: int
+    completed: int = 0
+    distinct_outputs: int = 0
+    modal_fraction: float = 0.0
+    correct_fraction: float = 0.0
+    outputs: Counter = field(default_factory=Counter)
+
+
+def _canonical(belief: BeliefMapping) -> tuple:
+    basis = tuple(gf2.reduced_row_echelon(belief.bank_functions))
+    return (basis, belief.row_bits)
+
+
+def run_determinism(
+    machine_name: str = "No.1",
+    runs: int = 8,
+    seed: int = 1,
+    dramdig_config: DramDigConfig | None = None,
+    drama_config: DramaConfig | None = None,
+) -> list[DeterminismRow]:
+    """Repeated-run study of DRAMDig and DRAMA on one machine.
+
+    Each run uses a *different machine seed* (fresh noise, fresh buffer
+    placement) for DRAMDig — its determinism must hold across machine
+    randomness — and a different tool seed for DRAMA (its nondeterminism
+    is internal).
+    """
+    truth = preset(machine_name).mapping
+
+    dramdig_row = DeterminismRow(tool="DRAMDig", machine=machine_name, runs=runs)
+    for run in range(runs):
+        machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
+        result = DramDig(dramdig_config).run(machine)
+        belief = BeliefMapping.from_mapping(result.mapping)
+        dramdig_row.completed += 1
+        dramdig_row.outputs[_canonical(belief)] += 1
+        dramdig_row.correct_fraction += belief.hammer_equivalent(truth)
+
+    drama_row = DeterminismRow(tool="DRAMA", machine=machine_name, runs=runs)
+    for run in range(runs):
+        # Fresh machine seed per run for both tools: a rerun on a real
+        # machine sees fresh noise. DRAMDig's output must survive that;
+        # DRAMA's does not.
+        machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
+        result = DramaTool(drama_config, seed=seed * 1000 + run).run(machine)
+        if result.belief is None:
+            continue
+        drama_row.completed += 1
+        drama_row.outputs[_canonical(result.belief)] += 1
+        drama_row.correct_fraction += result.belief.hammer_equivalent(truth)
+
+    for row in (dramdig_row, drama_row):
+        if row.completed:
+            row.distinct_outputs = len(row.outputs)
+            row.modal_fraction = row.outputs.most_common(1)[0][1] / row.completed
+            row.correct_fraction /= row.completed
+    return [dramdig_row, drama_row]
+
+
+def render_determinism(rows: list[DeterminismRow]) -> str:
+    """Render the study as a table."""
+    headers = [
+        "Tool",
+        "Machine",
+        "Completed",
+        "Distinct outputs",
+        "Modal output",
+        "Correct",
+    ]
+    body = [
+        [
+            row.tool,
+            row.machine,
+            f"{row.completed}/{row.runs}",
+            row.distinct_outputs,
+            f"{row.modal_fraction:.0%}",
+            f"{row.correct_fraction:.0%}",
+        ]
+        for row in rows
+    ]
+    return render_table(headers, body)

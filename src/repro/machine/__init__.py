@@ -1,0 +1,34 @@
+"""Simulated machine: allocator, sysinfo, clock, and the machine facade."""
+
+from repro.machine.allocator import PAGE_SHIFT, PAGE_SIZE, PageAllocator, PhysPages
+from repro.machine.clock import MeasurementCost, SimClock
+from repro.machine.machine import DEFAULT_ROUNDS, MachineStats, SimulatedMachine
+from repro.machine.sysinfo import (
+    SystemInfo,
+    gather_system_info,
+    parse_decode_dimms,
+    parse_dmidecode,
+    render_decode_dimms,
+    render_dmidecode,
+)
+from repro.machine.virtual import PAGEMAP_ENTRY_NS, VirtualBuffer
+
+__all__ = [
+    "PAGE_SHIFT",
+    "PAGE_SIZE",
+    "PageAllocator",
+    "PhysPages",
+    "MeasurementCost",
+    "SimClock",
+    "DEFAULT_ROUNDS",
+    "MachineStats",
+    "SimulatedMachine",
+    "SystemInfo",
+    "parse_dmidecode",
+    "render_dmidecode",
+    "render_decode_dimms",
+    "parse_decode_dimms",
+    "gather_system_info",
+    "PAGEMAP_ENTRY_NS",
+    "VirtualBuffer",
+]

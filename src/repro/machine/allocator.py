@@ -1,0 +1,227 @@
+"""Simulated OS physical-page allocation.
+
+Reverse-engineering tools work on whatever physical pages the OS hands
+them. The paper's Algorithm 1 explicitly copes with *missing* pages
+(``page_miss`` / retry): a userspace buffer is virtually contiguous but its
+physical pages can be scattered. We model three allocation behaviours:
+
+* ``contiguous``  — one physically contiguous block (what a 1 GiB hugepage
+  or a boot-time reservation gives you); the easy case.
+* ``fragmented``  — buddy-allocator style: high-order blocks mixed with
+  scattered 4 KiB pages and holes; exercises Algorithm 1's retry path.
+* ``sparse``      — uniformly random pages covering a fraction of memory;
+  what DRAMA's unprivileged allocation looks like on a loaded machine.
+
+A :class:`PhysPages` result supports O(1) membership tests and vectorized
+queries, because Algorithm 1 probes millions of candidate addresses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.errors import AllocationError
+
+__all__ = ["PAGE_SIZE", "PAGE_SHIFT", "PhysPages", "PageAllocator"]
+
+PAGE_SIZE = 4096
+PAGE_SHIFT = 12
+
+
+@dataclass(frozen=True)
+class PhysPages:
+    """A set of allocated physical pages.
+
+    Attributes:
+        page_numbers: sorted unique physical frame numbers (addr >> 12).
+        total_bytes: size of the machine's physical memory (for bounds).
+    """
+
+    page_numbers: np.ndarray
+    total_bytes: int
+
+    def __post_init__(self) -> None:
+        pages = np.asarray(self.page_numbers, dtype=np.uint64)
+        # np.unique's hash path is very slow on multi-million uint64 arrays;
+        # every allocator already produces sorted unique frames, so only pay
+        # for deduplication when the input actually needs it.
+        if pages.size > 1 and not bool(np.all(pages[1:] > pages[:-1])):
+            pages = np.unique(pages)
+        object.__setattr__(self, "page_numbers", pages)
+
+    def __len__(self) -> int:
+        return int(self.page_numbers.size)
+
+    @property
+    def byte_count(self) -> int:
+        """Total bytes covered by the allocated pages."""
+        return len(self) * PAGE_SIZE
+
+    def has_page(self, phys_addr: int) -> bool:
+        """True when the page containing ``phys_addr`` is allocated."""
+        frame = phys_addr >> PAGE_SHIFT
+        index = int(np.searchsorted(self.page_numbers, frame))
+        return index < self.page_numbers.size and int(self.page_numbers[index]) == frame
+
+    def has_pages(self, phys_addrs: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`has_page` (binary search on the sorted frames)."""
+        frames = np.asarray(phys_addrs, dtype=np.uint64) >> np.uint64(PAGE_SHIFT)
+        if self.page_numbers.size == 0:
+            return np.zeros(frames.shape, dtype=bool)
+        indices = np.searchsorted(self.page_numbers, frames)
+        indices = np.minimum(indices, self.page_numbers.size - 1)
+        return self.page_numbers[indices] == frames
+
+    def has_range(self, start: int, end: int) -> bool:
+        """True when every page of [start, end) is allocated — Algorithm 1's
+        ``!page_miss(phys_pages, P_start, P_end)`` check."""
+        first = start >> PAGE_SHIFT
+        last = (end - 1) >> PAGE_SHIFT
+        index = np.searchsorted(self.page_numbers, first)
+        count = last - first + 1
+        if index + count > self.page_numbers.size:
+            return False
+        window = self.page_numbers[index : index + count]
+        return bool(
+            window.size == count
+            and window[0] == first
+            and window[-1] == last
+        )
+
+    def addresses(self) -> np.ndarray:
+        """Base physical address of every allocated page."""
+        return self.page_numbers << np.uint64(PAGE_SHIFT)
+
+    def sample_addresses(self, count: int, rng: np.random.Generator) -> np.ndarray:
+        """Random addresses inside allocated pages (cache-line aligned), the
+        raw material of DRAMA-style random pools."""
+        if count <= 0:
+            raise AllocationError("sample count must be positive")
+        frames = rng.choice(self.page_numbers, size=count, replace=True)
+        line_offsets = rng.integers(0, PAGE_SIZE // 64, size=count, dtype=np.uint64)
+        return (frames << np.uint64(PAGE_SHIFT)) | (line_offsets << np.uint64(6))
+
+
+@dataclass(frozen=True)
+class PageAllocator:
+    """Simulated OS allocator over ``total_bytes`` of physical memory.
+
+    Attributes:
+        total_bytes: physical memory size.
+        reserved_low_bytes: memory below this is kernel/firmware reserved
+            and never handed to userspace (models the real low-memory
+            holes).
+    """
+
+    total_bytes: int
+    reserved_low_bytes: int = 1 << 24  # 16 MiB
+
+    def __post_init__(self) -> None:
+        if self.total_bytes <= 0 or self.total_bytes % PAGE_SIZE:
+            raise AllocationError("total_bytes must be a positive page multiple")
+        if not 0 <= self.reserved_low_bytes < self.total_bytes:
+            raise AllocationError("reserved_low_bytes out of range")
+
+    @property
+    def _frame_range(self) -> tuple[int, int]:
+        return self.reserved_low_bytes >> PAGE_SHIFT, self.total_bytes >> PAGE_SHIFT
+
+    def _check_request(self, request_bytes: int) -> int:
+        if request_bytes <= 0:
+            raise AllocationError("allocation size must be positive")
+        frames = (request_bytes + PAGE_SIZE - 1) >> PAGE_SHIFT
+        low, high = self._frame_range
+        if frames > high - low:
+            raise AllocationError(
+                f"cannot allocate {request_bytes} bytes from "
+                f"{(high - low) * PAGE_SIZE} available"
+            )
+        return frames
+
+    def allocate_contiguous(
+        self, request_bytes: int, rng: np.random.Generator
+    ) -> PhysPages:
+        """One physically contiguous block at a random aligned position."""
+        frames = self._check_request(request_bytes)
+        low, high = self._frame_range
+        start = int(rng.integers(low, high - frames + 1))
+        pages = np.arange(start, start + frames, dtype=np.uint64)
+        return PhysPages(page_numbers=pages, total_bytes=self.total_bytes)
+
+    def allocate_fragmented(
+        self,
+        request_bytes: int,
+        rng: np.random.Generator,
+        max_order: int = 10,
+        hole_fraction: float = 0.03,
+    ) -> PhysPages:
+        """Buddy-style allocation: random high-order blocks plus holes.
+
+        ``max_order`` caps block size at ``2**max_order`` pages (order 10 =
+        4 MiB, the Linux buddy maximum). ``hole_fraction`` of the pages
+        inside chosen blocks are withheld, modelling pages the OS kept.
+        """
+        frames_needed = self._check_request(request_bytes)
+        low, high = self._frame_range
+        chunks: list[np.ndarray] = []
+        collected = 0
+        attempts = 0
+        while collected < frames_needed:
+            attempts += 1
+            if attempts > 10_000:
+                raise AllocationError("fragmented allocation did not converge")
+            order = int(rng.integers(max_order // 2, max_order + 1))
+            size = 1 << order
+            start = int(rng.integers(low, max(low + 1, high - size)))
+            start &= ~(size - 1)  # buddy blocks are order-aligned
+            if start < low:
+                continue
+            block = np.arange(start, min(start + size, high), dtype=np.uint64)
+            if hole_fraction > 0:
+                keep = rng.random(block.size) >= hole_fraction
+                block = block[keep]
+            chunks.append(block)
+            collected += block.size
+        pages = np.unique(np.concatenate(chunks))
+        return PhysPages(page_numbers=pages, total_bytes=self.total_bytes)
+
+    def allocate_sparse(
+        self, request_bytes: int, rng: np.random.Generator
+    ) -> PhysPages:
+        """Uniformly random pages, no contiguity guarantee at all."""
+        frames_needed = self._check_request(request_bytes)
+        low, high = self._frame_range
+        pages = rng.choice(
+            np.arange(low, high, dtype=np.uint64),
+            size=min(frames_needed, high - low),
+            replace=False,
+        )
+        return PhysPages(page_numbers=np.sort(pages), total_bytes=self.total_bytes)
+
+    def allocate_hugepages(
+        self, request_bytes: int, rng: np.random.Generator, huge_bytes: int = 1 << 21
+    ) -> PhysPages:
+        """2 MiB-hugepage-backed allocation: contiguous huge_bytes blocks at
+        random aligned positions (how rowhammer attacks usually allocate)."""
+        frames_needed = self._check_request(request_bytes)
+        frames_per_huge = huge_bytes >> PAGE_SHIFT
+        low, high = self._frame_range
+        chunks: list[np.ndarray] = []
+        used_starts: set[int] = set()
+        collected = 0
+        attempts = 0
+        while collected < frames_needed:
+            attempts += 1
+            if attempts > 10_000:
+                raise AllocationError("hugepage allocation did not converge")
+            start = int(rng.integers(low, high - frames_per_huge + 1))
+            start &= ~(frames_per_huge - 1)
+            if start < low or start in used_starts:
+                continue
+            used_starts.add(start)
+            chunks.append(np.arange(start, start + frames_per_huge, dtype=np.uint64))
+            collected += frames_per_huge
+        pages = np.unique(np.concatenate(chunks))
+        return PhysPages(page_numbers=pages, total_bytes=self.total_bytes)

@@ -1,0 +1,82 @@
+"""Simulated wall clock and measurement cost model.
+
+The paper's Figure 2 compares *wall-clock* cost of the tools. Our tools run
+against a simulator, so real seconds are meaningless; instead every timing
+measurement charges the clock with what it would have cost on hardware:
+
+    cost = setup_overhead + rounds x (latency_a + latency_b)
+
+where setup covers virtual-to-physical translation, cache-flush
+instructions and loop bookkeeping. The cost model is shared by DRAMDig and
+the baselines, so relative time costs (the shape of Figure 2) are a direct
+consequence of how many measurements each algorithm performs and at what
+rounds setting — exactly the quantity the paper's Section IV-B discusses
+("the more selected addresses require more access latency measurements and
+thus the partition costs more time").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["SimClock", "MeasurementCost"]
+
+
+@dataclass(frozen=True)
+class MeasurementCost:
+    """Cost model for one pair-latency measurement.
+
+    Attributes:
+        setup_ns: fixed per-measurement overhead (address translation via
+            pagemap, flush setup, loop warm-up).
+        per_round_ns: additional bookkeeping per loop round (two clflushes,
+            two mfences, loop control) beyond the raw access latencies.
+    """
+
+    setup_ns: float = 4_000.0
+    per_round_ns: float = 30.0
+
+    def measurement_ns(self, rounds: int, mean_pair_latency_ns: float) -> float:
+        """Wall time of one measurement of ``rounds`` alternating accesses."""
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        return self.setup_ns + rounds * (self.per_round_ns + mean_pair_latency_ns)
+
+
+@dataclass
+class SimClock:
+    """Monotonic simulated clock (nanoseconds).
+
+    Attributes:
+        elapsed_ns: simulated nanoseconds since construction.
+        charges: number of charge() calls (for introspection in tests).
+    """
+
+    elapsed_ns: float = 0.0
+    charges: int = field(default=0)
+
+    def charge(self, duration_ns: float) -> None:
+        """Advance the clock."""
+        if duration_ns < 0:
+            raise ValueError("cannot charge negative time")
+        self.elapsed_ns += duration_ns
+        self.charges += 1
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated seconds elapsed."""
+        return self.elapsed_ns / 1e9
+
+    @property
+    def elapsed_minutes(self) -> float:
+        """Simulated minutes elapsed."""
+        return self.elapsed_ns / 60e9
+
+    def checkpoint(self) -> float:
+        """Current elapsed_ns, for measuring a span: ``t0 = clock.checkpoint();
+        ...; span = clock.since(t0)``."""
+        return self.elapsed_ns
+
+    def since(self, checkpoint_ns: float) -> float:
+        """Nanoseconds charged since ``checkpoint_ns``."""
+        return self.elapsed_ns - checkpoint_ns

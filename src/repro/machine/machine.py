@@ -1,0 +1,206 @@
+"""The simulated machine: what a reverse-engineering tool is allowed to see.
+
+On real hardware a tool gets (1) memory it allocated, (2) a way to time a
+pair of addresses, (3) system commands like dmidecode. Nothing else — it
+must *not* read the memory controller's wiring. :class:`SimulatedMachine`
+enforces the same contract: tools interact only through
+
+* :meth:`allocate` / allocator variants — get physical pages,
+* :meth:`measure_latency` / :meth:`measure_latency_batch` — the timing
+  primitive (paper Section III-B), which charges the simulated clock,
+* :meth:`sysinfo` / :meth:`dmidecode_text` — system information.
+
+The ground-truth mapping lives in ``_controller`` (underscore = private by
+convention); the test-suite and the evaluation harness use it to *verify*
+recovered mappings, never to recover them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.mapping import AddressMapping
+from repro.dram.presets import MachinePreset
+from repro.machine.allocator import PageAllocator, PhysPages
+from repro.machine.clock import MeasurementCost, SimClock
+from repro.machine.sysinfo import SystemInfo, render_decode_dimms, render_dmidecode
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.timing import AccessClass, LatencyModel, NoiseParams
+
+__all__ = ["SimulatedMachine", "MachineStats"]
+
+DEFAULT_ROUNDS = 1000
+
+
+@dataclass
+class MachineStats:
+    """Counters a tool's run accumulates on a machine."""
+
+    measurements: int = 0
+    accesses_timed: int = 0
+    allocations: int = 0
+
+
+class SimulatedMachine:
+    """A machine under reverse engineering.
+
+    Construct from a preset (:meth:`from_preset`) or any ground-truth
+    mapping. A ``seed`` controls all stochastic behaviour (noise, allocation
+    placement); two machines with the same preset and seed behave
+    identically, which is how the test-suite checks tool *determinism*
+    separately from machine randomness.
+    """
+
+    def __init__(
+        self,
+        mapping: AddressMapping,
+        seed: int = 0,
+        noise: NoiseParams | None = None,
+        measurement_cost: MeasurementCost | None = None,
+        microarchitecture: str = "Unknown",
+    ):
+        self.microarchitecture = microarchitecture
+        self._mapping = mapping
+        self._controller = MemoryController(mapping=mapping)
+        self._latency_model = LatencyModel.for_generation(
+            mapping.geometry.generation,
+            noise=noise,
+        )
+        self._allocator = PageAllocator(total_bytes=mapping.geometry.total_bytes)
+        self._cost = measurement_cost if measurement_cost is not None else MeasurementCost()
+        self.clock = SimClock()
+        self.stats = MachineStats()
+        self.seed = seed
+        self._rng = np.random.default_rng(seed)
+
+    # ------------------------------------------------------------ constructors
+
+    @classmethod
+    def from_preset(
+        cls,
+        preset: MachinePreset,
+        seed: int = 0,
+        noise: NoiseParams | None = None,
+    ) -> "SimulatedMachine":
+        """Build the simulated version of one of the paper's machines.
+
+        The preset's own noise profile applies unless ``noise`` overrides it
+        (No.3 and No.7 are noisier than the rest; see presets).
+        """
+        return cls(
+            mapping=preset.mapping,
+            seed=seed,
+            noise=noise if noise is not None else preset.noise_profile,
+            microarchitecture=preset.microarchitecture,
+        )
+
+    # ------------------------------------------------------------- allocation
+
+    @property
+    def total_bytes(self) -> int:
+        """Physical memory size (a tool may read this from /proc too)."""
+        return self._mapping.geometry.total_bytes
+
+    def allocate(self, request_bytes: int, strategy: str = "contiguous") -> PhysPages:
+        """Allocate physical pages.
+
+        Strategies: ``contiguous`` (boot-reserved buffer / 1 GiB hugepage),
+        ``fragmented`` (default userspace buddy allocation), ``sparse``
+        (loaded machine), ``hugepages`` (2 MiB THP).
+        """
+        self.stats.allocations += 1
+        rng = self._rng
+        if strategy == "contiguous":
+            return self._allocator.allocate_contiguous(request_bytes, rng)
+        if strategy == "fragmented":
+            return self._allocator.allocate_fragmented(request_bytes, rng)
+        if strategy == "sparse":
+            return self._allocator.allocate_sparse(request_bytes, rng)
+        if strategy == "hugepages":
+            return self._allocator.allocate_hugepages(request_bytes, rng)
+        raise ValueError(f"unknown allocation strategy {strategy!r}")
+
+    # ---------------------------------------------------------------- timing
+
+    def measure_latency(self, addr_a: int, addr_b: int, rounds: int = DEFAULT_ROUNDS) -> float:
+        """Median latency (ns) of an alternating access loop over a pair.
+
+        This is the paper's timing primitive: flush both addresses from the
+        cache, access them alternately ``rounds`` times, return the median
+        per-access latency. Charges the simulated clock with the hardware
+        cost of doing so.
+        """
+        access_class = self._controller.classify_pair(addr_a, addr_b)
+        is_conflict = access_class is AccessClass.ROW_CONFLICT
+        latency = float(
+            self._latency_model.sample_batch_ns(np.array([is_conflict]), self._rng)[0]
+        )
+        self._charge_measurements(np.array([latency]), rounds)
+        return latency
+
+    def measure_latency_batch(
+        self, base: int, others: np.ndarray, rounds: int = DEFAULT_ROUNDS
+    ) -> np.ndarray:
+        """Vectorized :meth:`measure_latency` of ``base`` against many
+        addresses — what a real tool does when it partitions an address pool
+        (one translation + flush setup per pair, so costs are identical to
+        the scalar loop, just computed in bulk here for simulator speed)."""
+        conflicts = self._controller.classify_pairs(base, others)
+        latencies = self._latency_model.sample_batch_ns(conflicts, self._rng)
+        self._charge_measurements(latencies, rounds)
+        return latencies
+
+    def _charge_measurements(self, latencies: np.ndarray, rounds: int) -> None:
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        count = latencies.size
+        pair_sum = 2.0 * float(latencies.sum())  # both addresses accessed per round
+        total = count * self._cost.setup_ns + rounds * (
+            count * self._cost.per_round_ns + pair_sum
+        )
+        self.clock.charge(total)
+        self.stats.measurements += latencies.size
+        self.stats.accesses_timed += 2 * rounds * latencies.size
+
+    def charge_analysis(self, duration_ns: float) -> None:
+        """Charge non-measurement work (sorting pools, GF(2) solving). Tools
+        call this so Figure 2 accounts CPU-side cost too."""
+        self.clock.charge(duration_ns)
+
+    # ------------------------------------------------------------ system info
+
+    def sysinfo(self) -> SystemInfo:
+        """Parsed system information (dmidecode/decode-dimms equivalent)."""
+        return SystemInfo.from_geometry(self._mapping.geometry)
+
+    def dmidecode_text(self) -> str:
+        """Raw dmidecode-style text, for tools that parse it themselves."""
+        return render_dmidecode(self._mapping.geometry)
+
+    def decode_dimms_text(self) -> str:
+        """Raw decode-dimms-style SPD text (the paper's other command)."""
+        return render_decode_dimms(self._mapping.geometry)
+
+    @property
+    def elapsed_seconds(self) -> float:
+        """Simulated wall-clock seconds consumed so far."""
+        return self.clock.elapsed_seconds
+
+    # ----------------------------------------------------- ground-truth oracle
+
+    @property
+    def ground_truth(self) -> AddressMapping:
+        """The true mapping — for *verification only*.
+
+        Tools must not touch this; the evaluation harness uses it to score
+        recovered mappings, and the rowhammer simulator uses it to find true
+        row adjacency.
+        """
+        return self._mapping
+
+    @property
+    def latency_model(self) -> LatencyModel:
+        """The latency model (exposed for probes to reason about scale)."""
+        return self._latency_model

@@ -1,0 +1,273 @@
+"""Simulated system-information sources.
+
+The paper's second domain-knowledge group: "the total number of banks,
+physical memory size, and whether DRAM chips support ECC protection ...
+obtained from the output of system commands such as decode-dimms and
+dmidecode" (Section III-A).
+
+We model both the *structured facts* (:class:`SystemInfo`) and the *text
+pipeline*: :func:`render_dmidecode` produces dmidecode-style output from a
+geometry and :func:`parse_dmidecode` recovers the facts from such text, so
+the knowledge-extraction step DRAMDig performs on a real machine is real,
+tested code here rather than an assumed input.
+"""
+
+from __future__ import annotations
+
+import re
+from dataclasses import dataclass
+
+from repro.dram.geometry import DramGeometry
+from repro.dram.spec import DdrGeneration
+
+__all__ = [
+    "SystemInfo",
+    "render_dmidecode",
+    "parse_dmidecode",
+    "render_decode_dimms",
+    "parse_decode_dimms",
+    "gather_system_info",
+]
+
+
+@dataclass(frozen=True)
+class SystemInfo:
+    """The facts DRAMDig extracts from dmidecode / decode-dimms.
+
+    Attributes:
+        generation: DDR3 or DDR4 (from the DIMM "Type" field).
+        total_bytes: installed memory (sum of DIMM sizes).
+        channels: populated channels (from locator strings).
+        dimms_per_channel: DIMMs per channel.
+        ranks_per_dimm: ranks ("Rank" attribute of decode-dimms).
+        banks_per_rank: banks (from the SPD bank-bits field).
+        ecc: whether the DIMMs are ECC parts.
+    """
+
+    generation: DdrGeneration
+    total_bytes: int
+    channels: int
+    dimms_per_channel: int
+    ranks_per_dimm: int
+    banks_per_rank: int
+    ecc: bool = False
+
+    @property
+    def total_banks(self) -> int:
+        """Total banks across the machine — the ``#bank`` of Algorithm 2."""
+        return self.channels * self.dimms_per_channel * self.ranks_per_dimm * self.banks_per_rank
+
+    @classmethod
+    def from_geometry(cls, geometry: DramGeometry) -> "SystemInfo":
+        """The info a correctly-parsed dmidecode would yield for a machine."""
+        return cls(
+            generation=geometry.generation,
+            total_bytes=geometry.total_bytes,
+            channels=geometry.channels,
+            dimms_per_channel=geometry.dimms_per_channel,
+            ranks_per_dimm=geometry.ranks_per_dimm,
+            banks_per_rank=geometry.banks_per_rank,
+            ecc=geometry.ecc,
+        )
+
+
+_DMIDECODE_TEMPLATE = """\
+# dmidecode 3.2 (simulated)
+Getting SMBIOS data from sysfs.
+
+Handle 0x003{index}, DMI type 17, 40 bytes
+Memory Device
+\tSize: {size_mib} MB
+\tForm Factor: DIMM
+\tLocator: ChannelA-DIMM{channel}-{slot}
+\tType: {ddr_type}
+\tType Detail: Synchronous
+\tSpeed: {speed} MT/s
+\tRank: {ranks}
+\tBank Bits: {bank_bits}
+\tError Correction Type: {ecc_type}
+"""
+
+
+def render_dmidecode(geometry: DramGeometry, speed_mts: int = 2400) -> str:
+    """Render dmidecode-style "Memory Device" records for a geometry."""
+    dimm_count = geometry.channels * geometry.dimms_per_channel
+    dimm_bytes = geometry.total_bytes // dimm_count
+    records = []
+    index = 0
+    for channel in range(geometry.channels):
+        for slot in range(geometry.dimms_per_channel):
+            records.append(
+                _DMIDECODE_TEMPLATE.format(
+                    index=index,
+                    size_mib=dimm_bytes // 2**20,
+                    channel=channel,
+                    slot=slot,
+                    ddr_type=str(geometry.generation),
+                    speed=speed_mts,
+                    ranks=geometry.ranks_per_dimm,
+                    bank_bits=geometry.banks_per_rank.bit_length() - 1,
+                    ecc_type="Single-bit ECC" if geometry.ecc else "None",
+                )
+            )
+            index += 1
+    return "\n".join(records)
+
+
+def parse_dmidecode(text: str) -> SystemInfo:
+    """Parse simulated dmidecode output back into :class:`SystemInfo`.
+
+    Raises:
+        ValueError: when no memory devices are found or records disagree.
+    """
+    devices = re.findall(
+        r"Memory Device\n(.*?)(?=\n\n|\nHandle|\Z)", text, flags=re.DOTALL
+    )
+    parsed = []
+    for body in devices:
+        fields = dict(
+            re.findall(r"^\t([A-Za-z ]+): (.+)$", body, flags=re.MULTILINE)
+        )
+        if fields.get("Size", "No Module Installed") == "No Module Installed":
+            continue
+        parsed.append(fields)
+    if not parsed:
+        raise ValueError("no populated memory devices in dmidecode output")
+
+    sizes = {int(f["Size"].split()[0]) for f in parsed}
+    types = {f["Type"] for f in parsed}
+    ranks = {int(f["Rank"]) for f in parsed}
+    bank_bits = {int(f["Bank Bits"]) for f in parsed}
+    eccs = {f["Error Correction Type"] != "None" for f in parsed}
+    for name, values in [
+        ("Size", sizes),
+        ("Type", types),
+        ("Rank", ranks),
+        ("Bank Bits", bank_bits),
+        ("ECC", eccs),
+    ]:
+        if len(values) != 1:
+            raise ValueError(f"DIMMs disagree on {name}: {sorted(map(str, values))}")
+
+    channels = {f["Locator"].split("-")[1] for f in parsed}
+    slots = {f["Locator"].split("-")[2] for f in parsed}
+    generation = DdrGeneration(types.pop())
+    return SystemInfo(
+        generation=generation,
+        total_bytes=sizes.pop() * 2**20 * len(parsed),
+        channels=len(channels),
+        dimms_per_channel=len(slots),
+        ranks_per_dimm=ranks.pop(),
+        banks_per_rank=1 << bank_bits.pop(),
+        ecc=eccs.pop(),
+    )
+
+
+_DECODE_DIMMS_TEMPLATE = """\
+Decoding EEPROM: /sys/bus/i2c/drivers/eeprom/0-00{slot:02x}
+Guessing DIMM is in                              bank {index}
+---=== SPD EEPROM Information ===---
+Fundamental Memory type                          {ddr_type} SDRAM
+---=== Memory Characteristics ===---
+Size                                             {size_mib} MB
+Banks x Rows x Columns x Bits                    {banks} x {row_bits} x 10 x 64
+Ranks                                            {ranks}
+Module Configuration Type                        {ecc_type}
+"""
+
+
+def render_decode_dimms(geometry: DramGeometry) -> str:
+    """Render decode-dimms-style SPD output for every DIMM."""
+    dimm_count = geometry.channels * geometry.dimms_per_channel
+    dimm_bytes = geometry.total_bytes // dimm_count
+    rank_bytes = dimm_bytes // geometry.ranks_per_dimm
+    rows_per_bank = rank_bytes // (geometry.banks_per_rank * geometry.row_bytes)
+    records = []
+    for index in range(dimm_count):
+        records.append(
+            _DECODE_DIMMS_TEMPLATE.format(
+                slot=0x50 + index,
+                index=index,
+                ddr_type=str(geometry.generation),
+                size_mib=dimm_bytes // 2**20,
+                banks=geometry.banks_per_rank,
+                row_bits=rows_per_bank.bit_length() - 1,
+                ranks=geometry.ranks_per_dimm,
+                ecc_type="ECC" if geometry.ecc else "No Parity",
+            )
+        )
+    return "\n".join(records)
+
+
+def parse_decode_dimms(text: str) -> dict:
+    """Parse decode-dimms output into the facts it can provide.
+
+    decode-dimms reads the DIMMs' SPD EEPROMs, so it knows per-DIMM size,
+    type, banks and ranks — but *not* the channel topology (that is the
+    memory controller's business, visible only through dmidecode
+    locators). Returns a dict with ``generation``, ``dimm_count``,
+    ``dimm_bytes``, ``banks_per_rank``, ``ranks_per_dimm``, ``ecc``.
+    """
+    blocks = re.findall(
+        r"Decoding EEPROM.*?(?=\nDecoding EEPROM|\Z)", text, flags=re.DOTALL
+    )
+    if not blocks:
+        raise ValueError("no SPD records in decode-dimms output")
+    types, sizes, banks, ranks, eccs = set(), set(), set(), set(), set()
+    for block in blocks:
+        type_match = re.search(r"Fundamental Memory type\s+(\S+) SDRAM", block)
+        size_match = re.search(r"^Size\s+(\d+) MB", block, flags=re.MULTILINE)
+        organisation = re.search(
+            r"Banks x Rows x Columns x Bits\s+(\d+) x", block
+        )
+        rank_match = re.search(r"^Ranks\s+(\d+)", block, flags=re.MULTILINE)
+        ecc_match = re.search(r"Module Configuration Type\s+(.+)$", block, flags=re.MULTILINE)
+        if not all((type_match, size_match, organisation, rank_match, ecc_match)):
+            raise ValueError("malformed SPD record")
+        types.add(type_match.group(1))
+        sizes.add(int(size_match.group(1)))
+        banks.add(int(organisation.group(1)))
+        ranks.add(int(rank_match.group(1)))
+        eccs.add("ECC" in ecc_match.group(1))
+    for name, values in [("type", types), ("size", sizes), ("banks", banks),
+                         ("ranks", ranks), ("ECC", eccs)]:
+        if len(values) != 1:
+            raise ValueError(f"DIMMs disagree on {name}")
+    return {
+        "generation": DdrGeneration(types.pop()),
+        "dimm_count": len(blocks),
+        "dimm_bytes": sizes.pop() * 2**20,
+        "banks_per_rank": banks.pop(),
+        "ranks_per_dimm": ranks.pop(),
+        "ecc": eccs.pop(),
+    }
+
+
+def gather_system_info(dmidecode_text: str, decode_dimms_text: str) -> SystemInfo:
+    """Combine and cross-validate both commands' output, as DRAMDig does.
+
+    dmidecode supplies the channel topology; decode-dimms supplies the
+    SPD ground truth for sizes, banks and ranks. Disagreement between the
+    two means a parsing or hardware-reporting problem and is a hard error.
+    """
+    info = parse_dmidecode(dmidecode_text)
+    spd = parse_decode_dimms(decode_dimms_text)
+    expected_dimms = info.channels * info.dimms_per_channel
+    mismatches = []
+    if spd["generation"] != info.generation:
+        mismatches.append("memory type")
+    if spd["dimm_count"] != expected_dimms:
+        mismatches.append("DIMM count")
+    if spd["dimm_bytes"] * spd["dimm_count"] != info.total_bytes:
+        mismatches.append("total size")
+    if spd["banks_per_rank"] != info.banks_per_rank:
+        mismatches.append("bank count")
+    if spd["ranks_per_dimm"] != info.ranks_per_dimm:
+        mismatches.append("rank count")
+    if spd["ecc"] != info.ecc:
+        mismatches.append("ECC")
+    if mismatches:
+        raise ValueError(
+            f"dmidecode and decode-dimms disagree on: {', '.join(mismatches)}"
+        )
+    return info

@@ -1,0 +1,38 @@
+"""Memory-controller simulator: timing model, row-buffer state, refresh."""
+
+from repro.memctrl.controller import AccessRecord, MemoryController
+from repro.memctrl.refresh import RefreshModel
+from repro.memctrl.scheduler import (
+    CommandEvent,
+    CommandScheduler,
+    DramCommand,
+    RequestResult,
+)
+from repro.memctrl.timing import AccessClass, LatencyModel, NoiseParams
+from repro.memctrl.trace import (
+    TraceStats,
+    matrix_column_trace,
+    random_trace,
+    run_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+__all__ = [
+    "AccessRecord",
+    "MemoryController",
+    "RefreshModel",
+    "AccessClass",
+    "LatencyModel",
+    "CommandEvent",
+    "CommandScheduler",
+    "DramCommand",
+    "RequestResult",
+    "NoiseParams",
+    "TraceStats",
+    "matrix_column_trace",
+    "random_trace",
+    "run_trace",
+    "sequential_trace",
+    "strided_trace",
+]

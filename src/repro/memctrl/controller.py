@@ -1,0 +1,107 @@
+"""Memory-controller simulator: address decode plus row-buffer state.
+
+Two levels of fidelity, both driven by the same ground-truth
+:class:`~repro.dram.mapping.AddressMapping`:
+
+* :class:`MemoryController` — a stateful open-page controller. Every
+  ``access`` decodes the address, consults the per-bank open row, returns
+  the access class, and updates the row buffer. Used by unit tests and the
+  rowhammer simulator, where activation *counts* matter.
+* :meth:`MemoryController.classify_pair` /
+  :meth:`MemoryController.classify_pairs` — the closed form for the
+  alternating-access measurement loop every tool runs: accessing addresses
+  (a, b, a, b, ...) with cache flushes converges after the first iteration
+  to ROW_CONFLICT when a and b are same-bank-different-row, ROW_HIT when
+  they share a row, and DIFFERENT_BANK otherwise. The property test in
+  ``tests/memctrl/test_controller.py`` proves the closed form agrees with
+  stepping the state machine.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.mapping import AddressMapping
+from repro.memctrl.timing import AccessClass
+
+__all__ = ["MemoryController", "AccessRecord"]
+
+
+@dataclass(frozen=True)
+class AccessRecord:
+    """Result of one simulated access."""
+
+    phys_addr: int
+    bank: int
+    row: int
+    access_class: AccessClass
+
+
+@dataclass
+class MemoryController:
+    """Open-page memory controller over a ground-truth mapping.
+
+    Attributes:
+        mapping: the machine's (hidden) address mapping.
+        open_rows: per-bank open row; absent key = bank precharged.
+        activation_counts: per-(bank, row) activation counter since the last
+            reset — consumed by the rowhammer fault model.
+    """
+
+    mapping: AddressMapping
+    open_rows: dict[int, int] = field(default_factory=dict)
+    activation_counts: dict[tuple[int, int], int] = field(default_factory=dict)
+
+    # --------------------------------------------------------- state machine
+
+    def access(self, phys_addr: int) -> AccessRecord:
+        """Perform one (uncached) access; update row-buffer state."""
+        bank = self.mapping.bank_of(phys_addr)
+        row = self.mapping.row_of(phys_addr)
+        open_row = self.open_rows.get(bank)
+        if open_row is None:
+            access_class = AccessClass.ROW_CLOSED
+        elif open_row == row:
+            access_class = AccessClass.ROW_HIT
+        else:
+            access_class = AccessClass.ROW_CONFLICT
+        if open_row != row:
+            self.open_rows[bank] = row
+            key = (bank, row)
+            self.activation_counts[key] = self.activation_counts.get(key, 0) + 1
+        return AccessRecord(phys_addr=phys_addr, bank=bank, row=row, access_class=access_class)
+
+    def precharge_all(self) -> None:
+        """Close every row buffer (e.g. after a refresh sweep)."""
+        self.open_rows.clear()
+
+    def reset_activations(self) -> None:
+        """Zero the activation counters (a refresh restores cell charge)."""
+        self.activation_counts.clear()
+
+    # ---------------------------------------------------------- closed forms
+
+    def classify_pair(self, addr_a: int, addr_b: int) -> AccessClass:
+        """Steady-state access class of an alternating (a, b) timing loop."""
+        bank_a = self.mapping.bank_of(addr_a)
+        bank_b = self.mapping.bank_of(addr_b)
+        if bank_a != bank_b:
+            return AccessClass.DIFFERENT_BANK
+        if self.mapping.row_of(addr_a) == self.mapping.row_of(addr_b):
+            return AccessClass.ROW_HIT
+        return AccessClass.ROW_CONFLICT
+
+    def classify_pairs(self, base: int, others: np.ndarray) -> np.ndarray:
+        """Vectorized :meth:`classify_pair` against one base address.
+
+        Returns a boolean array: True where (base, other) is a row conflict
+        (the only class the timing channel distinguishes as "slow").
+        """
+        others = np.asarray(others, dtype=np.uint64)
+        base_bank = self.mapping.bank_of(base)
+        base_row = self.mapping.row_of(base)
+        same_bank = self.mapping.bank_of_array(others) == base_bank
+        diff_row = self.mapping.row_of_array(others) != base_row
+        return same_bank & diff_row

@@ -1,0 +1,69 @@
+"""Refresh scheduling model.
+
+DRAM cells leak; the controller issues a refresh command every tREFI on
+average and the target rank stalls for tRFC. For a userspace timing loop
+this shows up in two ways the tools must tolerate:
+
+* a small fraction of measurements are *contaminated* (the loop straddles a
+  refresh and reads a latency spike) — folded into the outlier term of the
+  noise model;
+* rows genuinely lose their charge-disturb damage at each refresh, which is
+  why rowhammer must complete within one refresh interval (64 ms window in
+  the rowhammer fault model).
+
+This module computes the contamination probability from first principles so
+the simulator's outlier rate is physically grounded rather than arbitrary.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dram.spec import DdrTimings
+
+__all__ = ["RefreshModel"]
+
+
+@dataclass(frozen=True)
+class RefreshModel:
+    """Refresh behaviour of one rank.
+
+    Attributes:
+        timings: DRAM timings (tREFI / tRFC are used).
+        retention_window_ms: time between two refreshes of the *same* row —
+            the window a rowhammer attack must fit into (64 ms standard).
+    """
+
+    timings: DdrTimings
+    retention_window_ms: float = 64.0
+
+    def __post_init__(self) -> None:
+        if self.retention_window_ms <= 0:
+            raise ValueError("retention_window_ms must be positive")
+
+    @property
+    def duty_cycle(self) -> float:
+        """Fraction of time the rank is stalled refreshing (tRFC / tREFI)."""
+        return self.timings.trfc / self.timings.trefi
+
+    def contamination_probability(self, window_ns: float) -> float:
+        """Probability a measurement window of ``window_ns`` overlaps a
+        refresh stall.
+
+        A window overlaps if a refresh starts within ``window_ns + trfc``
+        before its end; refreshes arrive every ``trefi``.
+        """
+        if window_ns < 0:
+            raise ValueError("window_ns must be non-negative")
+        probability = (window_ns + self.timings.trfc) / self.timings.trefi
+        return min(probability, 1.0)
+
+    def activations_possible(self, access_ns: float) -> int:
+        """How many aggressor-row activations fit into one retention window
+        at ``access_ns`` per activation — the hammer count available to a
+        rowhammer attacker before the victim row is refreshed."""
+        if access_ns <= 0:
+            raise ValueError("access_ns must be positive")
+        window_ns = self.retention_window_ms * 1e6
+        usable = window_ns * (1.0 - self.duty_cycle)
+        return int(usable / access_ns)

@@ -1,0 +1,179 @@
+"""Command-level DRAM model: ACT/RD/PRE scheduling under JEDEC constraints.
+
+The rest of the library models an access's latency with the closed-form
+row-hit / row-closed / row-conflict classes. This module derives those
+numbers from first principles: a FR-FCFS (first-ready, first-come
+first-served) scheduler issuing actual DRAM commands against per-bank
+state machines that enforce the JEDEC timing constraints —
+
+=====  ==========================================  ==================
+tRCD   ACT -> first column command, same bank      activate-to-read
+tRP    PRE -> ACT, same bank                       precharge time
+tRAS   ACT -> PRE, same bank                       minimum row open
+tRC    ACT -> ACT, same bank (tRAS + tRP)          row cycle
+tCCD   column command -> column command, any bank  data-bus burst gap
+tFAW   any 4 ACTs within a rolling window, rank    activation power cap
+=====  ==========================================  ==================
+
+The test-suite cross-validates the two fidelity levels: an alternating
+conflict pair scheduled here converges to per-access latencies matching
+``LatencyModel.ideal_ns(ROW_CONFLICT)`` (minus the constant core-side
+overhead), and tFAW bounds the activation rate a rowhammer attacker can
+actually sustain.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from repro.dram.mapping import AddressMapping
+from repro.dram.spec import DdrTimings, default_timings
+
+__all__ = ["DramCommand", "CommandEvent", "RequestResult", "CommandScheduler"]
+
+# Data-bus constraints not in DdrTimings (burst length 8 at 2x data rate).
+TCCD_NS = 5.0
+TFAW_NS = 30.0
+TFAW_ACTIVATIONS = 4
+
+
+class DramCommand(enum.Enum):
+    """The command set the scheduler issues."""
+
+    ACT = "ACT"
+    RD = "RD"
+    PRE = "PRE"
+
+
+@dataclass(frozen=True)
+class CommandEvent:
+    """One issued command, for trace inspection."""
+
+    time_ns: float
+    command: DramCommand
+    bank: int
+    row: int
+
+
+@dataclass(frozen=True)
+class RequestResult:
+    """Per-request outcome.
+
+    Attributes:
+        phys_addr: the request's address.
+        arrival_ns: when it entered the queue.
+        data_ns: when its data burst completed.
+    """
+
+    phys_addr: int
+    arrival_ns: float
+    data_ns: float
+
+    @property
+    def latency_ns(self) -> float:
+        return self.data_ns - self.arrival_ns
+
+
+@dataclass
+class _BankState:
+    open_row: int | None = None
+    last_act_ns: float = -1e18
+    last_pre_ns: float = -1e18
+    ready_for_column_ns: float = -1e18
+
+
+class CommandScheduler:
+    """FR-FCFS read scheduling for one channel.
+
+    Requests are processed in order with full timing enforcement; "first
+    ready" shows up as row hits completing with only tCCD gaps while
+    conflicts pay the PRE + ACT + CAS pipeline.
+    """
+
+    def __init__(self, mapping: AddressMapping, timings: DdrTimings | None = None):
+        self.mapping = mapping
+        self.timings = (
+            timings
+            if timings is not None
+            else default_timings(mapping.geometry.generation)
+        )
+        self._banks: dict[int, _BankState] = {}
+        self._bus_free_ns = 0.0
+        self._act_times: list[float] = []  # rolling tFAW window (per rank ~ channel)
+        self.events: list[CommandEvent] = []
+        self.now_ns = 0.0
+
+    # ------------------------------------------------------------- scheduling
+
+    def schedule(self, requests: list[tuple[int, float]]) -> list[RequestResult]:
+        """Schedule ``(phys_addr, arrival_ns)`` reads; returns per-request
+        results in completion order of the input sequence."""
+        results = []
+        for phys_addr, arrival_ns in requests:
+            results.append(self._schedule_one(phys_addr, arrival_ns))
+        return results
+
+    def access(self, phys_addr: int) -> RequestResult:
+        """Back-to-back access (arrives the moment the scheduler is free)."""
+        return self._schedule_one(phys_addr, self.now_ns)
+
+    def _schedule_one(self, phys_addr: int, arrival_ns: float) -> RequestResult:
+        timings = self.timings
+        bank_index = self.mapping.bank_of(phys_addr)
+        row = self.mapping.row_of(phys_addr)
+        bank = self._banks.setdefault(bank_index, _BankState())
+        clock = max(arrival_ns, self.now_ns)
+
+        if bank.open_row is not None and bank.open_row != row:
+            # Conflict: precharge first (respecting tRAS since the ACT).
+            pre_time = max(clock, bank.last_act_ns + timings.tras)
+            self._emit(pre_time, DramCommand.PRE, bank_index, bank.open_row)
+            bank.last_pre_ns = pre_time
+            bank.open_row = None
+            clock = pre_time
+
+        if bank.open_row is None:
+            act_time = max(
+                clock,
+                bank.last_pre_ns + timings.trp,
+                bank.last_act_ns + timings.tras + timings.trp,  # tRC
+                self._tfaw_gate(),
+            )
+            self._emit(act_time, DramCommand.ACT, bank_index, row)
+            bank.last_act_ns = act_time
+            bank.open_row = row
+            bank.ready_for_column_ns = act_time + timings.trcd
+            self._act_times.append(act_time)
+            if len(self._act_times) > TFAW_ACTIVATIONS:
+                self._act_times = self._act_times[-TFAW_ACTIVATIONS:]
+            clock = act_time
+
+        read_time = max(clock, bank.ready_for_column_ns, self._bus_free_ns)
+        self._emit(read_time, DramCommand.RD, bank_index, row)
+        data_ns = read_time + timings.tcas
+        self._bus_free_ns = read_time + TCCD_NS
+        self.now_ns = read_time
+        return RequestResult(phys_addr=phys_addr, arrival_ns=arrival_ns, data_ns=data_ns)
+
+    # -------------------------------------------------------------- internals
+
+    def _tfaw_gate(self) -> float:
+        """Earliest time a new ACT may issue under the four-activation
+        window."""
+        if len(self._act_times) < TFAW_ACTIVATIONS:
+            return 0.0
+        return self._act_times[-TFAW_ACTIVATIONS] + TFAW_NS
+
+    def _emit(self, time_ns: float, command: DramCommand, bank: int, row: int) -> None:
+        self.events.append(
+            CommandEvent(time_ns=time_ns, command=command, bank=bank, row=row)
+        )
+
+    # ------------------------------------------------------------- analytics
+
+    def max_activation_rate_per_pair(self) -> float:
+        """Sustainable alternating-pair activations per second, bounded by
+        tRC on each bank (the physical cap on rowhammer intensity)."""
+        trc = self.timings.tras + self.timings.trp
+        return 2.0 / (trc * 1e-9) / 2.0  # two banks alternating, each tRC-bound

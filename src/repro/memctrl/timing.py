@@ -1,0 +1,153 @@
+"""End-to-end access-latency model.
+
+What a userspace timing loop measures is not the bare DRAM command latency:
+it includes the constant pipeline/interconnect/controller overhead of an
+uncached load, Gaussian measurement jitter, and occasional large spikes
+when the measurement window collides with a refresh (tRFC stall) or a
+scheduler interrupt. The reverse-engineering tools must survive all of
+that, so the model keeps each term explicit and configurable.
+
+Latency classes (paper Section III-B):
+
+* ``ROW_HIT``      — same bank, row already open: fastest.
+* ``ROW_CLOSED``   — bank precharged, no conflict: activate + CAS.
+* ``ROW_CONFLICT`` — same bank, different open row: precharge + activate +
+  CAS. This is the slow class the timing channel detects.
+* ``DIFFERENT_BANK`` — alternating pairs in two banks leave both row
+  buffers open, so each access is a row hit.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.spec import DdrGeneration, DdrTimings, default_timings
+
+__all__ = ["AccessClass", "LatencyModel", "NoiseParams"]
+
+
+class AccessClass(enum.Enum):
+    """Which row-buffer case an access falls into."""
+
+    ROW_HIT = "row_hit"
+    ROW_CLOSED = "row_closed"
+    ROW_CONFLICT = "row_conflict"
+    DIFFERENT_BANK = "different_bank"
+
+
+@dataclass(frozen=True)
+class NoiseParams:
+    """Measurement-noise configuration.
+
+    Attributes:
+        jitter_sigma_ns: standard deviation of per-measurement Gaussian
+            jitter (bus arbitration, rank scheduling, TLB effects).
+        outlier_probability: chance that one latency summary is contaminated
+            by a refresh/interrupt spike.
+        outlier_extra_ns: size of such a spike.
+        seed_stream: offset mixed into noise RNG streams so distinct
+            machines decorrelate.
+    """
+
+    jitter_sigma_ns: float = 2.5
+    outlier_probability: float = 0.02
+    outlier_extra_ns: float = 60.0
+    seed_stream: int = 0
+
+    def __post_init__(self) -> None:
+        if self.jitter_sigma_ns < 0:
+            raise ValueError("jitter_sigma_ns must be non-negative")
+        if not 0.0 <= self.outlier_probability <= 1.0:
+            raise ValueError("outlier_probability must be a probability")
+        if self.outlier_extra_ns < 0:
+            raise ValueError("outlier_extra_ns must be non-negative")
+
+    @classmethod
+    def noiseless(cls) -> "NoiseParams":
+        """Noise-free configuration for deterministic unit tests."""
+        return cls(jitter_sigma_ns=0.0, outlier_probability=0.0, outlier_extra_ns=0.0)
+
+
+@dataclass(frozen=True)
+class LatencyModel:
+    """Translate access classes into measured nanoseconds.
+
+    Attributes:
+        timings: DRAM command timings.
+        base_overhead_ns: constant uncached-load overhead (core pipeline,
+            L3 miss path, memory-controller queue) added to every access.
+        noise: measurement-noise parameters.
+    """
+
+    timings: DdrTimings
+    base_overhead_ns: float = 62.0
+    noise: NoiseParams = NoiseParams()
+
+    @classmethod
+    def for_generation(
+        cls, generation: DdrGeneration, noise: NoiseParams | None = None
+    ) -> "LatencyModel":
+        """Model with the default JEDEC speed bin of ``generation``."""
+        return cls(
+            timings=default_timings(generation),
+            noise=noise if noise is not None else NoiseParams(),
+        )
+
+    # ------------------------------------------------------------ ideal form
+
+    def ideal_ns(self, access_class: AccessClass) -> float:
+        """Noise-free latency of one access of the given class."""
+        timings = self.timings
+        if access_class is AccessClass.ROW_HIT:
+            dram = timings.row_hit_ns
+        elif access_class is AccessClass.ROW_CLOSED:
+            dram = timings.row_closed_ns
+        elif access_class is AccessClass.ROW_CONFLICT:
+            dram = timings.row_conflict_ns
+        else:  # DIFFERENT_BANK behaves as a row hit once both rows are open
+            dram = timings.row_hit_ns
+        return self.base_overhead_ns + dram
+
+    @property
+    def conflict_gap_ns(self) -> float:
+        """Ideal fast/slow gap a perfect probe would observe."""
+        return self.ideal_ns(AccessClass.ROW_CONFLICT) - self.ideal_ns(
+            AccessClass.DIFFERENT_BANK
+        )
+
+    # ------------------------------------------------------------ noisy form
+
+    def sample_ns(self, access_class: AccessClass, rng: np.random.Generator) -> float:
+        """One noisy latency sample."""
+        latency = self.ideal_ns(access_class)
+        if self.noise.jitter_sigma_ns:
+            latency += rng.normal(0.0, self.noise.jitter_sigma_ns)
+        if self.noise.outlier_probability and rng.random() < self.noise.outlier_probability:
+            latency += self.noise.outlier_extra_ns * rng.random()
+        return max(latency, 1.0)
+
+    def sample_batch_ns(
+        self, conflict_flags: np.ndarray, rng: np.random.Generator
+    ) -> np.ndarray:
+        """Vectorized sampling: one latency summary per pair.
+
+        ``conflict_flags`` is a boolean array (True = the pair is
+        same-bank-different-row). Each element models the *median of a
+        measurement loop*, so the Gaussian jitter here is the jitter of the
+        median — smaller than per-access jitter — while outliers model whole
+        measurements ruined by refresh collisions or preemption, which can
+        flip a fast pair into the slow band and vice versa.
+        """
+        flags = np.asarray(conflict_flags, dtype=bool)
+        fast = self.ideal_ns(AccessClass.DIFFERENT_BANK)
+        slow = self.ideal_ns(AccessClass.ROW_CONFLICT)
+        latencies = np.where(flags, slow, fast).astype(np.float64)
+        if self.noise.jitter_sigma_ns:
+            latencies += rng.normal(0.0, self.noise.jitter_sigma_ns, size=flags.shape)
+        if self.noise.outlier_probability:
+            hit = rng.random(size=flags.shape) < self.noise.outlier_probability
+            latencies += hit * self.noise.outlier_extra_ns * rng.random(size=flags.shape)
+        return np.maximum(latencies, 1.0)

@@ -1,0 +1,163 @@
+"""Trace-driven row-buffer analysis: why bank hashes exist at all.
+
+The paper reverse-engineers Intel's XOR bank functions; this module shows
+what those functions are *for*. Run an access trace through the
+memory-controller state machine and measure row-buffer behaviour — then
+compare a hashed mapping against a naive (linear bank bits) one on the
+same trace. Strided workloads that hammer a single bank under the naive
+mapping spread across banks under the XOR hash, and the hit/conflict
+statistics quantify it.
+
+Used by ``examples/why_xor_hashing.py`` and the workload bench.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dram.mapping import AddressMapping
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.timing import AccessClass, LatencyModel
+
+__all__ = [
+    "TraceStats",
+    "run_trace",
+    "sequential_trace",
+    "strided_trace",
+    "random_trace",
+    "matrix_column_trace",
+]
+
+
+@dataclass
+class TraceStats:
+    """Row-buffer statistics of one trace replay.
+
+    Attributes:
+        accesses: trace length.
+        hits: row-buffer hits.
+        closed: accesses to precharged banks.
+        conflicts: row-buffer conflicts (the expensive case).
+        bank_touches: per-bank access counts.
+        total_ns: ideal (noise-free) DRAM time, fully serialised.
+        bank_busy_ns: per-bank DRAM busy time.
+    """
+
+    accesses: int = 0
+    hits: int = 0
+    closed: int = 0
+    conflicts: int = 0
+    bank_touches: dict[int, int] = field(default_factory=dict)
+    total_ns: float = 0.0
+    bank_busy_ns: dict[int, float] = field(default_factory=dict)
+
+    @property
+    def hit_rate(self) -> float:
+        return self.hits / self.accesses if self.accesses else 0.0
+
+    @property
+    def conflict_rate(self) -> float:
+        return self.conflicts / self.accesses if self.accesses else 0.0
+
+    @property
+    def banks_used(self) -> int:
+        return len(self.bank_touches)
+
+    @property
+    def bank_imbalance(self) -> float:
+        """Max share of accesses landing in one bank (1.0 = fully serial)."""
+        if not self.bank_touches or not self.accesses:
+            return 0.0
+        return max(self.bank_touches.values()) / self.accesses
+
+    @property
+    def parallel_ns(self) -> float:
+        """DRAM time with perfect bank-level parallelism: the busiest
+        bank's service time bounds the trace. The gap between this and
+        ``total_ns`` is what XOR bank hashing buys on strided workloads."""
+        if not self.bank_busy_ns:
+            return 0.0
+        return max(self.bank_busy_ns.values())
+
+    @property
+    def speedup_from_banking(self) -> float:
+        """``total_ns / parallel_ns`` — effective bank parallelism."""
+        parallel = self.parallel_ns
+        return self.total_ns / parallel if parallel else 1.0
+
+
+def run_trace(
+    mapping: AddressMapping,
+    addresses: np.ndarray,
+    latency_model: LatencyModel | None = None,
+) -> TraceStats:
+    """Replay ``addresses`` through an open-page controller on ``mapping``."""
+    model = (
+        latency_model
+        if latency_model is not None
+        else LatencyModel.for_generation(mapping.geometry.generation)
+    )
+    controller = MemoryController(mapping=mapping)
+    stats = TraceStats()
+    for address in addresses:
+        record = controller.access(int(address))
+        stats.accesses += 1
+        if record.access_class is AccessClass.ROW_HIT:
+            stats.hits += 1
+        elif record.access_class is AccessClass.ROW_CLOSED:
+            stats.closed += 1
+        else:
+            stats.conflicts += 1
+        stats.bank_touches[record.bank] = stats.bank_touches.get(record.bank, 0) + 1
+        access_ns = model.ideal_ns(record.access_class)
+        stats.total_ns += access_ns
+        stats.bank_busy_ns[record.bank] = (
+            stats.bank_busy_ns.get(record.bank, 0.0) + access_ns
+        )
+    return stats
+
+
+# ------------------------------------------------------------------ traces
+
+
+def sequential_trace(start: int, count: int, step: int = 64) -> np.ndarray:
+    """A streaming read: consecutive cache lines."""
+    if count <= 0 or step <= 0:
+        raise ValueError("count and step must be positive")
+    return (start + step * np.arange(count, dtype=np.uint64)).astype(np.uint64)
+
+
+def strided_trace(start: int, count: int, stride: int) -> np.ndarray:
+    """A fixed-stride sweep — the classic hash-or-suffer workload."""
+    if count <= 0 or stride <= 0:
+        raise ValueError("count and stride must be positive")
+    return (start + stride * np.arange(count, dtype=np.uint64)).astype(np.uint64)
+
+
+def random_trace(
+    total_bytes: int, count: int, rng: np.random.Generator
+) -> np.ndarray:
+    """Uniform random cache lines over the whole memory."""
+    if count <= 0:
+        raise ValueError("count must be positive")
+    lines = rng.integers(0, total_bytes >> 6, size=count, dtype=np.uint64)
+    return lines << np.uint64(6)
+
+
+def matrix_column_trace(
+    base: int, rows: int, row_stride_bytes: int, columns: int
+) -> np.ndarray:
+    """Column-major traversal of a row-major matrix: ``columns`` passes of
+    ``rows`` accesses each, one ``row_stride_bytes`` apart — the workload
+    that murders naive bank layouts."""
+    if rows <= 0 or columns <= 0 or row_stride_bytes <= 0:
+        raise ValueError("dimensions must be positive")
+    trace = []
+    for column in range(columns):
+        offset = base + column * 64
+        trace.extend(
+            offset + row * row_stride_bytes for row in range(rows)
+        )
+    return np.array(trace, dtype=np.uint64)

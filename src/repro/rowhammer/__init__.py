@@ -1,0 +1,39 @@
+"""Rowhammer substrate: fault model, double-sided attack driver, assessment."""
+
+from repro.rowhammer.assess import AssessmentReport, assess_vulnerability
+from repro.rowhammer.faultmodel import (
+    DOUBLE_SIDED_THRESHOLD,
+    SINGLE_SIDED_THRESHOLD,
+    HammerOutcome,
+    RowhammerFaultModel,
+)
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig, HammerReport
+from repro.rowhammer.mitigations import MitigatedFlips, MitigationStack, TrrModel
+from repro.rowhammer.remapping import (
+    ROW_REMAPS,
+    adjacency_agreement,
+    inverse_remap_row,
+    remap_row,
+)
+from repro.rowhammer.variants import one_location_test, single_sided_test
+
+__all__ = [
+    "AssessmentReport",
+    "assess_vulnerability",
+    "DOUBLE_SIDED_THRESHOLD",
+    "SINGLE_SIDED_THRESHOLD",
+    "HammerOutcome",
+    "RowhammerFaultModel",
+    "DoubleSidedAttack",
+    "HammerConfig",
+    "HammerReport",
+    "MitigatedFlips",
+    "MitigationStack",
+    "TrrModel",
+    "ROW_REMAPS",
+    "adjacency_agreement",
+    "inverse_remap_row",
+    "remap_row",
+    "one_location_test",
+    "single_sided_test",
+]

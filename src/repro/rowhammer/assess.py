@@ -1,0 +1,93 @@
+"""Vulnerability assessment: the paper's stated end-use of DRAMDig.
+
+"DRAMDig enables users to test how vulnerable their computers are to the
+rowhammer problem" — this module packages that workflow: reverse-engineer
+the mapping with a chosen tool, run a series of timed double-sided tests,
+and produce a report with flip counts, aim accuracy and a qualitative
+verdict.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.dram.belief import BeliefMapping
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig, HammerReport
+
+__all__ = ["AssessmentReport", "assess_vulnerability"]
+
+
+@dataclass
+class AssessmentReport:
+    """Multi-test vulnerability summary.
+
+    Attributes:
+        tests: individual timed-test reports.
+        total_flips: flips across all tests.
+        verdict: qualitative classification.
+    """
+
+    tests: list[HammerReport] = field(default_factory=list)
+
+    @property
+    def total_flips(self) -> int:
+        return sum(test.flips for test in self.tests)
+
+    @property
+    def verdict(self) -> str:
+        """Qualitative classification by flips per 5-minute-equivalent."""
+        if not self.tests:
+            return "untested"
+        minutes = sum(test.duration_seconds for test in self.tests) / 60.0
+        if minutes <= 0:
+            return "untested"
+        rate = self.total_flips / minutes * 5.0
+        if rate == 0:
+            return "no flips observed"
+        if rate < 20:
+            return "weakly vulnerable"
+        if rate < 300:
+            return "vulnerable"
+        return "highly vulnerable"
+
+    def summary(self) -> str:
+        """One-paragraph human-readable report."""
+        per_test = ", ".join(str(test.flips) for test in self.tests)
+        accuracy = (
+            sum(test.aim_accuracy for test in self.tests) / len(self.tests)
+            if self.tests
+            else 0.0
+        )
+        return (
+            f"{len(self.tests)} tests, flips per test: [{per_test}], "
+            f"total {self.total_flips}, mean aim accuracy {accuracy:.0%} "
+            f"-> {self.verdict}"
+        )
+
+
+def assess_vulnerability(
+    machine: SimulatedMachine,
+    belief: BeliefMapping,
+    vulnerability: float,
+    tests: int = 5,
+    config: HammerConfig | None = None,
+    seed: int = 0,
+) -> AssessmentReport:
+    """Run ``tests`` timed double-sided tests and build a report.
+
+    Args:
+        machine: the machine under test.
+        belief: the mapping used for aiming (from any tool).
+        vulnerability: the machine's weak-cell density (per-row mean).
+        tests: number of timed tests (paper: 5).
+        config: hammer parameters (paper defaults: 5-minute tests).
+        seed: base seed; test *i* uses ``seed + i``.
+    """
+    if tests < 1:
+        raise ValueError("need at least one test")
+    attack = DoubleSidedAttack(machine, config=config, vulnerability=vulnerability)
+    report = AssessmentReport()
+    for index in range(tests):
+        report.tests.append(attack.run(belief, seed=seed + index))
+    return report

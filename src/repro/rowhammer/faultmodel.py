@@ -1,0 +1,170 @@
+"""The rowhammer fault model: which cells flip under which hammering.
+
+Grounded in the Kim et al. (ISCA 2014) characterization the paper builds
+on:
+
+* each DRAM row contains a machine-specific number of *weak cells*
+  (sampled per row from a Poisson distribution whose mean is the preset's
+  ``hammer_vulnerability``);
+* a weak cell flips when its row's *neighbours* are activated enough
+  times within one refresh window — double-sided hammering (both
+  neighbours) is far more effective than single-sided (one neighbour);
+* activations of non-adjacent rows do nothing, and everything resets at
+  the next refresh of the victim row.
+
+The model is deterministic given (machine seed, bank, row): weak-cell
+counts are derived from a counter-based RNG, so repeated experiments on
+the same simulated machine hammer the same weak rows — exactly like real
+DIMMs, where flips reproduce at fixed physical locations.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.rowhammer.remapping import remap_row
+
+__all__ = ["HammerOutcome", "RowhammerFaultModel"]
+
+# Activation counts (per aggressor, within one 64 ms refresh window)
+# needed for the two hammer modes to reach full flip probability.
+DOUBLE_SIDED_THRESHOLD = 50_000
+SINGLE_SIDED_THRESHOLD = 450_000
+
+
+@dataclass(frozen=True)
+class HammerOutcome:
+    """Result of hammering one victim row for one refresh window.
+
+    Attributes:
+        bank: victim bank.
+        row: victim row.
+        flips: bit flips induced in the victim row.
+        mode: "double", "single" or "none" — what the aggressor layout
+            actually amounted to in physical DRAM.
+    """
+
+    bank: int
+    row: int
+    flips: int
+    mode: str
+
+
+class RowhammerFaultModel:
+    """Weak-cell population and flip mechanics for one machine.
+
+    Args:
+        rows_per_bank: geometry bound for validity checks.
+        vulnerability: mean weak cells per row (the preset's
+            ``hammer_vulnerability``); 0 disables flips entirely.
+        seed: machine identity — same seed, same weak cells.
+        row_remap: the DIMM's internal logical-to-physical row scheme
+            (see :mod:`repro.rowhammer.remapping`); "none" for parts whose
+            logical order is physical order.
+    """
+
+    def __init__(
+        self,
+        rows_per_bank: int,
+        vulnerability: float,
+        seed: int = 0,
+        row_remap: str = "none",
+    ):
+        if rows_per_bank < 2:
+            raise ValueError("need at least two rows per bank")
+        if vulnerability < 0:
+            raise ValueError("vulnerability must be non-negative")
+        remap_row(row_remap, 0)  # validate the scheme name eagerly
+        self.rows_per_bank = rows_per_bank
+        self.vulnerability = vulnerability
+        self.seed = seed
+        self.row_remap = row_remap
+
+    # ------------------------------------------------------------ weak cells
+
+    def weak_cells(self, bank: int, row: int) -> int:
+        """Weak-cell count of one row (deterministic per machine)."""
+        self._check_row(row)
+        rng = np.random.default_rng((self.seed, bank, row))
+        return int(rng.poisson(self.vulnerability))
+
+    # -------------------------------------------------------------- hammering
+
+    def hammer(
+        self,
+        bank: int,
+        victim_row: int,
+        activations_above: int,
+        activations_below: int,
+        trial: int = 0,
+    ) -> HammerOutcome:
+        """Hammer a victim for one refresh window.
+
+        Args:
+            bank: the victim's bank.
+            victim_row: the victim's row index.
+            activations_above: activations of physical row ``victim - 1``.
+            activations_below: activations of physical row ``victim + 1``.
+            trial: experiment counter; decorrelates the per-trial flip draw
+                while keeping the weak-cell population fixed.
+        """
+        self._check_row(victim_row)
+        if activations_above < 0 or activations_below < 0:
+            raise ValueError("activation counts must be non-negative")
+        both = min(activations_above, activations_below)
+        either = max(activations_above, activations_below)
+        if both * 2 >= DOUBLE_SIDED_THRESHOLD:
+            mode = "double"
+            intensity = min(1.0, both * 2 / (2 * DOUBLE_SIDED_THRESHOLD))
+        elif either >= SINGLE_SIDED_THRESHOLD:
+            mode = "single"
+            intensity = 0.08 * min(1.0, either / (2 * SINGLE_SIDED_THRESHOLD))
+        else:
+            return HammerOutcome(bank=bank, row=victim_row, flips=0, mode="none")
+        weak = self.weak_cells(bank, victim_row)
+        if weak == 0:
+            return HammerOutcome(bank=bank, row=victim_row, flips=0, mode=mode)
+        rng = np.random.default_rng((self.seed, bank, victim_row, trial, 0x4A4))
+        flips = int(rng.binomial(weak, intensity))
+        return HammerOutcome(bank=bank, row=victim_row, flips=flips, mode=mode)
+
+    def window_flips(
+        self, bank: int, logical_activations: dict[int, int], trial: int = 0
+    ) -> int:
+        """Flips from one refresh window of activity in one bank.
+
+        Takes *logical* row activation counts (what the attacker produced
+        through the memory controller), translates them to physical rows
+        through the DIMM's remap, and applies the disturbance model to
+        every physically plausible victim. This is the entry point attack
+        drivers use; :meth:`hammer` remains the physical-row primitive.
+        """
+        physical: dict[int, int] = {}
+        for row, count in logical_activations.items():
+            self._check_row(row)
+            if count < 0:
+                raise ValueError("activation counts must be non-negative")
+            physical_row = remap_row(self.row_remap, row)
+            physical[physical_row] = physical.get(physical_row, 0) + count
+        candidates: set[int] = set()
+        for row in physical:
+            for neighbor in (row - 1, row + 1):
+                if 0 <= neighbor < self.rows_per_bank:
+                    candidates.add(neighbor)
+        flips = 0
+        for victim in candidates:
+            outcome = self.hammer(
+                bank=bank,
+                victim_row=victim,
+                activations_above=physical.get(victim - 1, 0),
+                activations_below=physical.get(victim + 1, 0),
+                trial=trial,
+            )
+            flips += outcome.flips
+        return flips
+
+    def _check_row(self, row: int) -> None:
+        if not 0 <= row < self.rows_per_bank:
+            raise ValueError(f"row {row} out of range 0..{self.rows_per_bank - 1}")

@@ -1,0 +1,137 @@
+"""Rowhammer mitigations: TRR and ECC, layered over the fault model.
+
+The paper motivates DRAMDig with the rowhammer attack literature; this
+module adds the two deployed hardware defences so the library can also
+answer the *defender's* question ("how much do my DIMM's mitigations
+buy?"):
+
+* **TRR (Target Row Refresh)** — the DRAM device samples aggressor
+  activations with a small tracker; rows the tracker flags get their
+  neighbours refreshed before charge disturbance accumulates. Plain
+  double-sided hammering (two aggressors) is almost always caught; the
+  TRRespass-style *many-sided* pattern floods the tracker with decoys so
+  the true aggressors slip through — our model reproduces that bypass
+  curve.
+* **ECC (SECDED)** — one flipped bit per 64-bit word is corrected, two are
+  detected (machine check), three or more can silently corrupt
+  (:mod:`repro.dram.ecc` implements the actual code). Rowhammer flips are
+  sparse, so ECC converts most raw flips into non-events, a fraction into
+  crashes, and a sliver into silent corruption.
+
+The extension bench (`benchmarks/test_bench_mitigations.py`) sweeps both.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.ecc import EccOutcome, flips_outcome
+
+__all__ = ["TrrModel", "MitigationStack", "MitigatedFlips"]
+
+
+@dataclass(frozen=True)
+class TrrModel:
+    """A sampling Target-Row-Refresh implementation.
+
+    Attributes:
+        tracker_entries: aggressor rows the device can track at once.
+        catch_probability: chance a *tracked* aggressor pair is neutralised
+            within one refresh window.
+    """
+
+    tracker_entries: int = 4
+    catch_probability: float = 0.95
+
+    def __post_init__(self) -> None:
+        if self.tracker_entries < 1:
+            raise ValueError("tracker needs at least one entry")
+        if not 0 <= self.catch_probability <= 1:
+            raise ValueError("catch_probability must be a probability")
+
+    def intercepts(self, distinct_aggressors: int, rng: np.random.Generator) -> bool:
+        """Did TRR neutralise this window's hammering?
+
+        With at most ``tracker_entries`` distinct aggressor rows every one
+        is tracked; beyond that the sampler only sees a random subset, and
+        the probability that the *true* aggressors are among the tracked
+        ones falls as decoys dilute them (the TRRespass effect).
+        """
+        if distinct_aggressors < 1:
+            raise ValueError("need at least one aggressor")
+        if distinct_aggressors <= self.tracker_entries:
+            return bool(rng.random() < self.catch_probability)
+        dilution = self.tracker_entries / distinct_aggressors
+        return bool(rng.random() < self.catch_probability * dilution)
+
+
+@dataclass
+class MitigatedFlips:
+    """Flip accounting after the mitigation stack.
+
+    Attributes:
+        raw: flips the bare DRAM produced.
+        stopped_by_trr: flips prevented because TRR refreshed the victim.
+        corrected: flips ECC corrected transparently.
+        detected: flips that raised a machine check (2 per word).
+        silent: flips that defeated ECC (data corruption).
+        observable: what an attacker scanning memory actually sees
+            (silent corruption only, plus everything when ECC is absent).
+    """
+
+    raw: int = 0
+    stopped_by_trr: int = 0
+    corrected: int = 0
+    detected: int = 0
+    silent: int = 0
+    observable: int = 0
+
+
+@dataclass(frozen=True)
+class MitigationStack:
+    """The defences active on one machine.
+
+    Attributes:
+        trr: the TRR model, or None for pre-TRR DIMMs.
+        ecc: whether the machine runs ECC DIMMs.
+        words_per_row: 64-bit words per DRAM row (row_bytes / 8).
+    """
+
+    trr: TrrModel | None = None
+    ecc: bool = False
+    words_per_row: int = 1024
+
+    def filter_window(
+        self,
+        raw_flips: int,
+        distinct_aggressors: int,
+        rng: np.random.Generator,
+    ) -> MitigatedFlips:
+        """Push one hammer window's raw flips through the stack."""
+        if raw_flips < 0:
+            raise ValueError("raw_flips must be non-negative")
+        result = MitigatedFlips(raw=raw_flips)
+        if raw_flips == 0:
+            return result
+        if self.trr is not None and self.trr.intercepts(distinct_aggressors, rng):
+            result.stopped_by_trr = raw_flips
+            return result
+        if not self.ecc:
+            result.observable = raw_flips
+            return result
+        # Scatter the flips over the row's words; per-word counts decide
+        # the SECDED outcome.
+        words = rng.integers(0, self.words_per_row, size=raw_flips)
+        unique, counts = np.unique(words, return_counts=True)
+        for count in counts:
+            outcome = flips_outcome(int(count), rng)
+            if outcome is EccOutcome.CORRECTED:
+                result.corrected += int(count)
+            elif outcome is EccOutcome.DETECTED:
+                result.detected += int(count)
+            else:  # SILENT (or pathological CLEAN alias)
+                result.silent += int(count)
+        result.observable = result.silent
+        return result

@@ -1,0 +1,149 @@
+"""Rowhammer attack variants beyond double-sided (paper Section II-B).
+
+The paper's background enumerates three hammering techniques; Table III
+evaluates only double-sided, but the substrate supports all three, and
+their relative effectiveness is a well-known ordering this module
+reproduces:
+
+* **double-sided** — both neighbours of the victim hammered; the
+  strongest (implemented in :mod:`repro.rowhammer.hammer`).
+* **single-sided** — two same-bank rows hammered alternately (the classic
+  2014 technique); each aggressor only disturbs its neighbours from one
+  side, and on moderately vulnerable DIMMs (the Table III machines) the
+  per-aggressor activation budget sits below the single-sided threshold:
+  flips are rare to non-existent.
+* **one-location** — a single row re-opened continuously, relying on the
+  controller's closed-page policy to keep activating it. The lone
+  aggressor receives the *entire* activation budget, which crosses the
+  single-sided threshold — weaker than double-sided, stronger than
+  classic single-sided on closed-page systems.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.dram.belief import BeliefMapping
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.faultmodel import RowhammerFaultModel
+from repro.rowhammer.hammer import HammerConfig, HammerReport, _scaled, _test_effectiveness
+
+__all__ = ["single_sided_test", "one_location_test"]
+
+
+def single_sided_test(
+    machine: SimulatedMachine,
+    belief: BeliefMapping,
+    vulnerability: float,
+    config: HammerConfig | None = None,
+    seed: int = 0,
+) -> HammerReport:
+    """Classic single-sided hammering: random same-bank row pairs.
+
+    The attacker uses its believed mapping only to pick same-bank pairs
+    (any SBDR pair bypasses the row buffer); each aggressor's neighbours
+    receive one-sided disturbance at half the activation budget.
+    """
+    config = config if config is not None else HammerConfig()
+    truth = machine.ground_truth
+    fault_model = RowhammerFaultModel(
+        rows_per_bank=truth.geometry.rows_per_bank,
+        vulnerability=vulnerability,
+        seed=machine.seed,
+    )
+    rng = np.random.default_rng((seed, 0x551))
+    pages = machine.allocate(
+        int(machine.total_bytes * config.buffer_fraction), "hugepages"
+    )
+    window_seconds = config.refresh_window_ms / 1e3
+    trials = int(config.duration_seconds / (window_seconds + config.trial_overhead_seconds))
+    activations_each = int(window_seconds * 1e9 / (2 * config.activation_ns))
+    effectiveness = _test_effectiveness(rng, config.test_variability)
+
+    report = HammerReport(duration_seconds=config.duration_seconds)
+    bases = pages.sample_addresses(trials, rng)
+    for trial in range(trials):
+        report.trials += 1
+        first = int(bases[trial])
+        # Believed same-bank partner: a far row in the same believed bank.
+        partner = belief.aim_row_neighbor(first, 64)
+        if partner is None or not pages.has_page(partner):
+            report.skipped += 1
+            continue
+        flips = 0
+        for aggressor in (first, partner):
+            bank = truth.bank_of(aggressor)
+            row = truth.row_of(aggressor)
+            for neighbor in (row - 1, row + 1):
+                if not 0 <= neighbor < truth.geometry.rows_per_bank:
+                    continue
+                outcome = fault_model.hammer(
+                    bank=bank,
+                    victim_row=neighbor,
+                    activations_above=activations_each if neighbor == row + 1 else 0,
+                    activations_below=activations_each if neighbor == row - 1 else 0,
+                    trial=trial,
+                )
+                flips += outcome.flips
+        report.aimed_single += 1
+        raw = _scaled(flips, effectiveness, rng)
+        report.raw_flips += raw
+        report.flips += raw
+    machine.charge_analysis(config.duration_seconds * 1e9)
+    return report
+
+
+def one_location_test(
+    machine: SimulatedMachine,
+    belief: BeliefMapping,
+    vulnerability: float,
+    config: HammerConfig | None = None,
+    seed: int = 0,
+) -> HammerReport:
+    """One-location hammering against a closed-page memory controller.
+
+    A single aggressor row receives the whole activation budget: every
+    access re-activates it because the controller precharges eagerly. The
+    believed mapping is only needed to enumerate distinct rows to target.
+    """
+    config = config if config is not None else HammerConfig()
+    truth = machine.ground_truth
+    fault_model = RowhammerFaultModel(
+        rows_per_bank=truth.geometry.rows_per_bank,
+        vulnerability=vulnerability,
+        seed=machine.seed,
+    )
+    rng = np.random.default_rng((seed, 0x1C1))
+    pages = machine.allocate(
+        int(machine.total_bytes * config.buffer_fraction), "hugepages"
+    )
+    window_seconds = config.refresh_window_ms / 1e3
+    trials = int(config.duration_seconds / (window_seconds + config.trial_overhead_seconds))
+    activations = int(window_seconds * 1e9 / config.activation_ns)
+    effectiveness = _test_effectiveness(rng, config.test_variability)
+
+    report = HammerReport(duration_seconds=config.duration_seconds)
+    aggressors = pages.sample_addresses(trials, rng)
+    for trial in range(trials):
+        report.trials += 1
+        aggressor = int(aggressors[trial])
+        bank = truth.bank_of(aggressor)
+        row = truth.row_of(aggressor)
+        flips = 0
+        for neighbor in (row - 1, row + 1):
+            if not 0 <= neighbor < truth.geometry.rows_per_bank:
+                continue
+            outcome = fault_model.hammer(
+                bank=bank,
+                victim_row=neighbor,
+                activations_above=activations if neighbor == row + 1 else 0,
+                activations_below=activations if neighbor == row - 1 else 0,
+                trial=trial,
+            )
+            flips += outcome.flips
+        report.aimed_single += 1
+        raw = _scaled(flips, effectiveness, rng)
+        report.raw_flips += raw
+        report.flips += raw
+    machine.charge_analysis(config.duration_seconds * 1e9)
+    return report

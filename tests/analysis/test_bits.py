@@ -1,0 +1,162 @@
+"""Unit and property tests for repro.analysis.bits."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import bits
+
+
+class TestBit:
+    def test_bit_zero(self):
+        assert bits.bit(0) == 1
+
+    def test_bit_six(self):
+        assert bits.bit(6) == 64
+
+    def test_negative_position_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bit(-1)
+
+
+class TestMaskConversion:
+    def test_bits_of_mask_empty(self):
+        assert bits.bits_of_mask(0) == ()
+
+    def test_bits_of_mask_example(self):
+        assert bits.bits_of_mask(0b10010) == (1, 4)
+
+    def test_mask_of_bits_example(self):
+        assert bits.mask_of_bits([1, 4]) == 0b10010
+
+    def test_mask_of_bits_empty(self):
+        assert bits.mask_of_bits([]) == 0
+
+    def test_mask_of_bits_duplicates_idempotent(self):
+        assert bits.mask_of_bits([3, 3, 3]) == 8
+
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            bits.bits_of_mask(-5)
+
+    @given(st.sets(st.integers(min_value=0, max_value=63)))
+    def test_roundtrip(self, positions):
+        mask = bits.mask_of_bits(positions)
+        assert set(bits.bits_of_mask(mask)) == positions
+
+    @given(st.integers(min_value=0, max_value=2**64 - 1))
+    def test_roundtrip_from_mask(self, mask):
+        assert bits.mask_of_bits(bits.bits_of_mask(mask)) == mask
+
+
+class TestParity:
+    def test_parity_even(self):
+        assert bits.parity(0b1100) == 0
+
+    def test_parity_odd(self):
+        assert bits.parity(0b1110) == 1
+
+    def test_parity_zero(self):
+        assert bits.parity(0) == 0
+
+    @given(st.integers(min_value=0, max_value=2**70))
+    def test_parity_matches_popcount(self, value):
+        assert bits.parity(value) == bits.popcount(value) % 2
+
+    @given(
+        st.integers(min_value=0, max_value=2**64 - 1),
+        st.integers(min_value=0, max_value=2**64 - 1),
+    )
+    def test_parity_is_linear(self, a, b):
+        """parity(a ^ b) == parity(a) ^ parity(b) — the property bank hash
+        analysis relies on."""
+        assert bits.parity(a ^ b) == bits.parity(a) ^ bits.parity(b)
+
+
+class TestParityArray:
+    def test_matches_scalar(self):
+        rng = np.random.default_rng(7)
+        values = rng.integers(0, 2**63, size=256, dtype=np.uint64)
+        mask = bits.mask_of_bits([3, 7, 19, 40])
+        expected = np.array([bits.parity(int(v) & mask) for v in values], dtype=np.uint8)
+        np.testing.assert_array_equal(bits.parity_array(values, mask), expected)
+
+    def test_zero_mask_gives_zero(self):
+        values = np.arange(100, dtype=np.uint64)
+        assert not bits.parity_array(values, 0).any()
+
+    def test_single_bit_mask_extracts_bit(self):
+        values = np.arange(16, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            bits.parity_array(values, 0b10), ((values >> 1) & 1).astype(np.uint8)
+        )
+
+
+class TestExtractDeposit:
+    def test_extract_example(self):
+        assert bits.extract_bits(0b101000, [3, 5]) == 0b11
+
+    def test_deposit_example(self):
+        assert bits.deposit_bits(0b11, [3, 5]) == 0b101000
+
+    def test_extract_order_matters(self):
+        assert bits.extract_bits(0b100, [2, 0]) == 0b01
+        assert bits.extract_bits(0b100, [0, 2]) == 0b10
+
+    @given(
+        st.integers(min_value=0, max_value=2**20 - 1),
+        st.lists(st.integers(min_value=0, max_value=40), unique=True, max_size=20),
+    )
+    def test_deposit_then_extract_roundtrips(self, value, positions):
+        value &= (1 << len(positions)) - 1
+        assert bits.extract_bits(bits.deposit_bits(value, positions), positions) == value
+
+    @given(
+        st.integers(min_value=0, max_value=2**40 - 1),
+        st.lists(st.integers(min_value=0, max_value=39), unique=True, min_size=1),
+    )
+    def test_extract_ignores_other_bits(self, value, positions):
+        mask = bits.mask_of_bits(positions)
+        assert bits.extract_bits(value, positions) == bits.extract_bits(value & mask, positions)
+
+
+class TestLowHighBit:
+    def test_lowest(self):
+        assert bits.lowest_bit(0b10100) == 2
+
+    def test_highest(self):
+        assert bits.highest_bit(0b10100) == 4
+
+    def test_single_bit(self):
+        assert bits.lowest_bit(64) == bits.highest_bit(64) == 6
+
+    def test_zero_rejected(self):
+        with pytest.raises(ValueError):
+            bits.lowest_bit(0)
+        with pytest.raises(ValueError):
+            bits.highest_bit(0)
+
+
+class TestSubmasks:
+    def test_full_enumeration(self):
+        mask = 0b1010
+        assert sorted(bits.iter_submasks(mask)) == [0b0010, 0b1000, 0b1010]
+
+    def test_zero_mask_yields_nothing(self):
+        assert list(bits.iter_submasks(0)) == []
+
+    @given(st.integers(min_value=1, max_value=2**12 - 1))
+    def test_count_is_two_to_popcount_minus_one(self, mask):
+        submasks = list(bits.iter_submasks(mask))
+        assert len(submasks) == 2 ** bits.popcount(mask) - 1
+        assert len(set(submasks)) == len(submasks)
+        assert all(sub & mask == sub for sub in submasks)
+
+
+class TestFormatMask:
+    def test_paper_style(self):
+        assert bits.format_mask(bits.mask_of_bits([14, 17])) == "(14, 17)"
+
+    def test_single_bit(self):
+        assert bits.format_mask(64) == "(6)"

@@ -1,0 +1,253 @@
+"""Unit and property tests for repro.analysis.gf2."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis import gf2
+from repro.analysis.bits import mask_of_bits
+
+masks = st.integers(min_value=0, max_value=2**34 - 1)
+mask_lists = st.lists(masks, max_size=10)
+
+
+class TestRowEchelon:
+    def test_empty(self):
+        assert gf2.row_echelon([]) == []
+
+    def test_zero_dropped(self):
+        assert gf2.row_echelon([0, 0]) == []
+
+    def test_duplicates_collapse(self):
+        assert gf2.row_echelon([0b101, 0b101]) == [0b101]
+
+    def test_leading_bits_unique(self):
+        basis = gf2.row_echelon([0b110, 0b011, 0b101])
+        leads = [m.bit_length() for m in basis]
+        assert len(set(leads)) == len(leads)
+
+    @given(mask_lists)
+    def test_span_preserved(self, ms):
+        basis = gf2.row_echelon(ms)
+        for m in ms:
+            assert gf2.in_span(m, basis)
+        for b in basis:
+            assert gf2.in_span(b, ms)
+
+
+class TestRank:
+    def test_paper_example(self):
+        """(14,18), (15,19) and (14,15,18,19): the third is dependent."""
+        f1 = mask_of_bits([14, 18])
+        f2 = mask_of_bits([15, 19])
+        f3 = mask_of_bits([14, 15, 18, 19])
+        assert gf2.rank([f1, f2, f3]) == 2
+
+    def test_independent_set(self):
+        assert gf2.rank([0b001, 0b010, 0b100]) == 3
+
+    @given(mask_lists)
+    def test_rank_bounds(self, ms):
+        r = gf2.rank(ms)
+        assert 0 <= r <= len(ms)
+        assert r <= max((m.bit_length() for m in ms), default=0)
+
+    @given(mask_lists, masks)
+    def test_rank_monotone(self, ms, extra):
+        assert gf2.rank(ms) <= gf2.rank(ms + [extra]) <= gf2.rank(ms) + 1
+
+
+class TestInSpan:
+    def test_zero_always_in_span(self):
+        assert gf2.in_span(0, [])
+        assert gf2.in_span(0, [0b11])
+
+    def test_simple_combination(self):
+        assert gf2.in_span(0b110, [0b100, 0b010])
+
+    def test_not_in_span(self):
+        assert not gf2.in_span(0b001, [0b100, 0b010])
+
+    @given(mask_lists, st.integers(min_value=0, max_value=1023))
+    def test_xor_combinations_are_in_span(self, ms, combo_bits):
+        value = 0
+        for index, m in enumerate(ms):
+            if combo_bits >> index & 1:
+                value ^= m
+        assert gf2.in_span(value, ms)
+
+
+class TestIsIndependent:
+    def test_empty_is_independent(self):
+        assert gf2.is_independent([])
+
+    def test_zero_is_dependent(self):
+        assert not gf2.is_independent([0])
+
+    def test_duplicate_is_dependent(self):
+        assert not gf2.is_independent([0b11, 0b11])
+
+
+class TestReduceToBasis:
+    def test_priority_order_kept(self):
+        """The paper's redundancy rule: fewer-bit functions win; the linear
+        combination is dropped."""
+        f1 = mask_of_bits([14, 18])
+        f2 = mask_of_bits([15, 19])
+        f3 = mask_of_bits([14, 15, 18, 19])
+        assert gf2.reduce_to_basis([f1, f2, f3]) == [f1, f2]
+
+    def test_order_determines_survivors(self):
+        f1 = mask_of_bits([14, 18])
+        f2 = mask_of_bits([15, 19])
+        f3 = mask_of_bits([14, 15, 18, 19])
+        assert gf2.reduce_to_basis([f3, f1, f2]) == [f3, f1]
+
+    def test_zeros_dropped(self):
+        assert gf2.reduce_to_basis([0, 0b1]) == [0b1]
+
+    @given(mask_lists)
+    def test_result_is_independent_and_spans(self, ms):
+        basis = gf2.reduce_to_basis(ms)
+        assert gf2.is_independent(basis)
+        assert gf2.span_equal(basis, ms)
+
+
+class TestSpanEqual:
+    def test_different_bases_same_span(self):
+        assert gf2.span_equal([0b01, 0b10], [0b11, 0b01])
+
+    def test_unequal(self):
+        assert not gf2.span_equal([0b01], [0b10])
+
+    def test_subspace_not_equal(self):
+        assert not gf2.span_equal([0b01], [0b01, 0b10])
+
+    @given(mask_lists)
+    def test_reflexive(self, ms):
+        assert gf2.span_equal(ms, ms)
+
+    @given(mask_lists, st.randoms(use_true_random=False))
+    def test_invariant_under_shuffle_and_xor(self, ms, rnd):
+        if not ms:
+            return
+        mixed = list(ms)
+        rnd.shuffle(mixed)
+        mixed[0] ^= mixed[-1]
+        mixed.append(mixed[0] ^ mixed[-1])
+        assert gf2.span_equal(ms, mixed + ms)
+
+
+class TestSpan:
+    def test_two_generators(self):
+        assert gf2.span([0b01, 0b10]) == [0b01, 0b10, 0b11]
+
+    def test_empty(self):
+        assert gf2.span([]) == []
+
+    @given(st.lists(masks, max_size=6))
+    def test_size_is_power_of_two_minus_one(self, ms):
+        elements = gf2.span(ms)
+        assert len(elements) == 2 ** gf2.rank(ms) - 1
+
+
+class TestSolveXor:
+    def test_finds_combination(self):
+        f1 = mask_of_bits([14, 18])
+        f2 = mask_of_bits([15, 19])
+        target = mask_of_bits([14, 15, 18, 19])
+        subset = gf2.solve_xor([f1, f2], target)
+        assert subset is not None
+        acc = 0
+        for m in subset:
+            acc ^= m
+        assert acc == target
+
+    def test_unsolvable(self):
+        assert gf2.solve_xor([0b100, 0b010], 0b001) is None
+
+    def test_zero_target_empty_subset(self):
+        assert gf2.solve_xor([0b100], 0) == []
+
+    @given(mask_lists, st.integers(min_value=0, max_value=1023))
+    def test_solution_xors_to_target(self, ms, combo_bits):
+        target = 0
+        for index, m in enumerate(ms):
+            if combo_bits >> index & 1:
+                target ^= m
+        subset = gf2.solve_xor(ms, target)
+        assert subset is not None
+        acc = 0
+        for m in subset:
+            acc ^= m
+        assert acc == target
+
+
+class TestValidation:
+    def test_negative_mask_rejected(self):
+        with pytest.raises(ValueError):
+            gf2.row_echelon([-1])
+        with pytest.raises(ValueError):
+            gf2.in_span(-1, [1])
+
+
+class TestNullspace:
+    def test_simple(self):
+        # Row 0b011 -> nullspace spanned by vectors orthogonal to it.
+        vectors = gf2.nullspace_basis([0b011], 3)
+        assert len(vectors) == 2
+        for v in vectors:
+            assert bin(v & 0b011).count("1") % 2 == 0
+
+    def test_empty_rows_full_space(self):
+        vectors = gf2.nullspace_basis([], 4)
+        assert gf2.rank(vectors) == 4
+
+    def test_full_rank_rows_trivial_nullspace(self):
+        assert gf2.nullspace_basis([0b01, 0b10], 2) == []
+
+    def test_width_validation(self):
+        with pytest.raises(ValueError):
+            gf2.nullspace_basis([0b100], 2)
+        with pytest.raises(ValueError):
+            gf2.nullspace_basis([], -1)
+
+    @given(
+        st.integers(min_value=1, max_value=14).flatmap(
+            lambda w: st.tuples(
+                st.just(w),
+                st.lists(st.integers(min_value=0, max_value=(1 << w) - 1), max_size=10),
+            )
+        )
+    )
+    def test_dimension_theorem_and_orthogonality(self, width_rows):
+        width, rows = width_rows
+        vectors = gf2.nullspace_basis(rows, width)
+        assert len(vectors) == width - gf2.rank(rows)
+        assert gf2.is_independent(vectors) or not vectors
+        for v in vectors:
+            for row in rows:
+                assert bin(v & row).count("1") % 2 == 0
+
+    def test_recovers_bank_function_space(self):
+        """Differences within same-bank piles of the No.1 hash have the
+        4 true functions as their nullspace (projected onto the bank bits)."""
+        from repro.analysis.bits import extract_bits
+        from repro.dram.presets import preset
+
+        mapping = preset("No.1").mapping
+        bank_bits = [6, 14, 15, 16, 17, 18, 19]
+        width = len(bank_bits)
+        # Enumerate all 2^7 combinations of the bank bits; group by bank.
+        from repro.analysis.bits import deposit_bits
+
+        piles = {}
+        for value in range(1 << width):
+            addr = deposit_bits(value, bank_bits)
+            piles.setdefault(mapping.bank_of(addr), []).append(addr)
+        diffs = []
+        for members in piles.values():
+            diffs.extend(extract_bits(a ^ members[0], bank_bits) for a in members[1:])
+        vectors = gf2.nullspace_basis(diffs, width)
+        recovered = [deposit_bits(v, bank_bits) for v in vectors]
+        assert gf2.span_equal(recovered, mapping.bank_functions)

@@ -1,0 +1,67 @@
+"""Tests for the ASCII latency histogram."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.histogram import build_histogram, render_histogram
+
+
+@pytest.fixture
+def bimodal():
+    rng = np.random.default_rng(0)
+    return np.concatenate([rng.normal(80, 2, 900), rng.normal(110, 2, 100)])
+
+
+class TestBuild:
+    def test_counts_sum_to_samples(self, bimodal):
+        histogram = build_histogram(bimodal, bins=30)
+        assert histogram.total == bimodal.size
+
+    def test_mode_is_fast_hump(self, bimodal):
+        histogram = build_histogram(bimodal, bins=30)
+        mode_center = (
+            histogram.edges[histogram.mode_bin()]
+            + histogram.edges[histogram.mode_bin() + 1]
+        ) / 2
+        assert 75 < mode_center < 85
+
+    def test_spikes_clipped(self):
+        data = np.concatenate([np.full(990, 80.0), np.full(10, 5000.0)])
+        histogram = build_histogram(data, bins=20, clip_percentile=98.0)
+        assert histogram.edges[-1] < 200
+        assert histogram.total == 1000
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            build_histogram(np.array([]))
+
+    def test_bins_validated(self):
+        with pytest.raises(ValueError):
+            build_histogram(np.array([1.0, 2.0]), bins=1)
+
+    def test_constant_sample(self):
+        histogram = build_histogram(np.full(50, 80.0), bins=5)
+        assert histogram.total == 50
+
+
+class TestRender:
+    def test_bar_lengths_proportional(self, bimodal):
+        histogram = build_histogram(bimodal, bins=10)
+        text = render_histogram(histogram, width=20)
+        lines = text.splitlines()
+        assert len(lines) == 10
+        longest = max(lines, key=lambda line: line.count("#"))
+        assert longest.count("#") == 20
+
+    def test_cutoff_marker(self, bimodal):
+        histogram = build_histogram(bimodal, bins=10)
+        text = render_histogram(histogram, cutoff=95.0)
+        assert "<- cutoff 95.0 ns" in text
+        lines = text.splitlines()
+        marker = next(i for i, line in enumerate(lines) if "cutoff" in line)
+        assert 0 < marker < len(lines) - 1
+
+    def test_cutoff_above_range_appended(self, bimodal):
+        histogram = build_histogram(bimodal, bins=10)
+        text = render_histogram(histogram, cutoff=10_000.0)
+        assert text.splitlines()[-1].endswith("10000.0 ns")

@@ -1,0 +1,78 @@
+"""Tests for kernel repair (probe-mask compensation)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis.bits import bits_of_mask, mask_of_bits, parity
+from repro.analysis.repair import kernel_repair
+from repro.dram.presets import preset
+
+
+def in_kernel(mask, functions):
+    return all(parity(mask & f) == 0 for f in functions)
+
+
+class TestKernelRepair:
+    def test_no_repair_needed(self):
+        functions = [mask_of_bits([14, 18])]
+        assert kernel_repair(mask_of_bits([14, 18]), functions, [7, 8]) == 0
+
+    def test_paper_no2_case(self):
+        """The No.2 fine-grained probe: candidate {14,18} upsets the 7-bit
+        hash via bit 18; the lowest single repair bit is 7."""
+        mapping = preset("No.2").mapping
+        candidate = mask_of_bits([14, 18])
+        others = [f for f in mapping.bank_functions if f != candidate]
+        available = sorted(
+            {
+                b
+                for f in others
+                for b in bits_of_mask(f)
+                if b not in (14, 18) and b not in mapping.row_bits
+            }
+        )
+        repair = kernel_repair(candidate, others, available)
+        assert repair == 1 << 7
+        assert in_kernel(candidate | repair, mapping.bank_functions)
+
+    def test_prefers_lowest_single_bit(self):
+        functions = [mask_of_bits([5, 9, 11])]
+        repair = kernel_repair(mask_of_bits([9]), functions, [5, 11])
+        assert repair == 1 << 5
+
+    def test_pair_repair(self):
+        """Target syndrome reachable only by two bits."""
+        f1 = mask_of_bits([3, 10])
+        f2 = mask_of_bits([4, 10])
+        candidate = mask_of_bits([10, 20])
+        # Flipping 10 upsets both; bits 3 (fixes f1) and 4 (fixes f2).
+        repair = kernel_repair(candidate, [f1, f2], [3, 4])
+        assert repair == (1 << 3) | (1 << 4)
+        assert in_kernel(candidate | repair, [f1, f2])
+
+    def test_unsolvable(self):
+        functions = [mask_of_bits([9, 30])]
+        assert kernel_repair(mask_of_bits([9]), functions, [2]) is None
+
+    def test_overlapping_available_rejected(self):
+        with pytest.raises(ValueError, match="overlaps"):
+            kernel_repair(mask_of_bits([9]), [mask_of_bits([9, 5])], [9])
+
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_repair_lands_in_kernel(self, data):
+        functions = data.draw(
+            st.lists(
+                st.integers(min_value=1, max_value=2**20 - 1), min_size=1, max_size=4
+            )
+        )
+        candidate_bits = data.draw(
+            st.sets(st.integers(min_value=0, max_value=19), min_size=1, max_size=3)
+        )
+        candidate = mask_of_bits(candidate_bits)
+        available = [b for b in range(20) if b not in candidate_bits]
+        repair = kernel_repair(candidate, functions, available)
+        if repair is not None:
+            assert repair & candidate == 0
+            assert in_kernel(candidate | repair, functions)

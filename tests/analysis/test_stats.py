@@ -1,0 +1,101 @@
+"""Unit tests for repro.analysis.stats (latency threshold calibration)."""
+
+import numpy as np
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.analysis.stats import LatencyThreshold, find_threshold, median_of, trimmed_mean
+
+
+class TestTrimmedMean:
+    def test_no_trim_is_mean(self):
+        data = np.array([1.0, 2.0, 3.0])
+        assert trimmed_mean(data, 0.0) == pytest.approx(2.0)
+
+    def test_trims_outliers(self):
+        data = np.array([10.0] * 18 + [1000.0, 0.0])
+        assert trimmed_mean(data, 0.1) == pytest.approx(10.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.array([]))
+
+    def test_bad_fraction_rejected(self):
+        with pytest.raises(ValueError):
+            trimmed_mean(np.array([1.0]), 0.5)
+
+    @given(
+        st.lists(st.floats(min_value=1.0, max_value=1e6), min_size=1, max_size=50),
+        st.floats(min_value=0.0, max_value=0.49),
+    )
+    def test_within_data_range(self, values, fraction):
+        result = trimmed_mean(np.array(values), fraction)
+        tolerance = 1e-9 * max(values)
+        assert min(values) - tolerance <= result <= max(values) + tolerance
+
+
+class TestMedian:
+    def test_median(self):
+        assert median_of(np.array([1.0, 9.0, 2.0])) == 2.0
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            median_of(np.array([]))
+
+
+def _bimodal_sample(rng, fast, slow, n=400, sigma=2.0, fast_fraction=0.7):
+    n_fast = int(n * fast_fraction)
+    return np.concatenate(
+        [
+            rng.normal(fast, sigma, n_fast),
+            rng.normal(slow, sigma, n - n_fast),
+        ]
+    )
+
+
+class TestFindThreshold:
+    def test_clean_bimodal(self):
+        rng = np.random.default_rng(0)
+        sample = _bimodal_sample(rng, fast=80.0, slow=110.0)
+        threshold = find_threshold(sample)
+        assert 85.0 < threshold.cutoff < 105.0
+        assert threshold.fast_mode == pytest.approx(80.0, abs=3.0)
+        assert threshold.slow_mode == pytest.approx(110.0, abs=3.0)
+
+    def test_classification_accuracy(self):
+        rng = np.random.default_rng(1)
+        fast = rng.normal(80.0, 2.0, 500)
+        slow = rng.normal(110.0, 2.0, 500)
+        threshold = find_threshold(np.concatenate([fast, slow]))
+        assert (~threshold.classify(fast)).mean() > 0.99
+        assert threshold.classify(slow).mean() > 0.99
+
+    def test_unimodal_rejected(self):
+        rng = np.random.default_rng(2)
+        sample = rng.normal(80.0, 1.0, 400)
+        with pytest.raises(ValueError, match="unimodal"):
+            find_threshold(sample)
+
+    def test_tiny_sample_rejected(self):
+        with pytest.raises(ValueError, match="at least 8"):
+            find_threshold(np.array([1.0, 2.0]))
+
+    def test_unbalanced_mixture_still_splits(self):
+        rng = np.random.default_rng(3)
+        sample = _bimodal_sample(rng, fast=80.0, slow=112.0, fast_fraction=15 / 16)
+        threshold = find_threshold(sample)
+        assert 85.0 < threshold.cutoff < 108.0
+
+    def test_is_slow_scalar(self):
+        threshold = LatencyThreshold(cutoff=95.0, fast_mode=80.0, slow_mode=110.0, separation=0.375)
+        assert threshold.is_slow(96.0)
+        assert not threshold.is_slow(94.0)
+
+    @given(st.integers(min_value=0, max_value=100))
+    def test_separation_positive_for_separated_modes(self, seed):
+        rng = np.random.default_rng(seed)
+        sample = _bimodal_sample(rng, fast=80.0, slow=110.0)
+        threshold = find_threshold(sample)
+        assert threshold.separation > 0.08
+        assert threshold.fast_mode < threshold.cutoff < threshold.slow_mode

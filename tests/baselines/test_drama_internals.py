@@ -1,0 +1,104 @@
+"""White-box tests of DRAMA's pipeline stages on controlled inputs."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import gf2
+from repro.analysis.bits import deposit_bits
+from repro.baselines.drama import DramaConfig, DramaTool
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+FAST = DramaConfig(pool_size=2500, rounds=400, timeout_seconds=600.0)
+
+
+def quiet_machine(name="No.1", seed=0):
+    return SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=NoiseParams.noiseless()
+    )
+
+
+@pytest.fixture
+def tool_and_machine():
+    machine = quiet_machine()
+    tool = DramaTool(FAST, seed=3)
+    pages = machine.allocate(int(machine.total_bytes * 0.6), "fragmented")
+    threshold = tool._calibrate(machine, pages)
+    return tool, machine, pages, threshold
+
+
+class TestClustering:
+    def test_sets_are_same_bank(self, tool_and_machine):
+        tool, machine, pages, threshold = tool_and_machine
+        sets = tool._cluster_sets(machine, pages, threshold)
+        mapping = machine.ground_truth
+        for members in sets:
+            banks = {mapping.bank_of(int(address)) for address in members[:50]}
+            assert len(banks) == 1
+
+    def test_set_count_near_bank_count(self, tool_and_machine):
+        tool, machine, pages, threshold = tool_and_machine
+        sets = tool._cluster_sets(machine, pages, threshold)
+        assert 12 <= len(sets) <= 16
+
+
+class TestFunctionSearch:
+    def test_synthetic_sets_recover_span(self, tool_and_machine):
+        """Hand-built perfect same-bank sets yield exactly the true span."""
+        tool, machine, _, _ = tool_and_machine
+        mapping = machine.ground_truth
+        rng = np.random.default_rng(0)
+        sets = []
+        for bank in range(16):
+            rows = rng.integers(0, 2**16, size=40)
+            columns = rng.integers(0, 8192, size=40)
+            members = np.array(
+                [
+                    mapping.encode(
+                        mapping.dram_address(0)._replace(
+                            bank=bank, row=int(row), column=int(col)
+                        )
+                    )
+                    for row, col in zip(rows, columns)
+                ],
+                dtype=np.uint64,
+            )
+            sets.append(members)
+        functions = tool._search_functions(machine, sets, 33)
+        assert gf2.span_equal(functions, mapping.bank_functions)
+
+    def test_merged_sets_lose_functions(self, tool_and_machine):
+        """Merging two banks into one 'set' (a threshold failure mode)
+        removes the function separating them from the candidate space."""
+        tool, machine, _, _ = tool_and_machine
+        mapping = machine.ground_truth
+        rng = np.random.default_rng(1)
+
+        def bank_members(bank, count=40):
+            rows = rng.integers(0, 2**16, size=count)
+            columns = rng.integers(0, 8192, size=count)
+            return [
+                mapping.encode(
+                    mapping.dram_address(0)._replace(
+                        bank=bank, row=int(row), column=int(col)
+                    )
+                )
+                for row, col in zip(rows, columns)
+            ]
+
+        # Banks 0 and 1 differ exactly in the channel function (6).
+        sets = [
+            np.array(bank_members(0) + bank_members(1), dtype=np.uint64)
+        ] + [np.array(bank_members(b), dtype=np.uint64) for b in range(2, 16)]
+        functions = tool._search_functions(machine, sets, 33)
+        assert not gf2.span_equal(functions, mapping.bank_functions)
+        assert not gf2.in_span(1 << 6, functions)  # the separator is lost
+
+
+class TestRowScan:
+    def test_noiseless_scan_finds_pure_rows(self, tool_and_machine):
+        tool, machine, pages, threshold = tool_and_machine
+        rows = tool._detect_rows(machine, pages, threshold, 33)
+        # Pure rows of No.1 are 20..32 (17-19 shared with functions).
+        assert set(rows) == set(range(20, 33))

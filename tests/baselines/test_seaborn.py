@@ -1,0 +1,68 @@
+"""Tests for the Seaborn & Dullien blind-probing baseline."""
+
+import pytest
+
+from repro.baselines.seaborn import SeabornConfig, SeabornTool
+from repro.dram.errors import ToolStuckError
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+
+
+def run_on(name, seed=2):
+    machine = SimulatedMachine.from_preset(preset(name), seed=seed)
+    return SeabornTool().run(machine, preset(name)), machine
+
+
+class TestVulnerableMachines:
+    def test_finds_working_strides_on_no1(self):
+        result, _ = run_on("No.1")
+        assert result.working_strides
+        assert result.flips_observed >= 2
+
+    def test_working_strides_are_row_moves(self):
+        """Every flipping stride must be one the ground truth maps to
+        same-bank-different-row most of the time."""
+        result, machine = run_on("No.1")
+        for stride in result.working_strides:
+            assert result.sbdr_rates[stride] > 0.5, hex(stride)
+
+    def test_column_strides_never_flip(self):
+        """Strides inside a row (8 KiB and below) keep the pair in one row:
+        no conflict, no hammering, no flips."""
+        result, _ = run_on("No.2")
+        small = [s for s in result.working_strides if s < 8192]
+        assert not small
+
+
+class TestSolidDimms:
+    def test_nothing_on_no5(self):
+        """No.5's DIMMs barely flip: the blind method is stone blind."""
+        with pytest.raises(ToolStuckError, match="no flipping stride"):
+            run_on("No.5")
+
+    def test_partial_result_carries_sweep_data(self):
+        machine = SimulatedMachine.from_preset(preset("No.5"), seed=2)
+        with pytest.raises(ToolStuckError) as info:
+            SeabornTool().run(machine, preset("No.5"))
+        assert info.value.partial_result.sbdr_rates
+
+
+class TestCost:
+    def test_sweep_takes_hours(self):
+        """Table I: the blind approach is 'within hours'."""
+        result, machine = run_on("No.1")
+        assert machine.elapsed_seconds > 3600
+
+    def test_failed_sweep_also_takes_hours(self):
+        machine = SimulatedMachine.from_preset(preset("No.5"), seed=2)
+        with pytest.raises(ToolStuckError):
+            SeabornTool().run(machine, preset("No.5"))
+        assert machine.elapsed_seconds > 3600
+
+
+def test_config_strides_bounded_by_memory():
+    """Strides near the memory size are skipped, not crashed on."""
+    config = SeabornConfig(stride_exponents=(13, 35))
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=2)
+    with pytest.raises(ToolStuckError):
+        SeabornTool(config).run(machine, preset("No.1"))

@@ -1,0 +1,77 @@
+"""Tests for the Xiao et al. baseline — paper Section IV-A behaviour."""
+
+import pytest
+
+from repro.baselines.xiao import CHANNEL_TEMPLATES, XiaoTool
+from repro.dram.errors import ToolStuckError
+from repro.dram.presets import preset, preset_names
+from repro.machine.machine import SimulatedMachine
+
+WORKS = [name for name in preset_names() if preset(name).xiao_compatible]
+FAILS = [name for name in preset_names() if not preset(name).xiao_compatible]
+
+
+@pytest.mark.parametrize("name", WORKS)
+def test_succeeds_on_compatible_machines(name):
+    machine = SimulatedMachine.from_preset(preset(name), seed=1)
+    result = XiaoTool().run(machine)
+    assert result.belief.hammer_equivalent(preset(name).mapping)
+
+
+@pytest.mark.parametrize("name", FAILS)
+def test_stuck_on_incompatible_machines(name):
+    """Section IV-A: the tool cannot handle No.2 and No.6-9."""
+    machine = SimulatedMachine.from_preset(preset(name), seed=1)
+    with pytest.raises(ToolStuckError):
+        XiaoTool().run(machine)
+
+
+def test_failure_set_matches_paper():
+    assert set(FAILS) == {"No.2", "No.6", "No.7", "No.8", "No.9"}
+
+
+def test_no6_partial_functions():
+    """On No.6 the tool resolves some two-bit functions before hanging, as
+    the paper describes ('stuck after resolving ... 3 of 6 functions')."""
+    machine = SimulatedMachine.from_preset(preset("No.6"), seed=1)
+    with pytest.raises(ToolStuckError) as info:
+        XiaoTool().run(machine)
+    partial = info.value.partial_result
+    assert partial
+    truth = set(preset("No.6").mapping.bank_functions)
+    assert set(partial) <= truth
+    assert len(partial) >= 2
+
+
+def test_stuck_burns_operator_budget():
+    """A stuck run costs the operator real time (they kill it eventually)."""
+    machine = SimulatedMachine.from_preset(preset("No.2"), seed=1)
+    tool = XiaoTool()
+    with pytest.raises(ToolStuckError):
+        tool.run(machine)
+    assert machine.elapsed_seconds >= tool.config.stuck_budget_seconds
+
+
+def test_fast_when_it_works():
+    """Table I: Xiao et al. is efficient (minutes)."""
+    machine = SimulatedMachine.from_preset(preset("No.5"), seed=1)
+    result = XiaoTool().run(machine)
+    assert result.seconds < 30 * 60
+
+
+def test_templates_cover_authors_platforms():
+    assert ("Sandy Bridge", 2) in CHANNEL_TEMPLATES
+    assert ("Haswell", 2) in CHANNEL_TEMPLATES
+    assert ("Skylake", 2) not in CHANNEL_TEMPLATES
+
+
+def test_haswell_template_is_the_wide_hash():
+    """No.5 only works because the tool ships the authors' dual-channel
+    Haswell hash; removing the template must break it."""
+    machine = SimulatedMachine.from_preset(preset("No.5"), seed=1)
+    saved = CHANNEL_TEMPLATES.pop(("Haswell", 2))
+    try:
+        with pytest.raises(ToolStuckError):
+            XiaoTool().run(machine)
+    finally:
+        CHANNEL_TEMPLATES[("Haswell", 2)] = saved

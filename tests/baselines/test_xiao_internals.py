@@ -1,0 +1,76 @@
+"""White-box tests of Xiao et al.'s partner search and compensation."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bits import bit, mask_of_bits, parity
+from repro.baselines.xiao import XiaoConfig, XiaoTool
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+def quiet_setup(name):
+    machine = SimulatedMachine.from_preset(
+        preset(name), seed=0, noise=NoiseParams.noiseless()
+    )
+    tool = XiaoTool()
+    pages = machine.allocate(int(machine.total_bytes * 0.8), "contiguous")
+    threshold = tool._calibrate(machine, pages)
+    return tool, machine, pages, threshold
+
+
+class TestCompensation:
+    def test_no_known_functions_needs_no_repair(self):
+        tool = XiaoTool()
+        assert tool._compensate(mask_of_bits([14, 18]), [], 18) == 0
+
+    def test_template_compensation(self):
+        """No.5's partner probe for (15,19) must be repaired against the
+        Haswell template hash."""
+        tool = XiaoTool()
+        big = mask_of_bits([7, 8, 9, 12, 13, 18, 19])
+        candidate = mask_of_bits([15, 19])
+        repair = tool._compensate(candidate, [big], 19)
+        assert repair is not None and repair != 0
+        assert parity((candidate | repair) & big) == 0
+        assert repair & candidate == 0
+
+    def test_unsolvable_returns_none(self):
+        """A function whose only free bit is the row itself cannot be
+        compensated (the No.5 cursor-17 case)."""
+        tool = XiaoTool()
+        known = [mask_of_bits([17, 21])]
+        assert tool._compensate(mask_of_bits([12, 17]), known, 17) is None
+
+
+class TestPartnerSearch:
+    def test_finds_true_partner_on_no1(self):
+        tool, machine, pages, threshold = quiet_setup("No.1")
+        partner = tool._find_partner(machine, pages, threshold, 19, [bit(6)])
+        assert partner == 16
+
+    def test_no_partner_for_pure_bank_bit(self):
+        """Bit 16 of No.1 pairs with 19 — but 19 is above it, so the
+        low-partner search finds nothing for cursor 16."""
+        tool, machine, pages, threshold = quiet_setup("No.1")
+        known = [bit(6), mask_of_bits([16, 19]), mask_of_bits([15, 18]),
+                 mask_of_bits([14, 17])]
+        assert tool._find_partner(machine, pages, threshold, 16, known) is None
+
+    def test_template_enables_shared_row_partner(self):
+        """On No.5, cursor 19 only resolves because the template hash is
+        known and compensated against."""
+        tool, machine, pages, threshold = quiet_setup("No.5")
+        big = mask_of_bits([7, 8, 9, 12, 13, 18, 19])
+        with_template = tool._find_partner(machine, pages, threshold, 19, [big])
+        assert with_template == 15
+        without = tool._find_partner(machine, pages, threshold, 19, [])
+        assert without is None
+
+
+class TestConfig:
+    def test_defaults(self):
+        config = XiaoConfig()
+        assert config.measure_repeats == 4
+        assert config.verify_agreement >= 0.95

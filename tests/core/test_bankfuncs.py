@@ -1,0 +1,155 @@
+"""Tests for Algorithm 3 (bank address function detection)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis import gf2
+from repro.analysis.bits import deposit_bits, extract_bits, mask_of_bits
+from repro.core.bankfuncs import bank_number, detect_bank_functions
+from repro.dram.errors import FunctionSearchError
+from repro.dram.presets import PRESETS
+
+BANK_BITS = {
+    "No.1": (6, 14, 15, 16, 17, 18, 19),
+    "No.2": tuple([7, 8, 9] + list(range(12, 22))),
+    "No.4": (13, 14, 15, 16, 17, 18),
+    "No.6": tuple([7, 8, 9] + list(range(12, 23))),
+    "No.8": (6, 13, 14, 15, 16, 17, 18, 19),
+}
+
+
+def ideal_piles(name, per_bank=None):
+    """Perfect piles: every combination of the bank bits, grouped by true
+    bank (what Algorithms 1+2 produce on a noiseless machine)."""
+    mapping = PRESETS[name].mapping
+    bits = BANK_BITS[name]
+    groups: dict[int, list[int]] = {}
+    for value in range(1 << len(bits)):
+        address = deposit_bits(value, bits)
+        groups.setdefault(mapping.bank_of(address), []).append(address)
+    piles = {}
+    for members in groups.values():
+        if per_bank is not None:
+            members = members[:per_bank]
+        piles[members[0]] = np.array(members[1:], dtype=np.uint64)
+    return piles
+
+
+@pytest.mark.parametrize("name", sorted(BANK_BITS))
+@pytest.mark.parametrize("strategy", ["nullspace", "enumerate"])
+def test_recovers_true_span(name, strategy):
+    mapping = PRESETS[name].mapping
+    piles = ideal_piles(name)
+    result = detect_bank_functions(
+        piles,
+        BANK_BITS[name],
+        expected_count=len(mapping.bank_functions),
+        num_banks=mapping.geometry.total_banks,
+        strategy=strategy,
+    )
+    assert gf2.span_equal(result.functions, mapping.bank_functions)
+
+
+def test_strategies_agree():
+    for name in ("No.1", "No.8"):
+        piles = ideal_piles(name)
+        mapping = PRESETS[name].mapping
+        kwargs = dict(
+            bank_bits=BANK_BITS[name],
+            expected_count=len(mapping.bank_functions),
+            num_banks=mapping.geometry.total_banks,
+        )
+        a = detect_bank_functions(piles, strategy="nullspace", **kwargs)
+        b = detect_bank_functions(piles, strategy="enumerate", **kwargs)
+        assert a.functions == b.functions
+        assert set(a.candidates) == set(b.candidates)
+
+
+def test_no1_exact_paper_functions():
+    """No.1's minimum-weight basis is exactly the paper's: (6), (14,17),
+    (15,18), (16,19)."""
+    result = detect_bank_functions(
+        ideal_piles("No.1"), BANK_BITS["No.1"], 4, 16
+    )
+    assert set(result.functions) == {
+        mask_of_bits([6]),
+        mask_of_bits([14, 17]),
+        mask_of_bits([15, 18]),
+        mask_of_bits([16, 19]),
+    }
+
+
+def test_candidates_are_whole_span():
+    """The candidate set is every XOR combination of the true functions —
+    what the paper's per-pile enumeration + intersection yields before
+    redundancy removal."""
+    mapping = PRESETS["No.1"].mapping
+    result = detect_bank_functions(ideal_piles("No.1"), BANK_BITS["No.1"], 4, 16)
+    assert set(result.candidates) == set(gf2.span(mapping.bank_functions))
+
+
+def test_numbering_counts_all_banks():
+    mapping = PRESETS["No.4"].mapping
+    result = detect_bank_functions(ideal_piles("No.4"), BANK_BITS["No.4"], 3, 8)
+    assert sorted(result.numbering.values()) == list(range(8))
+
+
+def test_bank_number_helper():
+    functions = (mask_of_bits([0]), mask_of_bits([1, 2]))
+    assert bank_number(0b001, functions) == 0b01
+    assert bank_number(0b010, functions) == 0b10
+    assert bank_number(0b111, functions) == 0b01
+
+
+def test_partial_piles_still_resolve():
+    """Algorithm 2 may stop at 85% partitioned; a majority of piles still
+    determines the functions."""
+    mapping = PRESETS["No.8"].mapping
+    piles = ideal_piles("No.8")
+    kept = dict(list(piles.items())[:13])  # 13 of 16 piles
+    result = detect_bank_functions(kept, BANK_BITS["No.8"], 4, 16)
+    assert gf2.span_equal(result.functions, mapping.bank_functions)
+
+
+def test_too_few_addresses_gives_wrong_functions():
+    """Starved piles (three piles of two addresses) leave the candidate
+    space under-constrained; Algorithm 3 then returns *some* function set
+    that is not the true one — the failure that downstream mapping
+    validation (and the paper's check_numbering over all piles) exists to
+    catch."""
+    mapping = PRESETS["No.2"].mapping
+    piles = ideal_piles("No.2", per_bank=2)
+    starved = dict(list(piles.items())[:3])
+    result = detect_bank_functions(starved, BANK_BITS["No.2"], 5, 32)
+    assert not gf2.span_equal(result.functions, mapping.bank_functions)
+
+
+def test_corrupt_pile_detected():
+    """An address outside the selection's bit range is a hard error."""
+    piles = ideal_piles("No.1")
+    pivot = next(iter(piles))
+    piles[pivot] = np.append(piles[pivot], np.uint64(pivot ^ (1 << 25)))
+    with pytest.raises(FunctionSearchError, match="differ outside"):
+        detect_bank_functions(piles, BANK_BITS["No.1"], 4, 16)
+
+
+def test_noisy_pile_breaks_numbering():
+    """A same-bank pile polluted with a wrong-bank address shrinks the
+    candidate space below the expected function count."""
+    mapping = PRESETS["No.1"].mapping
+    piles = ideal_piles("No.1")
+    pivot = next(iter(piles))
+    other_pivot = [p for p in piles if mapping.bank_of(p) != mapping.bank_of(pivot)][0]
+    piles[pivot] = np.append(piles[pivot], np.uint64(other_pivot))
+    with pytest.raises(FunctionSearchError):
+        detect_bank_functions(piles, BANK_BITS["No.1"], 4, 16)
+
+
+def test_input_validation():
+    with pytest.raises(FunctionSearchError, match="no piles"):
+        detect_bank_functions({}, (1, 2), 1, 2)
+    piles = ideal_piles("No.1")
+    with pytest.raises(FunctionSearchError, match="candidate bank bits"):
+        detect_bank_functions(piles, (6,), 4, 16)
+    with pytest.raises(ValueError, match="strategy"):
+        detect_bank_functions(piles, BANK_BITS["No.1"], 4, 16, strategy="magic")

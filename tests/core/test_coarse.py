@@ -1,0 +1,85 @@
+"""Tests for Step 1 (coarse-grained row & column detection)."""
+
+import numpy as np
+import pytest
+
+from repro.analysis.bits import bits_of_mask
+from repro.core.coarse import CoarseDetector, CoarseResult
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.presets import PRESETS, preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+def run_coarse(name, seed=0, noise=None):
+    machine = SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=noise or NoiseParams.noiseless()
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+    probe.calibrate(pages, np.random.default_rng(seed))
+    detector = CoarseDetector(
+        probe, pages, machine.ground_truth.geometry.address_bits,
+        np.random.default_rng(seed),
+    )
+    return machine, detector.detect()
+
+
+def expected_coarse(name) -> CoarseResult:
+    """Derive the expected coarse classification from ground truth: a bit is
+    coarse-row/column only if it does not feed any bank function."""
+    mapping = PRESETS[name].mapping
+    function_bits = {
+        position for mask in mapping.bank_functions for position in bits_of_mask(mask)
+    }
+    rows = tuple(b for b in mapping.row_bits if b not in function_bits)
+    columns = tuple(b for b in mapping.column_bits if b not in function_bits)
+    banks = tuple(
+        b
+        for b in range(mapping.geometry.address_bits)
+        if b not in rows and b not in columns
+    )
+    return CoarseResult(row_bits=rows, column_bits=columns, bank_bits=banks)
+
+
+@pytest.mark.parametrize("name", ["No.1", "No.2", "No.6", "No.8"])
+def test_coarse_matches_derivation(name):
+    """On a noiseless machine Step 1 must classify every bit exactly as the
+    shared-bit analysis predicts."""
+    _, result = run_coarse(name)
+    expected = expected_coarse(name)
+    assert result.row_bits == expected.row_bits
+    assert result.column_bits == expected.column_bits
+    assert result.bank_bits == expected.bank_bits
+
+
+def test_no1_concrete_values():
+    """No.1: coarse rows are 20-32 (17-19 shared), columns are 0-5 and
+    7-13, bank candidates are 6 and 14-19."""
+    _, result = run_coarse("No.1")
+    assert result.row_bits == tuple(range(20, 33))
+    assert result.column_bits == tuple(range(0, 6)) + tuple(range(7, 14))
+    assert result.bank_bits == (6,) + tuple(range(14, 20))
+
+
+def test_all_bits_classified():
+    _, result = run_coarse("No.4")
+    assert result.classified() == 32
+
+
+def test_coarse_with_noise_still_correct():
+    """Default (quiet-machine) noise must not corrupt the voted scan."""
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=5)
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+    probe.calibrate(pages, np.random.default_rng(5))
+    result = CoarseDetector(probe, pages, 33, np.random.default_rng(5)).detect()
+    assert result == expected_coarse("No.1")
+
+
+def test_votes_validation():
+    machine = SimulatedMachine.from_preset(preset("No.1"))
+    pages = machine.allocate(1 << 22, "contiguous")
+    probe = LatencyProbe(machine)
+    with pytest.raises(ValueError):
+        CoarseDetector(probe, pages, 33, np.random.default_rng(0), votes=0)

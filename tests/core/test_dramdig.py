@@ -1,0 +1,131 @@
+"""End-to-end tests of the DRAMDig pipeline — the paper's core claims."""
+
+import pytest
+
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.partition import PartitionConfig
+from repro.core.probe import ProbeConfig
+from repro.dram.presets import PRESETS, preset, preset_names
+from repro.machine.machine import SimulatedMachine
+
+FAST = DramDigConfig(probe=ProbeConfig(rounds=200))
+
+
+@pytest.mark.parametrize("name", preset_names())
+def test_recovers_every_machine(name):
+    """Generic: DRAMDig uncovers an equivalent mapping on all 9 settings."""
+    machine = SimulatedMachine.from_preset(preset(name), seed=1)
+    result = DramDig(FAST).run(machine)
+    assert result.mapping.equivalent_to(preset(name).mapping), result.mapping.describe()
+
+
+@pytest.mark.parametrize("name", ["No.1", "No.6"])
+def test_deterministic_across_machine_noise(name):
+    """Deterministic: different machine seeds (different noise streams and
+    buffer placement) yield the *same* mapping."""
+    outcomes = set()
+    for seed in (1, 2, 3):
+        machine = SimulatedMachine.from_preset(preset(name), seed=seed)
+        result = DramDig(FAST).run(machine)
+        outcomes.add(
+            (
+                tuple(sorted(result.mapping.bank_functions)),
+                result.mapping.row_bits,
+                result.mapping.column_bits,
+            )
+        )
+    assert len(outcomes) == 1
+
+
+def test_efficient_minutes_not_hours():
+    """Efficient: every machine finishes within the paper's worst case
+    (~17 minutes of simulated time)."""
+    for name in preset_names():
+        machine = SimulatedMachine.from_preset(preset(name), seed=1)
+        result = DramDig().run(machine)
+        assert result.total_seconds < 18 * 60, name
+
+
+def test_pool_size_drives_partition_cost():
+    """Section IV-B: the partition phase dominates and scales with the
+    selected pool (No.6 picks ~16k addresses, No.8 only hundreds)."""
+    big = SimulatedMachine.from_preset(preset("No.6"), seed=1)
+    small = SimulatedMachine.from_preset(preset("No.8"), seed=1)
+    result_big = DramDig().run(big)
+    result_small = DramDig().run(small)
+    assert result_big.pool_size > 50 * result_small.pool_size
+    assert result_big.phase_seconds["partition"] > 10 * result_small.phase_seconds["partition"]
+    assert result_big.phase_seconds["partition"] > max(
+        seconds
+        for phase, seconds in result_big.phase_seconds.items()
+        if phase != "partition"
+    )
+
+
+def test_noisy_machines_recovered_with_retries():
+    """The noisy laptops (No.3, No.7) may need pipeline retries but still
+    produce the correct deterministic mapping."""
+    for name in ("No.3", "No.7"):
+        machine = SimulatedMachine.from_preset(preset(name), seed=1)
+        result = DramDig().run(machine)
+        assert result.mapping.equivalent_to(preset(name).mapping)
+        assert result.retries <= 2
+
+
+def test_result_bookkeeping():
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+    result = DramDig(FAST).run(machine)
+    assert result.pool_size == 128
+    assert result.pile_count >= 13
+    assert result.measurements > 0
+    assert set(result.phase_seconds) == {
+        "allocate",
+        "calibrate",
+        "coarse",
+        "select",
+        "partition",
+        "functions",
+        "fine",
+    }
+    assert result.total_seconds == pytest.approx(
+        sum(result.phase_seconds.values()), rel=0.05
+    )
+
+
+def test_summary_renders():
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+    result = DramDig(FAST).run(machine)
+    text = result.summary()
+    assert "bank functions" in text
+    assert "(14, 17)" in text
+
+
+def test_enumerate_strategy_end_to_end():
+    """The paper-literal Algorithm 3 formulation gives the same result."""
+    config = DramDigConfig(probe=ProbeConfig(rounds=200), function_strategy="enumerate")
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+    result = DramDig(config).run(machine)
+    assert result.mapping.equivalent_to(preset("No.1").mapping)
+
+
+def test_config_validation():
+    with pytest.raises(ValueError):
+        DramDigConfig(alloc_fraction=0.0)
+    with pytest.raises(ValueError):
+        DramDigConfig(max_retries=-1)
+
+
+def test_partition_tolerances_are_papers():
+    config = DramDigConfig()
+    assert config.partition == PartitionConfig(delta=0.2, per_threshold=0.85)
+
+
+def test_mapping_validates_against_believed_geometry():
+    """The recovered mapping's geometry comes from parsed dmidecode, so its
+    bank/row/column bit budget is pinned before validation."""
+    machine = SimulatedMachine.from_preset(preset("No.9"), seed=1)
+    result = DramDig().run(machine)
+    geometry = result.mapping.geometry
+    truth = preset("No.9").geometry
+    assert geometry.total_banks == truth.total_banks
+    assert geometry.row_bytes == truth.row_bytes

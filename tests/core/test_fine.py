@@ -1,0 +1,80 @@
+"""Tests for Step 3 (fine-grained shared row/column detection)."""
+
+import numpy as np
+import pytest
+
+from repro.core.coarse import CoarseDetector
+from repro.core.fine import FineDetector
+from repro.core.knowledge import DomainKnowledge
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.errors import FineDetectionError
+from repro.dram.presets import PRESETS, preset
+from repro.machine.machine import SimulatedMachine
+from repro.machine.sysinfo import SystemInfo
+from repro.memctrl.timing import NoiseParams
+
+
+def run_fine(name, functions=None, seed=0):
+    machine = SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=NoiseParams.noiseless()
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+    rng = np.random.default_rng(seed)
+    probe.calibrate(pages, rng)
+    knowledge = DomainKnowledge.gather(SystemInfo.from_geometry(machine.ground_truth.geometry))
+    coarse = CoarseDetector(probe, pages, knowledge.address_bits, rng).detect()
+    detector = FineDetector(probe, knowledge, pages, rng)
+    functions = functions if functions is not None else preset(name).mapping.bank_functions
+    return detector.detect(coarse, tuple(functions))
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_completes_rows_and_columns(name):
+    """On every machine, Step 3 with the true functions must complete the
+    row/column sets to exactly the ground truth."""
+    result = run_fine(name)
+    mapping = PRESETS[name].mapping
+    assert result.row_bits == mapping.row_bits
+    assert result.column_bits == mapping.column_bits
+
+
+def test_no2_shared_bits():
+    """No.2: shared rows 18-21 (from the two-bit functions), shared columns
+    8, 9, 12, 13 (from the wide hash, excluding its lowest bit 7)."""
+    result = run_fine("No.2")
+    assert result.shared_row_bits == (18, 19, 20, 21)
+    assert result.shared_column_bits == (8, 9, 12, 13)
+
+
+def test_no8_shared_column_is_bit6():
+    result = run_fine("No.8")
+    assert result.shared_row_bits == (17, 18, 19)
+    assert result.shared_column_bits == (6,)
+
+
+def test_no4_needs_no_shared_columns():
+    """No.4's functions touch no column bits; only rows are completed."""
+    result = run_fine("No.4")
+    assert result.shared_column_bits == ()
+    assert result.shared_row_bits == (16, 17, 18)
+
+
+def test_works_with_equivalent_basis():
+    """Step 3 must work with *any* basis Algorithm 3 might output, not just
+    the paper's (the kernel-repair logic depends only on the span)."""
+    mapping = preset("No.2").mapping
+    functions = list(mapping.bank_functions)
+    # Re-express the wide hash as its canonical minimum-value form.
+    functions[4] ^= functions[0] ^ functions[1]
+    result = run_fine("No.2", functions=functions)
+    assert result.row_bits == mapping.row_bits
+    assert result.column_bits == mapping.column_bits
+
+
+def test_wrong_functions_fail_loudly():
+    """Feeding Step 3 a mapping-inconsistent function set must raise, not
+    silently fabricate bits."""
+    bad_functions = (1 << 14 | 1 << 15, 1 << 16 | 1 << 17, 1 << 18 | 1 << 19, 1 << 6)
+    with pytest.raises(FineDetectionError):
+        run_fine("No.1", functions=bad_functions)

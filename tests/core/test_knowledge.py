@@ -1,0 +1,59 @@
+"""Unit tests for the domain-knowledge provider."""
+
+import pytest
+
+from repro.core.knowledge import DomainKnowledge
+from repro.dram.presets import PRESETS
+from repro.machine.sysinfo import SystemInfo
+
+
+@pytest.mark.parametrize("name", sorted(PRESETS))
+def test_derived_counts_match_ground_truth(name):
+    """The knowledge derived from sysinfo must equal the ground-truth
+    geometry's bit budget on every paper machine."""
+    machine = PRESETS[name]
+    knowledge = DomainKnowledge.gather(SystemInfo.from_geometry(machine.geometry))
+    mapping = machine.mapping
+    assert knowledge.address_bits == machine.geometry.address_bits
+    assert knowledge.num_bank_functions == len(mapping.bank_functions)
+    assert knowledge.num_row_bits == len(mapping.row_bits)
+    assert knowledge.num_column_bits == len(mapping.column_bits)
+    assert knowledge.total_banks == machine.geometry.total_banks
+
+
+def test_ddr4_x16_width_inference():
+    """DDR4 with 8 banks per rank must be identified as x16 (8 KiB page)."""
+    info = SystemInfo.from_geometry(PRESETS["No.7"].geometry)
+    knowledge = DomainKnowledge.gather(info)
+    assert knowledge.row_bytes == 8192
+    assert knowledge.num_column_bits == 13
+
+
+class TestExcludedColumnBit:
+    def test_wide_function_lowest_bit(self):
+        """No.2: the 7-bit hash (7,8,9,12,13,18,19) excludes bit 7."""
+        functions = [f for f in PRESETS["No.2"].mapping.bank_functions]
+        assert DomainKnowledge.excluded_column_bit(functions) == 7
+
+    def test_no6_excludes_bit8(self):
+        functions = [f for f in PRESETS["No.6"].mapping.bank_functions]
+        assert DomainKnowledge.excluded_column_bit(functions) == 8
+
+    def test_tie_break_prefers_high_lowest_bit(self):
+        """Among all-two-bit machines the excluded bit must never be a real
+        column (bit 6 is a column on No.8)."""
+        functions = [f for f in PRESETS["No.8"].mapping.bank_functions]
+        excluded = DomainKnowledge.excluded_column_bit(functions)
+        assert excluded not in PRESETS["No.8"].mapping.column_bits
+
+    def test_empty(self):
+        assert DomainKnowledge.excluded_column_bit([]) is None
+
+
+def test_describe_mentions_counts():
+    knowledge = DomainKnowledge.gather(
+        SystemInfo.from_geometry(PRESETS["No.1"].geometry)
+    )
+    text = knowledge.describe()
+    assert "16 banks" in text
+    assert "4 bank functions" in text

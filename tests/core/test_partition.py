@@ -1,0 +1,150 @@
+"""Tests for Algorithm 2 (physical-address partition)."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig, partition_pool
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.selection import select_addresses
+from repro.dram.errors import PartitionError
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+BANK_BITS = {
+    "No.1": (6, 14, 15, 16, 17, 18, 19),
+    "No.4": (13, 14, 15, 16, 17, 18),
+    "No.8": (6, 13, 14, 15, 16, 17, 18, 19),
+}
+
+
+def setup(name, seed=0, noise=None, probe_config=None):
+    machine = SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=noise or NoiseParams.noiseless()
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(
+        machine, probe_config or ProbeConfig(rounds=100, calibration_pairs=768)
+    )
+    probe.calibrate(pages, np.random.default_rng(seed))
+    selection = select_addresses(pages, BANK_BITS[name])
+    return machine, probe, selection
+
+
+class TestPartitionConfig:
+    def test_paper_defaults(self):
+        config = PartitionConfig()
+        assert config.delta == 0.2
+        assert config.per_threshold == 0.85
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            PartitionConfig(delta=0.0)
+        with pytest.raises(ValueError):
+            PartitionConfig(per_threshold=1.5)
+        with pytest.raises(ValueError):
+            PartitionConfig(max_rounds_factor=0)
+
+
+class TestPartition:
+    def test_piles_are_same_bank(self):
+        machine, probe, selection = setup("No.8")
+        result = partition_pool(
+            probe, selection.pool, 16, np.random.default_rng(0)
+        )
+        mapping = machine.ground_truth
+        for pivot, members in result.piles.items():
+            pivot_bank = mapping.bank_of(pivot)
+            for member in members:
+                assert mapping.bank_of(int(member)) == pivot_bank
+
+    def test_piles_are_disjoint(self):
+        _, probe, selection = setup("No.8")
+        result = partition_pool(probe, selection.pool, 16, np.random.default_rng(0))
+        seen: set[int] = set()
+        for pivot, members in result.piles.items():
+            addresses = {pivot} | {int(m) for m in members}
+            assert not addresses & seen
+            seen |= addresses
+
+    def test_partitioned_fraction_reaches_threshold(self):
+        _, probe, selection = setup("No.1")
+        config = PartitionConfig()
+        result = partition_pool(
+            probe, selection.pool, 16, np.random.default_rng(0), config
+        )
+        fraction = result.partitioned_count() / len(selection.pool)
+        assert fraction >= config.per_threshold or result.pile_count == 16
+
+    def test_piles_have_distinct_banks(self):
+        machine, probe, selection = setup("No.4")
+        result = partition_pool(probe, selection.pool, 8, np.random.default_rng(0))
+        mapping = machine.ground_truth
+        banks = [mapping.bank_of(pivot) for pivot in result.piles]
+        assert len(set(banks)) == len(banks)
+
+    def test_leftovers_are_same_row_partners(self):
+        """On No.8 each pile misses its pivot's same-bank-same-row partner
+        (bits 6 and 13 flipped together); those end up as leftovers."""
+        machine, probe, selection = setup("No.8")
+        result = partition_pool(probe, selection.pool, 16, np.random.default_rng(0))
+        mapping = machine.ground_truth
+        for leftover in result.leftovers:
+            address = int(leftover)
+            # Same bank as some pivot but same row as it too.
+            partners = [
+                pivot
+                for pivot in result.piles
+                if mapping.bank_of(pivot) == mapping.bank_of(address)
+            ]
+            if partners:
+                assert any(
+                    mapping.row_of(pivot) == mapping.row_of(address)
+                    for pivot in partners
+                )
+
+    def test_pool_too_small_raises(self):
+        _, probe, selection = setup("No.1")
+        with pytest.raises(PartitionError, match="cannot form"):
+            partition_pool(probe, selection.pool[:20], 16, np.random.default_rng(0))
+
+    def test_invalid_bank_count(self):
+        _, probe, selection = setup("No.1")
+        with pytest.raises(PartitionError, match="at least 2"):
+            partition_pool(probe, selection.pool, 1, np.random.default_rng(0))
+
+    def test_wrong_bank_count_fails_to_converge(self):
+        """Lying about #banks (64 instead of 16) makes every pile fail the
+        size tolerance — the error the paper's System Information knowledge
+        prevents."""
+        _, probe, selection = setup("No.1")
+        with pytest.raises(PartitionError, match="no convergence"):
+            partition_pool(probe, selection.pool, 64, np.random.default_rng(0))
+
+    def test_deterministic_given_rng(self):
+        _, probe_a, selection_a = setup("No.4")
+        _, probe_b, selection_b = setup("No.4")
+        result_a = partition_pool(
+            probe_a, selection_a.pool, 8, np.random.default_rng(3)
+        )
+        result_b = partition_pool(
+            probe_b, selection_b.pool, 8, np.random.default_rng(3)
+        )
+        assert sorted(result_a.piles) == sorted(result_b.piles)
+
+    def test_noise_tolerated_with_repeats(self):
+        machine, probe, selection = setup(
+            "No.8",
+            seed=7,
+            noise=NoiseParams(),  # default quiet-machine noise
+            probe_config=ProbeConfig(rounds=100, calibration_pairs=256, repeats=2),
+        )
+        result = partition_pool(probe, selection.pool, 16, np.random.default_rng(7))
+        mapping = machine.ground_truth
+        wrong = 0
+        for pivot, members in result.piles.items():
+            pivot_bank = mapping.bank_of(pivot)
+            wrong += sum(
+                1 for m in members if mapping.bank_of(int(m)) != pivot_bank
+            )
+        assert wrong <= 2

@@ -1,0 +1,149 @@
+"""Unit tests for the latency probe and pair finding."""
+
+import numpy as np
+import pytest
+
+from repro.core.pairs import find_pair, find_pairs
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.errors import CalibrationError, SelectionError
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+def make_machine(name="No.1", seed=0, noise=None):
+    return SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=noise or NoiseParams.noiseless()
+    )
+
+
+@pytest.fixture
+def calibrated():
+    machine = make_machine()
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+    probe.calibrate(pages, np.random.default_rng(0))
+    return machine, pages, probe
+
+
+class TestProbeConfig:
+    def test_defaults_are_papers(self):
+        config = ProbeConfig()
+        assert config.repeats == 2
+        assert config.rounds > 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ProbeConfig(rounds=0)
+        with pytest.raises(ValueError):
+            ProbeConfig(repeats=0)
+        with pytest.raises(ValueError):
+            ProbeConfig(calibration_pairs=2)
+
+
+class TestCalibration:
+    def test_threshold_between_modes(self, calibrated):
+        _, _, probe = calibrated
+        threshold = probe.require_threshold()
+        assert threshold.fast_mode < threshold.cutoff < threshold.slow_mode
+
+    def test_uncalibrated_raises(self):
+        probe = LatencyProbe(make_machine())
+        with pytest.raises(CalibrationError, match="before calibrate"):
+            probe.require_threshold()
+
+    def test_calibration_survives_spike_noise(self):
+        """Reference-anchored calibration must survive the noisy-laptop
+        profile that breaks Otsu."""
+        machine = SimulatedMachine.from_preset(preset("No.3"), seed=0)
+        pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+        probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+        threshold = probe.calibrate(pages, np.random.default_rng(1))
+        # The true gap is ~27 ns on a ~90 ns base.
+        assert 0.15 < threshold.separation < 0.6
+
+
+class TestClassification:
+    def test_is_conflict_true_pair(self, calibrated):
+        machine, _, probe = calibrated
+        mapping = machine.ground_truth
+        base = 1 << 25
+        conflict = mapping.encode(
+            mapping.dram_address(base)._replace(row=mapping.row_of(base) ^ 1)
+        )
+        assert probe.is_conflict(base, conflict)
+
+    def test_is_conflict_same_row(self, calibrated):
+        _, _, probe = calibrated
+        assert not probe.is_conflict(1 << 25, (1 << 25) + 32)
+
+    def test_conflict_mask_matches_truth(self, calibrated):
+        machine, pages, probe = calibrated
+        rng = np.random.default_rng(2)
+        others = pages.sample_addresses(256, rng)
+        base = int(others[0])
+        flags = probe.conflict_mask(base, others)
+        mapping = machine.ground_truth
+        for i in range(0, 256, 17):
+            expected = mapping.is_row_conflict(base, int(others[i]))
+            assert flags[i] == expected
+
+    def test_measurement_counter(self, calibrated):
+        machine, _, probe = calibrated
+        before = probe.measurements_taken
+        probe.is_conflict(0x2000000, 0x2000040)
+        assert probe.measurements_taken == before + probe.config.repeats
+
+
+class TestFindPair:
+    def test_single_bit_low(self):
+        machine = make_machine()
+        pages = machine.allocate(1 << 24, "contiguous")
+        base, partner = find_pair(pages, 1 << 3, np.random.default_rng(0))
+        assert partner == base ^ 8
+        assert pages.has_page(base) and pages.has_page(partner)
+
+    def test_high_bit_needs_big_buffer(self):
+        machine = make_machine()  # 8 GiB
+        pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+        mask = 1 << 32
+        base, partner = find_pair(pages, mask, np.random.default_rng(0))
+        assert partner == base ^ mask
+        assert pages.has_page(partner)
+
+    def test_impossible_mask(self):
+        machine = make_machine()
+        pages = machine.allocate(1 << 22, "contiguous")  # 4 MiB only
+        with pytest.raises(SelectionError, match="no allocated address pair"):
+            find_pair(pages, 1 << 32, np.random.default_rng(0))
+
+    def test_mask_validation(self):
+        machine = make_machine()
+        pages = machine.allocate(1 << 22, "contiguous")
+        with pytest.raises(SelectionError):
+            find_pair(pages, 0, np.random.default_rng(0))
+        with pytest.raises(SelectionError, match="exceeds"):
+            find_pair(pages, machine.total_bytes * 2, np.random.default_rng(0))
+
+    def test_fragmented_fallback(self):
+        """On sparse allocations random sampling can fail; the exhaustive
+        sweep must still find an existing pair."""
+        machine = make_machine()
+        pages = machine.allocate(1 << 26, "sparse")
+        # Some single-page-distance pair certainly exists in 16k pages.
+        base, partner = find_pair(pages, 1 << 6, np.random.default_rng(0), sample_tries=2)
+        assert pages.has_page(base) and pages.has_page(partner)
+
+    def test_find_pairs_distinct(self):
+        machine = make_machine()
+        pages = machine.allocate(1 << 26, "contiguous")
+        pairs = find_pairs(pages, 1 << 13, 3, np.random.default_rng(0))
+        assert 1 <= len(pairs) <= 3
+        bases = [base for base, _ in pairs]
+        assert len(set(bases)) == len(bases)
+
+    def test_find_pairs_count_validation(self):
+        machine = make_machine()
+        pages = machine.allocate(1 << 22, "contiguous")
+        with pytest.raises(SelectionError):
+            find_pairs(pages, 8, 0, np.random.default_rng(0))

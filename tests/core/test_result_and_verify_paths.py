@@ -1,0 +1,94 @@
+"""Tests for result rendering and the pipeline's observable accounting."""
+
+import numpy as np
+import pytest
+
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.result import DramDigResult
+from repro.core.verify import verify_mapping
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+FAST = DramDigConfig(probe=ProbeConfig(rounds=200))
+
+
+@pytest.fixture(scope="module")
+def no1_result():
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=3)
+    return DramDig(FAST).run(machine), machine
+
+
+class TestResultRendering:
+    def test_summary_structure(self, no1_result):
+        result, _ = no1_result
+        lines = result.summary().splitlines()
+        assert lines[0].startswith("recovered in")
+        assert any(line.startswith("bank functions:") for line in lines)
+        assert any(line.startswith("phases:") for line in lines)
+
+    def test_bank_functions_property(self, no1_result):
+        result, _ = no1_result
+        assert result.bank_functions == result.mapping.bank_functions
+
+    def test_raw_pool_counts_aliases(self, no1_result):
+        """The raw selection (with miss-mask aliases) is a multiple of the
+        deduplicated pool — the discrepancy behind the paper's Section IV-B
+        address counts."""
+        result, _ = no1_result
+        assert result.raw_pool_size >= result.pool_size
+        assert result.raw_pool_size % result.pool_size == 0
+
+    def test_measurement_economy(self, no1_result):
+        """DRAMDig's knowledge keeps the measurement budget tiny: well under
+        ten thousand pair measurements for the whole No.1 run."""
+        result, _ = no1_result
+        assert result.measurements < 10_000
+
+    def test_construct_minimal(self):
+        mapping = preset("No.4").mapping
+        result = DramDigResult(mapping=mapping, total_seconds=1.0)
+        assert result.retries == 0
+        assert result.coarse is None
+
+
+class TestVerifyAfterPipeline:
+    def test_recovered_mapping_verifies_against_fresh_probe(self, no1_result):
+        """End of the real user's workflow: the recovered mapping must be
+        consistent with fresh measurements, checked without ground truth."""
+        result, machine = no1_result
+        pages = machine.allocate(int(machine.total_bytes * 0.5), "contiguous")
+        probe = LatencyProbe(machine, ProbeConfig(rounds=200, calibration_pairs=768))
+        rng = np.random.default_rng(9)
+        probe.calibrate(pages, rng)
+        report = verify_mapping(
+            probe,
+            pages,
+            BeliefMapping.from_mapping(result.mapping),
+            rng,
+            pairs=128,
+            total_banks=16,
+        )
+        assert report.verdict
+
+
+class TestMachineAccountingAcrossPipeline:
+    def test_clock_and_stats_monotone(self):
+        machine = SimulatedMachine.from_preset(
+            preset("No.4"), seed=0, noise=NoiseParams.noiseless()
+        )
+        assert machine.elapsed_seconds == 0.0
+        result = DramDig(FAST).run(machine)
+        assert machine.elapsed_seconds == pytest.approx(result.total_seconds, rel=1e-6)
+        assert machine.stats.measurements == result.measurements
+        assert machine.stats.allocations >= 1
+        assert machine.stats.accesses_timed > machine.stats.measurements
+
+    def test_phase_seconds_all_positive(self):
+        machine = SimulatedMachine.from_preset(preset("No.4"), seed=0)
+        result = DramDig(FAST).run(machine)
+        for phase, seconds in result.phase_seconds.items():
+            assert seconds >= 0.0, phase
+        assert result.phase_seconds["partition"] > 0.0

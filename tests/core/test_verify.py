@@ -1,0 +1,96 @@
+"""Tests for ground-truth-free mapping verification."""
+
+import numpy as np
+import pytest
+
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.core.verify import verify_mapping
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+@pytest.fixture(scope="module")
+def setup():
+    machine = SimulatedMachine.from_preset(
+        preset("No.1"), seed=0, noise=NoiseParams.noiseless()
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, ProbeConfig(rounds=100, calibration_pairs=768))
+    probe.calibrate(pages, np.random.default_rng(0))
+    return machine, pages, probe
+
+
+def test_correct_mapping_verifies(setup):
+    machine, pages, probe = setup
+    belief = BeliefMapping.from_mapping(machine.ground_truth)
+    report = verify_mapping(
+        probe, pages, belief, np.random.default_rng(1), total_banks=16
+    )
+    assert report.verdict
+    assert report.agreement == 1.0
+    assert "CONSISTENT" in report.describe()
+
+
+def test_missing_function_fails(setup):
+    machine, pages, probe = setup
+    truth = machine.ground_truth
+    belief = BeliefMapping(
+        address_bits=33,
+        bank_functions=truth.bank_functions[1:],  # drop the channel bit
+        row_bits=truth.row_bits,
+        column_bits=truth.column_bits,
+    )
+    report = verify_mapping(
+        probe, pages, belief, np.random.default_rng(2), pairs=512, total_banks=16
+    )
+    assert not report.verdict
+    assert report.false_conflicts > 0
+
+
+def test_phantom_row_bit_invisible_to_random_pairs(setup):
+    """A documented limitation: a phantom *extra* row bit only mispredicts
+    pairs that agree on every true row bit while differing in the phantom —
+    a 2^-16 coincidence random pairs never produce. Random-pair
+    verification passes; only a directed probe exposes the phantom."""
+    machine, pages, probe = setup
+    truth = machine.ground_truth
+    belief = BeliefMapping(
+        address_bits=33,
+        bank_functions=truth.bank_functions,
+        row_bits=(9,) + truth.row_bits,
+        column_bits=tuple(b for b in truth.column_bits if b != 9),
+    )
+    report = verify_mapping(
+        probe, pages, belief, np.random.default_rng(3), pairs=256, total_banks=16
+    )
+    assert report.verdict  # the blind spot
+
+    # Directed pair differing only in the phantom bit: belief predicts a
+    # conflict (same bank, different believed row); the machine reads fast.
+    base = 1 << 25
+    partner = base ^ (1 << 9)
+    predicted = (
+        belief.bank_of(base) == belief.bank_of(partner)
+        and belief.row_of(base) != belief.row_of(partner)
+    )
+    assert predicted
+    assert not probe.is_conflict(base, partner)
+
+
+def test_threshold_scales_with_banks(setup):
+    _, pages, probe = setup
+    belief = BeliefMapping.from_mapping(preset("No.1").mapping)
+    strict = verify_mapping(
+        probe, pages, belief, np.random.default_rng(4), total_banks=64
+    )
+    lax = verify_mapping(probe, pages, belief, np.random.default_rng(4), total_banks=8)
+    assert strict.threshold > lax.threshold
+
+
+def test_pair_count_validated(setup):
+    _, pages, probe = setup
+    belief = BeliefMapping.from_mapping(preset("No.1").mapping)
+    with pytest.raises(ValueError):
+        verify_mapping(probe, pages, belief, np.random.default_rng(0), pairs=4)

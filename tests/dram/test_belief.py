@@ -1,0 +1,130 @@
+"""Tests for BeliefMapping (unvalidated tool claims + aggressor aiming)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import PRESETS, preset
+
+
+def correct_belief(name="No.1") -> BeliefMapping:
+    return BeliefMapping.from_mapping(preset(name).mapping)
+
+
+class TestDecoding:
+    def test_matches_address_mapping(self):
+        mapping = preset("No.2").mapping
+        belief = BeliefMapping.from_mapping(mapping)
+        for address in (0, 0x12345678, 0x1FFFFFFC0):
+            assert belief.bank_of(address) == mapping.bank_of(address)
+            assert belief.row_of(address) == mapping.row_of(address)
+
+    def test_rows_property(self):
+        assert correct_belief().rows == 2**16
+
+    def test_incomplete_belief_still_decodes(self):
+        """A belief missing bits must not crash — it is just wrong."""
+        belief = BeliefMapping(
+            address_bits=33,
+            bank_functions=(1 << 6,),
+            row_bits=tuple(range(20, 33)),
+            column_bits=tuple(range(0, 6)),
+        )
+        assert belief.bank_of(1 << 6) == 1
+        assert belief.row_of(1 << 20) == 1
+
+
+class TestAiming:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    @pytest.mark.parametrize("delta", [-1, 1])
+    def test_correct_belief_aims_adjacent(self, name, delta):
+        """With the true mapping, the aimed neighbour is exactly one
+        physical row away in the same bank."""
+        mapping = PRESETS[name].mapping
+        belief = BeliefMapping.from_mapping(mapping)
+        victim = mapping.encode(
+            mapping.dram_address(0)._replace(row=1000, bank=3)
+        )
+        aggressor = belief.aim_row_neighbor(victim, delta)
+        assert aggressor is not None
+        assert mapping.bank_of(aggressor) == mapping.bank_of(victim)
+        assert mapping.row_of(aggressor) == mapping.row_of(victim) + delta
+
+    def test_row_bounds(self):
+        belief = correct_belief()
+        mapping = preset("No.1").mapping
+        first_row = mapping.encode(mapping.dram_address(0)._replace(row=0))
+        assert belief.aim_row_neighbor(first_row, -1) is None
+        last_row = mapping.encode(
+            mapping.dram_address(0)._replace(row=belief.rows - 1)
+        )
+        assert belief.aim_row_neighbor(last_row, +1) is None
+
+    def test_wrong_row_lsb_misaims(self):
+        """A belief whose lowest row bit is wrong (DRAMA phantom-row case)
+        places 'neighbours' that are not physically adjacent."""
+        mapping = preset("No.1").mapping
+        belief = BeliefMapping(
+            address_bits=33,
+            bank_functions=mapping.bank_functions,
+            row_bits=(10,) + mapping.row_bits,  # phantom bit 10
+            column_bits=tuple(b for b in mapping.column_bits if b != 10),
+        )
+        victim = 5 << 20
+        aggressor = belief.aim_row_neighbor(victim, +1)
+        assert aggressor is not None
+        # Bit 10 is a true column bit: the row did not move at all.
+        assert mapping.row_of(aggressor) == mapping.row_of(victim)
+
+    def test_missing_function_misaims_bank(self):
+        """A belief without the (14,17) function cannot repair the bank when
+        row bit 17 toggles: the aggressor lands in another bank."""
+        mapping = preset("No.1").mapping
+        functions = tuple(f for f in mapping.bank_functions if f != (1 << 14 | 1 << 17))
+        belief = BeliefMapping(
+            address_bits=33,
+            bank_functions=functions,
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        victim = mapping.encode(mapping.dram_address(0)._replace(row=1000))
+        aggressor = belief.aim_row_neighbor(victim, +1)  # flips row bit 17
+        assert aggressor is not None
+        assert mapping.bank_of(aggressor) != mapping.bank_of(victim)
+
+    @given(st.integers(min_value=0, max_value=2**33 - 1), st.sampled_from([-1, 1]))
+    @settings(max_examples=40)
+    def test_aim_never_leaves_address_space(self, victim, delta):
+        belief = correct_belief("No.1")
+        aggressor = belief.aim_row_neighbor(victim, delta)
+        if aggressor is not None:
+            assert 0 <= aggressor < 2**33
+
+
+class TestComparison:
+    def test_agrees_with_truth(self):
+        assert correct_belief("No.5").agrees_with(preset("No.5").mapping)
+
+    def test_hammer_equivalent_ignores_columns(self):
+        mapping = preset("No.5").mapping
+        belief = BeliefMapping(
+            address_bits=34,
+            bank_functions=mapping.bank_functions,
+            row_bits=mapping.row_bits,
+            column_bits=tuple(range(0, 7)),  # wrong columns
+        )
+        assert belief.hammer_equivalent(mapping)
+        assert not belief.agrees_with(mapping)
+
+    def test_basis_change_is_equivalent(self):
+        mapping = preset("No.2").mapping
+        functions = list(mapping.bank_functions)
+        functions[0] ^= functions[1]
+        belief = BeliefMapping(
+            address_bits=33,
+            bank_functions=tuple(functions),
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        assert belief.hammer_equivalent(mapping)

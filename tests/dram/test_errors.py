@@ -1,0 +1,33 @@
+"""Tests for the exception hierarchy."""
+
+import pytest
+
+from repro.dram import errors
+
+
+def test_all_errors_are_repro_errors():
+    for name in errors.__all__:
+        exception_type = getattr(errors, name)
+        if name == "ReproError":
+            continue
+        assert issubclass(exception_type, errors.ReproError), name
+
+
+def test_tool_stuck_carries_partial_result():
+    error = errors.ToolStuckError("stuck", partial_result=(1, 2))
+    assert error.partial_result == (1, 2)
+    assert "stuck" in str(error)
+
+
+def test_tool_stuck_partial_default():
+    assert errors.ToolStuckError("x").partial_result is None
+
+
+def test_timeout_carries_elapsed():
+    error = errors.ToolTimeoutError("dead", elapsed_seconds=7200.0)
+    assert error.elapsed_seconds == 7200.0
+
+
+def test_catchable_as_base():
+    with pytest.raises(errors.ReproError):
+        raise errors.PartitionError("nope")

@@ -1,0 +1,84 @@
+"""Unit tests for repro.dram.geometry."""
+
+import pytest
+
+from repro.dram.errors import GeometryError
+from repro.dram.geometry import DramGeometry
+from repro.dram.spec import DdrGeneration
+
+GIB = 2**30
+
+
+def make_geometry(**overrides):
+    params = dict(
+        generation=DdrGeneration.DDR3,
+        total_bytes=8 * GIB,
+        channels=2,
+        dimms_per_channel=1,
+        ranks_per_dimm=1,
+        banks_per_rank=8,
+    )
+    params.update(overrides)
+    return DramGeometry(**params)
+
+
+class TestDerivedCounts:
+    def test_no1_machine_counts(self):
+        """Sandy Bridge No.1: 16 banks, 4 bank bits, 13 column, 16 row bits."""
+        geometry = make_geometry()
+        assert geometry.total_banks == 16
+        assert geometry.address_bits == 33
+        assert geometry.num_bank_bits == 4
+        assert geometry.num_column_bits == 13
+        assert geometry.num_row_bits == 16
+
+    def test_rows_per_bank(self):
+        geometry = make_geometry()
+        assert geometry.rows_per_bank == 8 * GIB // (16 * 8192)
+        assert geometry.rows_per_bank == 2**16
+
+    def test_config_quadruple(self):
+        geometry = make_geometry(ranks_per_dimm=2)
+        assert geometry.config_quadruple == (2, 1, 2, 8)
+
+    def test_ddr4_16gib(self):
+        geometry = make_geometry(
+            generation=DdrGeneration.DDR4,
+            total_bytes=16 * GIB,
+            ranks_per_dimm=2,
+            banks_per_rank=16,
+        )
+        assert geometry.total_banks == 64
+        assert geometry.num_bank_bits == 6
+        assert geometry.num_row_bits == 15
+
+    def test_sizes_multiply_up(self):
+        geometry = make_geometry()
+        total = geometry.total_banks * geometry.rows_per_bank * geometry.row_bytes
+        assert total == geometry.total_bytes
+
+
+class TestValidation:
+    def test_non_power_of_two_size(self):
+        with pytest.raises(GeometryError, match="power of two"):
+            make_geometry(total_bytes=3 * GIB)
+
+    def test_non_power_of_two_channels(self):
+        with pytest.raises(GeometryError, match="power of two"):
+            make_geometry(channels=3)
+
+    def test_zero_banks(self):
+        with pytest.raises(GeometryError):
+            make_geometry(banks_per_rank=0)
+
+    def test_too_many_banks_for_size(self):
+        with pytest.raises(GeometryError, match="does not fit"):
+            make_geometry(total_bytes=2**13, banks_per_rank=8)
+
+
+class TestDescribe:
+    def test_mentions_size_and_quad(self):
+        text = make_geometry().describe()
+        assert "8GiB" in text
+        assert "(2, 1, 1, 8)" in text
+        assert "DDR3" in text

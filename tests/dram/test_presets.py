@@ -1,0 +1,141 @@
+"""Tests pinning the 9 machine presets to the paper's Table II."""
+
+import pytest
+
+from repro.analysis.bits import bits_of_mask
+from repro.dram.presets import PRESETS, TABLE2_ORDER, preset, preset_names
+from repro.dram.spec import DdrGeneration
+
+GIB = 2**30
+
+# Expected Table II data: config quadruple, bank functions (as bit tuples),
+# row bit span, column bits.
+TABLE2 = {
+    "No.1": {
+        "quad": (2, 1, 1, 8),
+        "functions": {(6,), (14, 17), (15, 18), (16, 19)},
+        "rows": set(range(17, 33)),
+        "columns": set(range(0, 6)) | set(range(7, 14)),
+        "gib": 8,
+        "ddr": DdrGeneration.DDR3,
+    },
+    "No.2": {
+        "quad": (2, 1, 2, 8),
+        "functions": {(14, 18), (15, 19), (16, 20), (17, 21), (7, 8, 9, 12, 13, 18, 19)},
+        "rows": set(range(18, 33)),
+        "columns": set(range(0, 7)) | set(range(8, 14)),
+        "gib": 8,
+        "ddr": DdrGeneration.DDR3,
+    },
+    "No.3": {
+        "quad": (1, 1, 2, 8),
+        "functions": {(13, 17), (14, 18), (15, 19), (16, 20)},
+        "rows": set(range(17, 32)),
+        "columns": set(range(0, 13)),
+        "gib": 4,
+        "ddr": DdrGeneration.DDR3,
+    },
+    "No.4": {
+        "quad": (1, 1, 1, 8),
+        "functions": {(13, 16), (14, 17), (15, 18)},
+        "rows": set(range(16, 32)),
+        "columns": set(range(0, 13)),
+        "gib": 4,
+        "ddr": DdrGeneration.DDR3,
+    },
+    "No.5": {
+        "quad": (2, 1, 2, 8),
+        "functions": {(14, 18), (15, 19), (16, 20), (17, 21), (7, 8, 9, 12, 13, 18, 19)},
+        # Paper erratum: printed 18~32 cannot address 16 GiB; see presets.py.
+        "rows": set(range(18, 34)),
+        "columns": set(range(0, 7)) | set(range(8, 14)),
+        "gib": 16,
+        "ddr": DdrGeneration.DDR3,
+    },
+    "No.6": {
+        "quad": (2, 1, 2, 16),
+        "functions": {
+            (7, 14),
+            (15, 19),
+            (16, 20),
+            (17, 21),
+            (18, 22),
+            (8, 9, 12, 13, 18, 19),
+        },
+        "rows": set(range(19, 34)),
+        "columns": set(range(0, 8)) | set(range(9, 14)),
+        "gib": 16,
+        "ddr": DdrGeneration.DDR4,
+    },
+    "No.7": {
+        "quad": (1, 1, 1, 8),
+        "functions": {(6, 13), (14, 16), (15, 17)},
+        "rows": set(range(16, 32)),
+        "columns": set(range(0, 13)),
+        "gib": 4,
+        "ddr": DdrGeneration.DDR4,
+    },
+    "No.8": {
+        "quad": (1, 1, 1, 16),
+        "functions": {(6, 13), (14, 17), (15, 18), (16, 19)},
+        "rows": set(range(17, 33)),
+        "columns": set(range(0, 13)),
+        "gib": 8,
+        "ddr": DdrGeneration.DDR4,
+    },
+    "No.9": {
+        "quad": (2, 1, 2, 16),
+        "functions": {
+            (7, 14),
+            (15, 19),
+            (16, 20),
+            (17, 21),
+            (18, 22),
+            (8, 9, 12, 13, 18, 19),
+        },
+        "rows": set(range(19, 34)),
+        "columns": set(range(0, 8)) | set(range(9, 14)),
+        "gib": 16,
+        "ddr": DdrGeneration.DDR4,
+    },
+}
+
+
+@pytest.mark.parametrize("name", sorted(TABLE2))
+def test_preset_matches_table2(name):
+    machine = preset(name)
+    expected = TABLE2[name]
+    mapping = machine.mapping
+    assert machine.geometry.config_quadruple == expected["quad"]
+    assert machine.geometry.total_bytes == expected["gib"] * GIB
+    assert machine.geometry.generation == expected["ddr"]
+    assert {bits_of_mask(m) for m in mapping.bank_functions} == expected["functions"]
+    assert set(mapping.row_bits) == expected["rows"]
+    assert set(mapping.column_bits) == expected["columns"]
+
+
+def test_all_nine_presets_present():
+    assert set(PRESETS) == set(TABLE2)
+    assert preset_names() == TABLE2_ORDER == tuple(f"No.{i}" for i in range(1, 10))
+
+
+def test_unknown_preset_raises():
+    with pytest.raises(KeyError, match="No.6"):
+        preset("No.10")
+
+
+def test_xiao_compatibility_matches_paper():
+    """Section IV-A: Xiao et al.'s tool fails on No.2 and No.6-9."""
+    failing = {name for name, m in PRESETS.items() if not m.xiao_compatible}
+    assert failing == {"No.2", "No.6", "No.7", "No.8", "No.9"}
+
+
+def test_microarchitectures():
+    assert preset("No.1").microarchitecture == "Sandy Bridge"
+    assert preset("No.9").microarchitecture == "Coffee Lake"
+
+
+def test_vulnerability_ordering():
+    """No.2 is the most flip-prone machine in Table III; No.5 barely flips."""
+    assert preset("No.2").hammer_vulnerability > preset("No.1").hammer_vulnerability
+    assert preset("No.5").hammer_vulnerability < preset("No.1").hammer_vulnerability / 10

@@ -1,0 +1,94 @@
+"""Tests for the random-mapping generator and the end-to-end fuzz of
+DRAMDig against machines nobody hand-picked."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.analysis import gf2
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.probe import ProbeConfig
+from repro.dram.random_mapping import random_geometry, random_mapping
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+class TestGenerator:
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=80, deadline=None)
+    def test_always_valid(self, seed):
+        """Every generated mapping passes AddressMapping validation (the
+        constructor raises otherwise, so construction success is the
+        assertion) and has independent functions."""
+        mapping = random_mapping(np.random.default_rng(seed))
+        assert gf2.is_independent(mapping.bank_functions)
+        assert len(mapping.row_bits) == mapping.geometry.num_row_bits
+
+    @given(st.integers(min_value=0, max_value=10_000))
+    @settings(max_examples=40, deadline=None)
+    def test_geometry_plausible(self, seed):
+        geometry = random_geometry(np.random.default_rng(seed))
+        assert 4 * 2**30 <= geometry.total_bytes <= 32 * 2**30
+        assert geometry.total_banks <= 64
+        assert geometry.num_column_bits == 13
+
+    def test_distribution_covers_wide_hashes(self):
+        """Some generated dual-channel machines must carry a wide hash."""
+        wide = 0
+        for seed in range(60):
+            mapping = random_mapping(np.random.default_rng(seed))
+            if any(bin(f).count("1") > 2 for f in mapping.bank_functions):
+                wide += 1
+        assert wide > 5
+
+    def test_rows_on_top_columns_on_bottom(self):
+        for seed in range(20):
+            mapping = random_mapping(np.random.default_rng(seed))
+            assert max(mapping.row_bits) == mapping.geometry.address_bits - 1
+            assert mapping.column_bits[0] == 0
+
+
+class TestFuzzDramDig:
+    """The reproduction's strongest property: DRAMDig recovers *random*
+    Intel-shaped machines, not just the nine the paper picked."""
+
+    @pytest.mark.parametrize("seed", range(6))
+    def test_recovers_random_machine(self, seed):
+        mapping = random_mapping(np.random.default_rng(seed))
+        machine = SimulatedMachine(mapping=mapping, seed=seed)
+        config = DramDigConfig(probe=ProbeConfig(rounds=200))
+        result = DramDig(config).run(machine)
+        assert result.mapping.equivalent_to(mapping), (
+            seed,
+            mapping.describe(),
+            result.mapping.describe(),
+        )
+
+    def test_recovers_noiseless_quickly(self):
+        mapping = random_mapping(np.random.default_rng(99))
+        machine = SimulatedMachine(
+            mapping=mapping, seed=0, noise=NoiseParams.noiseless()
+        )
+        result = DramDig(DramDigConfig(probe=ProbeConfig(rounds=100))).run(machine)
+        assert result.retries == 0
+        assert result.mapping.equivalent_to(mapping)
+
+
+class TestRandomMappingRoundtrips:
+    """The encode/decode bijection must hold on generated machines too."""
+
+    @given(st.integers(min_value=0, max_value=5000), st.integers(min_value=0, max_value=2**30))
+    @settings(max_examples=60, deadline=None)
+    def test_decode_encode_roundtrip(self, gen_seed, raw_addr):
+        mapping = random_mapping(np.random.default_rng(gen_seed))
+        address = raw_addr % mapping.geometry.total_bytes
+        assert mapping.encode(mapping.dram_address(address)) == address
+
+    @given(st.integers(min_value=0, max_value=5000))
+    @settings(max_examples=30, deadline=None)
+    def test_serialization_roundtrip(self, gen_seed):
+        from repro.dram.serialization import mapping_from_dict, mapping_to_dict
+
+        mapping = random_mapping(np.random.default_rng(gen_seed))
+        assert mapping_from_dict(mapping_to_dict(mapping)) == mapping

@@ -1,0 +1,97 @@
+"""Unit tests for repro.dram.spec (data-sheet knowledge)."""
+
+import pytest
+
+from repro.dram.errors import GeometryError
+from repro.dram.spec import (
+    DdrGeneration,
+    DdrTimings,
+    chip_spec,
+    default_timings,
+    rank_page_bytes,
+)
+
+
+class TestChipSpec:
+    def test_ddr3_x8(self):
+        spec = chip_spec(DdrGeneration.DDR3, 8)
+        assert spec.banks == 8
+        assert spec.page_bytes == 1024
+        assert spec.chips_per_rank == 8
+
+    def test_ddr4_x8_has_16_banks(self):
+        assert chip_spec(DdrGeneration.DDR4, 8).banks == 16
+
+    def test_ddr4_x16_has_8_banks(self):
+        """x16 DDR4 parts have 2 bank groups only — this is why machine No.7
+        (DDR4, 1 rank) has just 8 banks."""
+        assert chip_spec(DdrGeneration.DDR4, 16).banks == 8
+
+    def test_unknown_width_rejected(self):
+        with pytest.raises(GeometryError, match="x32"):
+            chip_spec(DdrGeneration.DDR3, 32)
+
+    @pytest.mark.parametrize("generation", list(DdrGeneration))
+    @pytest.mark.parametrize("width", [8, 16])
+    def test_rank_page_8kib_for_consumer_widths(self, generation, width):
+        """x8 and x16 ranks have an 8 KiB page -> 13 column bits, as in all
+        rows of Table II (consumer DIMMs are x8/x16)."""
+        assert rank_page_bytes(chip_spec(generation, width)) == 8192
+
+    @pytest.mark.parametrize("generation", list(DdrGeneration))
+    def test_rank_page_16kib_for_x4(self, generation):
+        """x4 (server RDIMM) ranks gang 16 chips -> 16 KiB pages."""
+        assert rank_page_bytes(chip_spec(generation, 4)) == 16384
+
+
+class TestTimings:
+    def test_latency_ordering(self):
+        for generation in DdrGeneration:
+            timings = default_timings(generation)
+            assert timings.row_hit_ns < timings.row_closed_ns < timings.row_conflict_ns
+
+    def test_conflict_is_sum(self):
+        timings = default_timings(DdrGeneration.DDR3)
+        assert timings.row_conflict_ns == pytest.approx(
+            timings.trp + timings.trcd + timings.tcas
+        )
+
+    def test_refresh_slower_than_interval(self):
+        timings = default_timings(DdrGeneration.DDR4)
+        assert timings.trfc < timings.trefi
+
+    def test_negative_timing_rejected(self):
+        with pytest.raises(GeometryError):
+            DdrTimings(trcd=-1, trp=1, tcas=1, tras=1, trefi=1, trfc=1)
+
+
+class TestSpeedBins:
+    def test_all_bins_valid(self):
+        from repro.dram.spec import speed_bin_names, timings_for_bin
+
+        for name in speed_bin_names():
+            timings = timings_for_bin(name)
+            assert timings.row_hit_ns < timings.row_conflict_ns
+
+    def test_nanoseconds_stable_across_bins(self):
+        """The timing-channel gap barely changes with the speed bin — the
+        reason the reverse-engineering works on any DIMM speed."""
+        from repro.dram.spec import speed_bin_names, timings_for_bin
+
+        gaps = [
+            timings_for_bin(name).row_conflict_ns - timings_for_bin(name).row_hit_ns
+            for name in speed_bin_names()
+        ]
+        assert max(gaps) / min(gaps) < 1.15
+
+    def test_default_bins_match_generation_defaults(self):
+        from repro.dram.spec import timings_for_bin
+
+        assert timings_for_bin("DDR3-1600").tcas == pytest.approx(13.75)
+        assert timings_for_bin("DDR4-2400").trcd == pytest.approx(14.16)
+
+    def test_unknown_bin(self):
+        from repro.dram.spec import timings_for_bin
+
+        with pytest.raises(GeometryError, match="DDR5-4800"):
+            timings_for_bin("DDR5-4800")

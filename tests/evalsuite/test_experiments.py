@@ -1,0 +1,138 @@
+"""Tests for the evaluation harness (paper tables/figures).
+
+These use reduced panels/configs to stay fast; the full-scale runs live in
+``benchmarks/``.
+"""
+
+import pytest
+
+from repro.baselines.drama import DramaConfig
+from repro.core.dramdig import DramDigConfig
+from repro.core.probe import ProbeConfig
+from repro.evalsuite.figure2 import render_figure2, run_figure2
+from repro.evalsuite.reporting import format_seconds, render_series, render_table
+from repro.evalsuite.table1 import render_table1, run_table1
+from repro.evalsuite.table2 import render_table2, run_table2
+from repro.evalsuite.table3 import render_table3, run_table3
+from repro.rowhammer.hammer import HammerConfig
+
+FAST_DRAMDIG = DramDigConfig(probe=ProbeConfig(rounds=200))
+FAST_DRAMA = DramaConfig(pool_size=2500, rounds=400, timeout_seconds=600.0)
+FAST_HAMMER = HammerConfig(duration_seconds=20.0)
+
+
+class TestReporting:
+    def test_render_table_aligns(self):
+        text = render_table(["a", "bb"], [["x", "y"], ["long", "z"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line.rstrip()) for line in lines[2:])) <= 2
+
+    def test_render_series(self):
+        text = render_series("times", [("m1", 10.0), ("m2", 20.0)])
+        assert "m1" in text and "#" in text
+
+    def test_render_series_empty(self):
+        assert "empty" in render_series("x", [])
+
+    def test_format_seconds(self):
+        assert format_seconds(69) == "69 s"
+        assert format_seconds(468) == "7.8 min"
+        assert format_seconds(7200) == "2.0 h"
+
+
+class TestTable2:
+    def test_small_panel(self):
+        rows = run_table2(seed=1, machines=("No.1", "No.4"), config=FAST_DRAMDIG)
+        assert len(rows) == 2
+        assert all(row.matches_ground_truth for row in rows)
+
+    def test_render_contains_paper_values(self):
+        rows = run_table2(seed=1, machines=("No.1",), config=FAST_DRAMDIG)
+        text = render_table2(rows)
+        assert "(14, 17)" in text
+        assert "17~32" in text
+        assert "0~5, 7~13" in text
+        assert "Sandy Bridge" in text
+
+
+class TestFigure2:
+    def test_dramdig_beats_drama(self):
+        points = run_figure2(
+            seed=1,
+            machines=("No.1",),
+            dramdig_config=FAST_DRAMDIG,
+            drama_config=FAST_DRAMA,
+        )
+        point = points[0]
+        assert not point.drama_timed_out
+        assert point.dramdig_seconds < point.drama_seconds
+
+    def test_noisy_machine_timeout(self):
+        points = run_figure2(
+            seed=1,
+            machines=("No.7",),
+            dramdig_config=FAST_DRAMDIG,
+            drama_config=FAST_DRAMA,
+        )
+        assert points[0].drama_timed_out
+
+    def test_render(self):
+        points = run_figure2(
+            seed=1,
+            machines=("No.4",),
+            dramdig_config=FAST_DRAMDIG,
+            drama_config=FAST_DRAMA,
+        )
+        text = render_figure2(points)
+        assert "DRAMDig average" in text
+
+
+class TestTable3:
+    def test_dramdig_wins_no2(self):
+        rows = run_table3(
+            seed=1,
+            tests=2,
+            machines=("No.2",),
+            hammer_config=FAST_HAMMER,
+            dramdig_config=FAST_DRAMDIG,
+            drama_config=FAST_DRAMA,
+        )
+        row = rows[0]
+        assert len(row.dramdig_flips) == 2
+        assert row.dramdig_total > 0
+        assert row.dramdig_total >= row.drama_total
+
+    def test_render(self):
+        rows = run_table3(
+            seed=1,
+            tests=1,
+            machines=("No.1",),
+            hammer_config=FAST_HAMMER,
+            dramdig_config=FAST_DRAMDIG,
+            drama_config=FAST_DRAMA,
+        )
+        text = render_table3(rows)
+        assert "T1" in text and "Total" in text and "/" in text
+
+
+class TestTable1:
+    def test_small_panel_verdicts(self):
+        verdicts = run_table1(
+            seed=1,
+            machines=("No.1", "No.2"),
+            determinism_runs=2,
+            drama_config=FAST_DRAMA,
+        )
+        by_tool = {verdict.tool: verdict for verdict in verdicts}
+        assert by_tool["DRAMDig"].generic
+        assert by_tool["DRAMDig"].deterministic
+        assert not by_tool["Xiao et al."].generic  # stuck on No.2
+        assert not by_tool["Seaborn et al."].generic
+
+    def test_render(self):
+        verdicts = run_table1(
+            seed=1, machines=("No.1",), determinism_runs=1, drama_config=FAST_DRAMA
+        )
+        text = render_table1(verdicts)
+        assert "DRAMDig" in text and "Generic" in text

@@ -1,0 +1,44 @@
+"""Edge cases of the shared text renderers."""
+
+from repro.evalsuite.reporting import format_seconds, render_series, render_table
+
+
+class TestRenderTable:
+    def test_empty_rows(self):
+        text = render_table(["a", "b"], [])
+        assert text.splitlines()[0].startswith("a")
+        assert len(text.splitlines()) == 2  # header + rule only
+
+    def test_non_string_cells(self):
+        text = render_table(["n", "f"], [[1, 2.5], [None, True]])
+        assert "None" in text and "2.5" in text
+
+    def test_column_width_follows_longest(self):
+        text = render_table(["x"], [["short"], ["a-much-longer-cell"]])
+        header, rule, *rows = text.splitlines()
+        assert len(rule) == len("a-much-longer-cell")
+
+
+class TestRenderSeries:
+    def test_zero_values_no_bar(self):
+        text = render_series("s", [("a", 0.0), ("b", 10.0)])
+        a_line = next(line for line in text.splitlines() if " a " in f" {line} ")
+        assert "#" not in a_line
+
+    def test_all_zero_does_not_divide_by_zero(self):
+        text = render_series("s", [("a", 0.0)])
+        assert "a" in text
+
+    def test_unit_override(self):
+        text = render_series("s", [("a", 3.0)], unit="x")
+        assert "3.0x" in text
+
+
+class TestFormatSeconds:
+    def test_boundaries(self):
+        assert format_seconds(0) == "0 s"
+        assert format_seconds(119) == "119 s"
+        assert format_seconds(120) == "2.0 min"
+        assert format_seconds(7199) == "120.0 min"
+        assert format_seconds(7200) == "2.0 h"
+        assert format_seconds(10_800) == "3.0 h"

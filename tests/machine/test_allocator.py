@@ -1,0 +1,159 @@
+"""Unit and property tests for the simulated page allocator."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.errors import AllocationError
+from repro.machine.allocator import PAGE_SIZE, PageAllocator, PhysPages
+
+MIB = 2**20
+GIB = 2**30
+
+
+@pytest.fixture
+def allocator():
+    return PageAllocator(total_bytes=1 * GIB)
+
+
+class TestPhysPages:
+    def test_dedup_and_sort(self):
+        pages = PhysPages(page_numbers=np.array([5, 3, 5], dtype=np.uint64), total_bytes=GIB)
+        np.testing.assert_array_equal(pages.page_numbers, [3, 5])
+        assert len(pages) == 2
+        assert pages.byte_count == 2 * PAGE_SIZE
+
+    def test_has_page(self):
+        pages = PhysPages(page_numbers=np.array([3], dtype=np.uint64), total_bytes=GIB)
+        assert pages.has_page(3 * PAGE_SIZE)
+        assert pages.has_page(3 * PAGE_SIZE + 100)
+        assert not pages.has_page(4 * PAGE_SIZE)
+
+    def test_has_pages_vectorized(self):
+        pages = PhysPages(page_numbers=np.array([3, 7], dtype=np.uint64), total_bytes=GIB)
+        addrs = np.array([3 * PAGE_SIZE, 5 * PAGE_SIZE, 7 * PAGE_SIZE + 64], dtype=np.uint64)
+        np.testing.assert_array_equal(pages.has_pages(addrs), [True, False, True])
+
+    def test_has_range_contiguous(self):
+        pages = PhysPages(
+            page_numbers=np.arange(10, 20, dtype=np.uint64), total_bytes=GIB
+        )
+        assert pages.has_range(10 * PAGE_SIZE, 20 * PAGE_SIZE)
+        assert pages.has_range(12 * PAGE_SIZE, 13 * PAGE_SIZE)
+        assert not pages.has_range(9 * PAGE_SIZE, 11 * PAGE_SIZE)
+        assert not pages.has_range(19 * PAGE_SIZE, 21 * PAGE_SIZE)
+
+    def test_has_range_with_hole(self):
+        frames = np.array([10, 11, 13, 14], dtype=np.uint64)  # 12 missing
+        pages = PhysPages(page_numbers=frames, total_bytes=GIB)
+        assert not pages.has_range(10 * PAGE_SIZE, 15 * PAGE_SIZE)
+        assert pages.has_range(13 * PAGE_SIZE, 15 * PAGE_SIZE)
+
+    def test_sample_addresses_inside_pages(self):
+        pages = PhysPages(
+            page_numbers=np.arange(100, 164, dtype=np.uint64), total_bytes=GIB
+        )
+        rng = np.random.default_rng(0)
+        addrs = pages.sample_addresses(500, rng)
+        assert pages.has_pages(addrs).all()
+        assert (addrs % 64 == 0).all(), "samples must be cache-line aligned"
+
+    def test_sample_count_validation(self):
+        pages = PhysPages(page_numbers=np.array([1], dtype=np.uint64), total_bytes=GIB)
+        with pytest.raises(AllocationError):
+            pages.sample_addresses(0, np.random.default_rng(0))
+
+
+class TestContiguous:
+    def test_exact_frames(self, allocator):
+        pages = allocator.allocate_contiguous(16 * MIB, np.random.default_rng(1))
+        assert len(pages) == 16 * MIB // PAGE_SIZE
+        frames = pages.page_numbers
+        assert (np.diff(frames) == 1).all()
+
+    def test_range_is_fully_allocated(self, allocator):
+        pages = allocator.allocate_contiguous(MIB, np.random.default_rng(2))
+        start = int(pages.page_numbers[0]) * PAGE_SIZE
+        assert pages.has_range(start, start + MIB)
+
+    def test_avoids_reserved_low_memory(self, allocator):
+        for seed in range(5):
+            pages = allocator.allocate_contiguous(MIB, np.random.default_rng(seed))
+            assert int(pages.page_numbers[0]) * PAGE_SIZE >= allocator.reserved_low_bytes
+
+    def test_rejects_oversized(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.allocate_contiguous(2 * GIB, np.random.default_rng(0))
+
+    def test_rejects_zero(self, allocator):
+        with pytest.raises(AllocationError):
+            allocator.allocate_contiguous(0, np.random.default_rng(0))
+
+
+class TestFragmented:
+    def test_requested_amount_collected(self, allocator):
+        request = 32 * MIB
+        pages = allocator.allocate_fragmented(request, np.random.default_rng(3))
+        assert pages.byte_count >= request
+
+    def test_has_holes(self, allocator):
+        pages = allocator.allocate_fragmented(
+            64 * MIB, np.random.default_rng(4), hole_fraction=0.05
+        )
+        frames = pages.page_numbers
+        assert (np.diff(frames) > 1).any(), "fragmented allocation should have gaps"
+
+    def test_zero_hole_fraction_gives_whole_blocks(self, allocator):
+        pages = allocator.allocate_fragmented(
+            8 * MIB, np.random.default_rng(5), hole_fraction=0.0
+        )
+        assert pages.byte_count >= 8 * MIB
+
+
+class TestSparse:
+    def test_scattered(self, allocator):
+        pages = allocator.allocate_sparse(4 * MIB, np.random.default_rng(6))
+        frames = pages.page_numbers
+        assert (np.diff(frames) > 1).mean() > 0.9
+
+    def test_unique(self, allocator):
+        pages = allocator.allocate_sparse(4 * MIB, np.random.default_rng(7))
+        assert len(np.unique(pages.page_numbers)) == len(pages)
+
+
+class TestHugepages:
+    def test_aligned_blocks(self, allocator):
+        huge_frames = (2 * MIB) // PAGE_SIZE
+        pages = allocator.allocate_hugepages(8 * MIB, np.random.default_rng(8))
+        starts = pages.page_numbers[:: huge_frames]
+        assert (starts % huge_frames == 0).all()
+
+    def test_each_block_contiguous(self, allocator):
+        pages = allocator.allocate_hugepages(4 * MIB, np.random.default_rng(9))
+        frames = pages.page_numbers
+        huge_frames = (2 * MIB) // PAGE_SIZE
+        for i in range(0, len(frames), huge_frames):
+            block = frames[i : i + huge_frames]
+            assert (np.diff(block) == 1).all()
+
+
+class TestValidation:
+    def test_bad_total(self):
+        with pytest.raises(AllocationError):
+            PageAllocator(total_bytes=1000)
+
+    def test_bad_reserved(self):
+        with pytest.raises(AllocationError):
+            PageAllocator(total_bytes=GIB, reserved_low_bytes=2 * GIB)
+
+
+@given(st.integers(min_value=1, max_value=64), st.integers(min_value=0, max_value=2**32))
+@settings(max_examples=20, deadline=None)
+def test_contiguous_property(mib, seed):
+    allocator = PageAllocator(total_bytes=GIB)
+    pages = allocator.allocate_contiguous(mib * MIB, np.random.default_rng(seed))
+    frames = pages.page_numbers
+    assert len(frames) == mib * MIB // PAGE_SIZE
+    assert (np.diff(frames) == 1).all()
+    assert int(frames[-1]) < GIB // PAGE_SIZE

@@ -1,0 +1,154 @@
+"""Unit tests for the SimulatedMachine facade and clock accounting."""
+
+import numpy as np
+import pytest
+
+from repro.dram.presets import preset
+from repro.machine.clock import MeasurementCost, SimClock
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+
+def quiet_machine(name="No.1", seed=0):
+    return SimulatedMachine.from_preset(
+        preset(name), seed=seed, noise=NoiseParams.noiseless()
+    )
+
+
+class TestClock:
+    def test_charge_accumulates(self):
+        clock = SimClock()
+        clock.charge(5e9)
+        clock.charge(1e9)
+        assert clock.elapsed_seconds == pytest.approx(6.0)
+        assert clock.elapsed_minutes == pytest.approx(0.1)
+        assert clock.charges == 2
+
+    def test_negative_charge_rejected(self):
+        with pytest.raises(ValueError):
+            SimClock().charge(-1.0)
+
+    def test_checkpoint_span(self):
+        clock = SimClock()
+        clock.charge(100.0)
+        mark = clock.checkpoint()
+        clock.charge(50.0)
+        assert clock.since(mark) == pytest.approx(50.0)
+
+    def test_measurement_cost_formula(self):
+        cost = MeasurementCost(setup_ns=1000.0, per_round_ns=10.0)
+        assert cost.measurement_ns(100, 200.0) == pytest.approx(1000 + 100 * 210.0)
+
+    def test_measurement_cost_validation(self):
+        with pytest.raises(ValueError):
+            MeasurementCost().measurement_ns(0, 100.0)
+
+
+class TestMeasurement:
+    def test_conflict_pair_is_slow(self):
+        machine = quiet_machine()
+        mapping = machine.ground_truth
+        base = 1 << 24
+        conflict = mapping.encode(
+            mapping.dram_address(base)._replace(row=mapping.row_of(base) ^ 1)
+        )
+        same_row = base + 64
+        assert machine.measure_latency(base, conflict) > machine.measure_latency(
+            base, same_row
+        )
+
+    def test_batch_matches_scalar_classification(self):
+        machine = quiet_machine("No.4")
+        rng = np.random.default_rng(0)
+        others = rng.integers(0, machine.total_bytes, 256, dtype=np.uint64)
+        base = int(others[0]) ^ (1 << 20)
+        batch = machine.measure_latency_batch(base, others)
+        for i in (0, 50, 128, 255):
+            scalar = machine.measure_latency(base, int(others[i]))
+            assert batch[i] == pytest.approx(scalar)
+
+    def test_clock_charged_per_measurement(self):
+        machine = quiet_machine()
+        before = machine.clock.elapsed_ns
+        machine.measure_latency(0, 1 << 20, rounds=100)
+        elapsed = machine.clock.elapsed_ns - before
+        # 100 rounds x 2 accesses x ~75-110ns each plus overheads.
+        assert 10_000 < elapsed < 100_000
+
+    def test_batch_charges_linear_in_size(self):
+        machine = quiet_machine()
+        rng = np.random.default_rng(1)
+        others = rng.integers(0, machine.total_bytes, 1000, dtype=np.uint64)
+        before = machine.clock.elapsed_ns
+        machine.measure_latency_batch(0, others, rounds=100)
+        small = machine.clock.elapsed_ns - before
+        before = machine.clock.elapsed_ns
+        machine.measure_latency_batch(0, np.tile(others, 2), rounds=100)
+        large = machine.clock.elapsed_ns - before
+        assert large == pytest.approx(2 * small, rel=0.05)
+
+    def test_stats_counters(self):
+        machine = quiet_machine()
+        machine.measure_latency(0, 4096, rounds=10)
+        machine.measure_latency_batch(
+            0, np.array([64, 128], dtype=np.uint64), rounds=10
+        )
+        assert machine.stats.measurements == 3
+        assert machine.stats.accesses_timed == 2 * 10 * 3
+
+    def test_invalid_rounds(self):
+        machine = quiet_machine()
+        with pytest.raises(ValueError):
+            machine.measure_latency(0, 64, rounds=0)
+
+
+class TestDeterminism:
+    def test_same_seed_same_behaviour(self):
+        machine_a = SimulatedMachine.from_preset(preset("No.1"), seed=42)
+        machine_b = SimulatedMachine.from_preset(preset("No.1"), seed=42)
+        rng = np.random.default_rng(2)
+        others = rng.integers(0, machine_a.total_bytes, 64, dtype=np.uint64)
+        np.testing.assert_array_equal(
+            machine_a.measure_latency_batch(0, others),
+            machine_b.measure_latency_batch(0, others),
+        )
+
+    def test_different_seed_different_noise(self):
+        machine_a = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+        machine_b = SimulatedMachine.from_preset(preset("No.1"), seed=2)
+        rng = np.random.default_rng(3)
+        others = rng.integers(0, machine_a.total_bytes, 64, dtype=np.uint64)
+        assert not np.array_equal(
+            machine_a.measure_latency_batch(0, others),
+            machine_b.measure_latency_batch(0, others),
+        )
+
+
+class TestFacade:
+    def test_sysinfo_matches_geometry(self):
+        machine = quiet_machine("No.6")
+        info = machine.sysinfo()
+        assert info.total_banks == 64
+        assert info.total_bytes == machine.total_bytes
+
+    def test_dmidecode_text_parses(self):
+        from repro.machine.sysinfo import parse_dmidecode
+
+        machine = quiet_machine("No.9")
+        assert parse_dmidecode(machine.dmidecode_text()) == machine.sysinfo()
+
+    def test_allocation_strategies(self):
+        machine = quiet_machine()
+        for strategy in ("contiguous", "fragmented", "sparse", "hugepages"):
+            pages = machine.allocate(1 << 22, strategy)
+            assert pages.byte_count >= 1 << 22
+        assert machine.stats.allocations == 4
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ValueError, match="unknown"):
+            quiet_machine().allocate(4096, "magic")
+
+    def test_charge_analysis(self):
+        machine = quiet_machine()
+        machine.charge_analysis(2e9)
+        assert machine.elapsed_seconds == pytest.approx(2.0)

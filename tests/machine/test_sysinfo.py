@@ -1,0 +1,117 @@
+"""Unit tests for the simulated dmidecode pipeline."""
+
+import pytest
+
+from repro.dram.presets import PRESETS
+from repro.dram.spec import DdrGeneration
+from repro.machine.sysinfo import SystemInfo, parse_dmidecode, render_dmidecode
+
+
+class TestSystemInfo:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_from_geometry_matches_preset(self, name):
+        geometry = PRESETS[name].geometry
+        info = SystemInfo.from_geometry(geometry)
+        assert info.total_banks == geometry.total_banks
+        assert info.total_bytes == geometry.total_bytes
+        assert info.generation == geometry.generation
+
+    def test_total_banks_formula(self):
+        info = SystemInfo(
+            generation=DdrGeneration.DDR4,
+            total_bytes=2**34,
+            channels=2,
+            dimms_per_channel=1,
+            ranks_per_dimm=2,
+            banks_per_rank=16,
+        )
+        assert info.total_banks == 64
+
+
+class TestRenderParseRoundtrip:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_roundtrip(self, name):
+        geometry = PRESETS[name].geometry
+        text = render_dmidecode(geometry)
+        info = parse_dmidecode(text)
+        assert info == SystemInfo.from_geometry(geometry)
+
+    def test_rendered_text_has_expected_fields(self):
+        text = render_dmidecode(PRESETS["No.1"].geometry)
+        assert "Memory Device" in text
+        assert "Type: DDR3" in text
+        assert "Rank: 1" in text
+
+    def test_dimm_count_matches_channels(self):
+        text = render_dmidecode(PRESETS["No.1"].geometry)  # 2 channels x 1 DIMM
+        assert text.count("Memory Device") == 2
+
+
+class TestParseErrors:
+    def test_empty_text(self):
+        with pytest.raises(ValueError, match="no populated"):
+            parse_dmidecode("nothing here")
+
+    def test_disagreeing_dimms(self):
+        text = render_dmidecode(PRESETS["No.1"].geometry)
+        broken = text.replace("Rank: 1", "Rank: 2", 1)
+        with pytest.raises(ValueError, match="disagree"):
+            parse_dmidecode(broken)
+
+    def test_unpopulated_slots_skipped(self):
+        text = render_dmidecode(PRESETS["No.1"].geometry)
+        text += (
+            "\nHandle 0x0040, DMI type 17, 40 bytes\n"
+            "Memory Device\n\tSize: No Module Installed\n"
+        )
+        info = parse_dmidecode(text)
+        assert info == SystemInfo.from_geometry(PRESETS["No.1"].geometry)
+
+
+class TestDecodeDimms:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_render_parse_roundtrip(self, name):
+        from repro.machine.sysinfo import parse_decode_dimms, render_decode_dimms
+
+        geometry = PRESETS[name].geometry
+        spd = parse_decode_dimms(render_decode_dimms(geometry))
+        assert spd["generation"] == geometry.generation
+        assert spd["banks_per_rank"] == geometry.banks_per_rank
+        assert spd["ranks_per_dimm"] == geometry.ranks_per_dimm
+        assert (
+            spd["dimm_bytes"] * spd["dimm_count"] == geometry.total_bytes
+        )
+
+    def test_empty_rejected(self):
+        from repro.machine.sysinfo import parse_decode_dimms
+
+        with pytest.raises(ValueError, match="no SPD"):
+            parse_decode_dimms("garbage")
+
+
+class TestGatherSystemInfo:
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_cross_validation_passes(self, name):
+        from repro.machine.sysinfo import (
+            gather_system_info,
+            render_decode_dimms,
+            render_dmidecode,
+        )
+
+        geometry = PRESETS[name].geometry
+        info = gather_system_info(
+            render_dmidecode(geometry), render_decode_dimms(geometry)
+        )
+        assert info == SystemInfo.from_geometry(geometry)
+
+    def test_mismatch_detected(self):
+        from repro.machine.sysinfo import (
+            gather_system_info,
+            render_decode_dimms,
+            render_dmidecode,
+        )
+
+        no1 = PRESETS["No.1"].geometry
+        no6 = PRESETS["No.6"].geometry
+        with pytest.raises(ValueError, match="disagree on"):
+            gather_system_info(render_dmidecode(no1), render_decode_dimms(no6))

@@ -1,0 +1,112 @@
+"""Unit and property tests for the memory-controller state machine."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.presets import PRESETS, preset
+from repro.memctrl.controller import MemoryController
+from repro.memctrl.timing import AccessClass
+
+
+def controller_for(name="No.1"):
+    return MemoryController(mapping=preset(name).mapping)
+
+
+class TestStateMachine:
+    def test_first_access_is_row_closed(self):
+        controller = controller_for()
+        assert controller.access(0).access_class is AccessClass.ROW_CLOSED
+
+    def test_second_access_same_row_hits(self):
+        controller = controller_for()
+        controller.access(0)
+        # Offset 32 stays within column bits 0-5 (bit 6 is the channel).
+        assert controller.access(32).access_class is AccessClass.ROW_HIT
+
+    def test_conflict_on_row_change(self):
+        controller = controller_for()
+        mapping = controller.mapping
+        base = 0
+        other = mapping.encode(
+            mapping.dram_address(base)._replace(row=1)
+        )
+        controller.access(base)
+        assert controller.access(other).access_class is AccessClass.ROW_CONFLICT
+
+    def test_different_banks_do_not_conflict(self):
+        controller = controller_for()
+        mapping = controller.mapping
+        base = 0
+        other = mapping.encode(mapping.dram_address(base)._replace(bank=1))
+        controller.access(base)
+        assert controller.access(other).access_class is AccessClass.ROW_CLOSED
+
+    def test_precharge_all(self):
+        controller = controller_for()
+        controller.access(0)
+        controller.precharge_all()
+        assert controller.access(0).access_class is AccessClass.ROW_CLOSED
+
+    def test_activation_counting(self):
+        controller = controller_for()
+        mapping = controller.mapping
+        a = 0
+        b = mapping.encode(mapping.dram_address(a)._replace(row=1))
+        for _ in range(5):
+            controller.access(a)
+            controller.access(b)
+        record = controller.access(a)
+        key = (record.bank, mapping.row_of(a))
+        assert controller.activation_counts[key] == 6
+        controller.reset_activations()
+        assert not controller.activation_counts
+
+
+class TestClosedForm:
+    @given(st.data())
+    @settings(max_examples=60)
+    def test_classify_pair_matches_state_machine(self, data):
+        """The closed form must equal the steady state of an alternating
+        loop on the real state machine (accesses 3 and 4 of the loop)."""
+        name = data.draw(st.sampled_from(sorted(PRESETS)))
+        mapping = PRESETS[name].mapping
+        top = mapping.geometry.total_bytes
+        addr_a = data.draw(st.integers(min_value=0, max_value=top - 1))
+        addr_b = data.draw(st.integers(min_value=0, max_value=top - 1))
+        controller = MemoryController(mapping=mapping)
+        predicted = controller.classify_pair(addr_a, addr_b)
+
+        stepper = MemoryController(mapping=mapping)
+        stepper.access(addr_a)
+        stepper.access(addr_b)
+        steady_a = stepper.access(addr_a).access_class
+        steady_b = stepper.access(addr_b).access_class
+        if predicted is AccessClass.ROW_CONFLICT:
+            assert steady_a is AccessClass.ROW_CONFLICT
+            assert steady_b is AccessClass.ROW_CONFLICT
+        else:
+            # Same row or different banks: steady state is all hits.
+            assert steady_a is AccessClass.ROW_HIT
+            assert steady_b is AccessClass.ROW_HIT
+
+    def test_classify_pairs_matches_scalar(self):
+        mapping = preset("No.6").mapping
+        controller = MemoryController(mapping=mapping)
+        rng = np.random.default_rng(9)
+        others = rng.integers(0, mapping.geometry.total_bytes, 512, dtype=np.uint64)
+        base = int(others[0])
+        flags = controller.classify_pairs(base, others)
+        for i in range(0, 512, 37):
+            expected = controller.classify_pair(base, int(others[i]))
+            assert flags[i] == (expected is AccessClass.ROW_CONFLICT)
+
+    def test_sbdr_rate_matches_bank_count(self):
+        """Random pairs conflict with probability ~1/#banks."""
+        mapping = preset("No.1").mapping
+        controller = MemoryController(mapping=mapping)
+        rng = np.random.default_rng(10)
+        others = rng.integers(0, mapping.geometry.total_bytes, 20_000, dtype=np.uint64)
+        flags = controller.classify_pairs(int(others[0]), others)
+        rate = flags.mean()
+        assert 0.75 / 16 < rate < 1.25 / 16

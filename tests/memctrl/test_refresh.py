@@ -1,0 +1,44 @@
+"""Unit tests for the refresh model."""
+
+import pytest
+
+from repro.dram.spec import DdrGeneration, default_timings
+from repro.memctrl.refresh import RefreshModel
+
+
+@pytest.fixture
+def model():
+    return RefreshModel(timings=default_timings(DdrGeneration.DDR3))
+
+
+class TestRefreshModel:
+    def test_duty_cycle_small(self, model):
+        assert 0.0 < model.duty_cycle < 0.1
+
+    def test_contamination_grows_with_window(self, model):
+        assert model.contamination_probability(100.0) < model.contamination_probability(
+            5000.0
+        )
+
+    def test_contamination_capped_at_one(self, model):
+        assert model.contamination_probability(1e9) == 1.0
+
+    def test_contamination_negative_window_rejected(self, model):
+        with pytest.raises(ValueError):
+            model.contamination_probability(-1.0)
+
+    def test_activations_in_retention_window(self, model):
+        """At ~100 ns per activation, a 64 ms window allows several hundred
+        thousand activations — the regime rowhammer needs."""
+        count = model.activations_possible(100.0)
+        assert 300_000 < count < 700_000
+
+    def test_activations_invalid_access_time(self, model):
+        with pytest.raises(ValueError):
+            model.activations_possible(0.0)
+
+    def test_retention_window_validation(self):
+        with pytest.raises(ValueError):
+            RefreshModel(
+                timings=default_timings(DdrGeneration.DDR3), retention_window_ms=0.0
+            )

@@ -1,0 +1,211 @@
+"""Tests for the command-level scheduler, including the cross-validation
+against the closed-form latency classes."""
+
+import pytest
+
+from repro.dram.presets import preset
+from repro.memctrl.scheduler import (
+    TFAW_ACTIVATIONS,
+    TFAW_NS,
+    CommandScheduler,
+    DramCommand,
+)
+from repro.memctrl.timing import AccessClass, LatencyModel
+from repro.memctrl.timing import NoiseParams
+
+
+MAPPING = preset("No.1").mapping
+
+
+def conflict_pair():
+    base = 1 << 25
+    other = MAPPING.encode(
+        MAPPING.dram_address(base)._replace(row=MAPPING.row_of(base) + 1)
+    )
+    return base, other
+
+
+def hit_pair():
+    base = 1 << 25
+    return base, base + 128
+
+
+class TestCommandSequences:
+    def test_cold_access_issues_act_then_rd(self):
+        scheduler = CommandScheduler(MAPPING)
+        scheduler.access(1 << 25)
+        commands = [event.command for event in scheduler.events]
+        assert commands == [DramCommand.ACT, DramCommand.RD]
+
+    def test_row_hit_issues_rd_only(self):
+        scheduler = CommandScheduler(MAPPING)
+        base, same_row = hit_pair()
+        scheduler.access(base)
+        before = len(scheduler.events)
+        scheduler.access(same_row)
+        new_commands = [event.command for event in scheduler.events[before:]]
+        assert new_commands == [DramCommand.RD]
+
+    def test_conflict_issues_pre_act_rd(self):
+        scheduler = CommandScheduler(MAPPING)
+        base, other = conflict_pair()
+        scheduler.access(base)
+        before = len(scheduler.events)
+        scheduler.access(other)
+        new_commands = [event.command for event in scheduler.events[before:]]
+        assert new_commands == [DramCommand.PRE, DramCommand.ACT, DramCommand.RD]
+
+    def test_timing_constraints_hold(self):
+        """Every same-bank ACT->ACT gap respects tRC; every PRE->ACT gap
+        respects tRP; every ACT->RD gap respects tRCD."""
+        scheduler = CommandScheduler(MAPPING)
+        base, other = conflict_pair()
+        for _ in range(20):
+            scheduler.access(base)
+            scheduler.access(other)
+        timings = scheduler.timings
+        per_bank: dict[int, list] = {}
+        for event in scheduler.events:
+            per_bank.setdefault(event.bank, []).append(event)
+        for events in per_bank.values():
+            last_act = last_pre = None
+            for event in events:
+                if event.command is DramCommand.ACT:
+                    if last_act is not None:
+                        assert event.time_ns - last_act >= timings.tras + timings.trp - 1e-9
+                    if last_pre is not None:
+                        assert event.time_ns - last_pre >= timings.trp - 1e-9
+                    last_act = event.time_ns
+                elif event.command is DramCommand.PRE:
+                    assert event.time_ns - last_act >= timings.tras - 1e-9
+                    last_pre = event.time_ns
+                elif event.command is DramCommand.RD:
+                    assert event.time_ns - last_act >= timings.trcd - 1e-9
+
+
+class TestCrossValidation:
+    def test_conflict_latency_matches_closed_form(self):
+        """Steady-state alternating conflict pair: the command-level
+        per-access cost equals the closed-form ROW_CONFLICT DRAM latency
+        to within the tRAS stall the closed form folds away."""
+        scheduler = CommandScheduler(MAPPING)
+        base, other = conflict_pair()
+        results = []
+        for _ in range(30):
+            results.append(scheduler.access(base))
+            results.append(scheduler.access(other))
+        steady = results[10:]
+        gaps = [
+            later.data_ns - earlier.data_ns
+            for earlier, later in zip(steady, steady[1:])
+        ]
+        mean_gap = sum(gaps) / len(gaps)
+        model = LatencyModel.for_generation(
+            MAPPING.geometry.generation, NoiseParams.noiseless()
+        )
+        closed_form = model.ideal_ns(AccessClass.ROW_CONFLICT) - model.base_overhead_ns
+        # The command-level pipeline adds the tRAS residency the closed
+        # form approximates away; they agree within that term.
+        assert closed_form - 1.0 <= mean_gap <= closed_form + scheduler.timings.tras
+
+    def test_hit_stream_runs_at_bus_rate(self):
+        scheduler = CommandScheduler(MAPPING)
+        base, same_row = hit_pair()
+        scheduler.access(base)
+        results = [scheduler.access(same_row + 64 * i) for i in range(20)]
+        steady = results[2:]  # skip the ACT-pipeline warm-up
+        gaps = [
+            later.data_ns - earlier.data_ns
+            for earlier, later in zip(steady, steady[1:])
+        ]
+        assert max(gaps) <= 5.0 + 1e-9  # tCCD-bound
+
+
+class TestActivationRate:
+    def test_tfaw_limits_activation_bursts(self):
+        """Spraying ACTs across many banks is capped by the four-activation
+        window."""
+        scheduler = CommandScheduler(MAPPING)
+        addresses = [
+            MAPPING.encode(MAPPING.dram_address(0)._replace(bank=bank, row=7))
+            for bank in range(16)
+        ]
+        for address in addresses:
+            scheduler.access(address)
+        acts = [e.time_ns for e in scheduler.events if e.command is DramCommand.ACT]
+        for index in range(TFAW_ACTIVATIONS, len(acts)):
+            assert acts[index] - acts[index - TFAW_ACTIVATIONS] >= TFAW_NS - 1e-9
+
+    def test_hammer_rate_bound(self):
+        """The analytic activation cap: an alternating pair is tRC-bound,
+        which is what makes a rowhammer threshold reachable within one
+        refresh window."""
+        scheduler = CommandScheduler(MAPPING)
+        rate = scheduler.max_activation_rate_per_pair()
+        window_activations = rate * 0.064  # per aggressor in 64 ms
+        assert 500_000 < window_activations < 3_000_000
+
+
+class TestQueueing:
+    def test_arrival_time_respected(self):
+        scheduler = CommandScheduler(MAPPING)
+        result = scheduler.schedule([(1 << 25, 1000.0)])[0]
+        assert result.arrival_ns == 1000.0
+        assert result.data_ns > 1000.0
+
+    def test_latency_positive(self):
+        scheduler = CommandScheduler(MAPPING)
+        results = scheduler.schedule([(1 << 25, 0.0), ((1 << 25) + 64, 0.0)])
+        assert all(result.latency_ns > 0 for result in results)
+
+
+class TestPropertyConstraints:
+    """Hypothesis: no request sequence can violate JEDEC timing."""
+
+    from hypothesis import given, settings
+    from hypothesis import strategies as st
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=2**33 - 1), min_size=2, max_size=40
+        )
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_random_sequences_respect_timing(self, addresses):
+        scheduler = CommandScheduler(MAPPING)
+        for address in addresses:
+            scheduler.access(address)
+        timings = scheduler.timings
+        per_bank: dict[int, list] = {}
+        rd_times = []
+        for event in scheduler.events:
+            per_bank.setdefault(event.bank, []).append(event)
+            if event.command is DramCommand.RD:
+                rd_times.append(event.time_ns)
+        # Per-bank: tRC, tRP, tRCD, tRAS.
+        for events in per_bank.values():
+            last_act = last_pre = None
+            for event in events:
+                if event.command is DramCommand.ACT:
+                    if last_act is not None:
+                        assert event.time_ns - last_act >= (
+                            timings.tras + timings.trp - 1e-9
+                        )
+                    if last_pre is not None:
+                        assert event.time_ns - last_pre >= timings.trp - 1e-9
+                    last_act = event.time_ns
+                elif event.command is DramCommand.PRE:
+                    assert event.time_ns - last_act >= timings.tras - 1e-9
+                    last_pre = event.time_ns
+                else:
+                    assert event.time_ns - last_act >= timings.trcd - 1e-9
+        # Global: data bus tCCD between column commands.
+        for earlier, later in zip(rd_times, rd_times[1:]):
+            assert later - earlier >= 5.0 - 1e-9
+
+    @given(st.integers(min_value=0, max_value=2**33 - 65))
+    @settings(max_examples=30, deadline=None)
+    def test_latency_never_negative(self, address):
+        scheduler = CommandScheduler(MAPPING)
+        result = scheduler.access(address)
+        assert result.latency_ns > 0

@@ -1,0 +1,103 @@
+"""Unit tests for repro.memctrl.timing."""
+
+import numpy as np
+import pytest
+
+from repro.dram.spec import DdrGeneration
+from repro.memctrl.timing import AccessClass, LatencyModel, NoiseParams
+
+
+class TestNoiseParams:
+    def test_noiseless(self):
+        noise = NoiseParams.noiseless()
+        assert noise.jitter_sigma_ns == 0.0
+        assert noise.outlier_probability == 0.0
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            NoiseParams(outlier_probability=1.5)
+
+    def test_negative_jitter(self):
+        with pytest.raises(ValueError):
+            NoiseParams(jitter_sigma_ns=-1.0)
+
+
+class TestIdealLatency:
+    @pytest.fixture
+    def model(self):
+        return LatencyModel.for_generation(DdrGeneration.DDR3, NoiseParams.noiseless())
+
+    def test_ordering(self, model):
+        hit = model.ideal_ns(AccessClass.ROW_HIT)
+        closed = model.ideal_ns(AccessClass.ROW_CLOSED)
+        conflict = model.ideal_ns(AccessClass.ROW_CONFLICT)
+        assert hit < closed < conflict
+
+    def test_different_bank_equals_hit(self, model):
+        assert model.ideal_ns(AccessClass.DIFFERENT_BANK) == model.ideal_ns(
+            AccessClass.ROW_HIT
+        )
+
+    def test_conflict_gap_positive(self, model):
+        assert model.conflict_gap_ns > 20.0
+
+    def test_base_overhead_included(self, model):
+        assert model.ideal_ns(AccessClass.ROW_HIT) > model.base_overhead_ns
+
+
+class TestSampling:
+    def test_noiseless_sample_equals_ideal(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR4, NoiseParams.noiseless())
+        rng = np.random.default_rng(0)
+        assert model.sample_ns(AccessClass.ROW_HIT, rng) == model.ideal_ns(
+            AccessClass.ROW_HIT
+        )
+
+    def test_noisy_samples_vary(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)
+        rng = np.random.default_rng(0)
+        samples = {model.sample_ns(AccessClass.ROW_HIT, rng) for _ in range(10)}
+        assert len(samples) > 1
+
+    def test_samples_positive(self):
+        model = LatencyModel.for_generation(
+            DdrGeneration.DDR3,
+            NoiseParams(jitter_sigma_ns=500.0),  # absurd jitter
+        )
+        rng = np.random.default_rng(1)
+        for _ in range(100):
+            assert model.sample_ns(AccessClass.ROW_HIT, rng) >= 1.0
+
+
+class TestBatchSampling:
+    def test_noiseless_batch_exact(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3, NoiseParams.noiseless())
+        flags = np.array([True, False, True])
+        latencies = model.sample_batch_ns(flags, np.random.default_rng(0))
+        slow = model.ideal_ns(AccessClass.ROW_CONFLICT)
+        fast = model.ideal_ns(AccessClass.DIFFERENT_BANK)
+        np.testing.assert_allclose(latencies, [slow, fast, slow])
+
+    def test_noisy_batch_separates_populations(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)
+        rng = np.random.default_rng(2)
+        flags = np.array([True] * 500 + [False] * 500)
+        latencies = model.sample_batch_ns(flags, rng)
+        assert latencies[:500].mean() > latencies[500:].mean() + 20.0
+
+    def test_outliers_appear_at_configured_rate(self):
+        noise = NoiseParams(jitter_sigma_ns=0.0, outlier_probability=0.5, outlier_extra_ns=100.0)
+        model = LatencyModel.for_generation(DdrGeneration.DDR3, noise)
+        rng = np.random.default_rng(3)
+        flags = np.zeros(4000, dtype=bool)
+        latencies = model.sample_batch_ns(flags, rng)
+        fast = model.ideal_ns(AccessClass.DIFFERENT_BANK)
+        outlier_fraction = (latencies > fast + 1e-9).mean()
+        assert 0.4 < outlier_fraction < 0.6
+
+    def test_batch_matches_scalar_distribution(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)
+        rng = np.random.default_rng(4)
+        batch = model.sample_batch_ns(np.ones(2000, dtype=bool), rng)
+        ideal = model.ideal_ns(AccessClass.ROW_CONFLICT)
+        assert abs(np.median(batch) - ideal) < 2.0

@@ -1,0 +1,91 @@
+"""Tests for the trace-driven row-buffer analysis."""
+
+import numpy as np
+import pytest
+
+from repro.dram.presets import preset
+from repro.dram.random_mapping import naive_mapping
+from repro.memctrl.trace import (
+    matrix_column_trace,
+    random_trace,
+    run_trace,
+    sequential_trace,
+    strided_trace,
+)
+
+HASHED = preset("No.1").mapping
+NAIVE = naive_mapping(preset("No.1").geometry)
+
+
+class TestTraces:
+    def test_sequential(self):
+        trace = sequential_trace(0x1000, 10)
+        assert trace.size == 10
+        assert trace[1] - trace[0] == 64
+
+    def test_strided(self):
+        trace = strided_trace(0, 5, 1 << 20)
+        assert int(trace[4]) == 4 << 20
+
+    def test_random_within_memory(self):
+        trace = random_trace(2**33, 1000, np.random.default_rng(0))
+        assert (trace < 2**33).all()
+        assert (trace % 64 == 0).all()
+
+    def test_matrix_column(self):
+        trace = matrix_column_trace(0, rows=4, row_stride_bytes=4096, columns=2)
+        assert trace.size == 8
+        assert int(trace[4]) == 64  # second column starts one line over
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            sequential_trace(0, 0)
+        with pytest.raises(ValueError):
+            strided_trace(0, 5, 0)
+        with pytest.raises(ValueError):
+            random_trace(2**30, -1, np.random.default_rng(0))
+        with pytest.raises(ValueError):
+            matrix_column_trace(0, 0, 4096, 1)
+
+
+class TestRunTrace:
+    def test_sequential_is_row_friendly(self):
+        """Streaming reads hit the row buffer almost every access."""
+        stats = run_trace(HASHED, sequential_trace(0x4000000, 500))
+        assert stats.hit_rate > 0.9
+        assert stats.conflicts < 20
+
+    def test_counts_sum(self):
+        stats = run_trace(HASHED, sequential_trace(0x4000000, 100))
+        assert stats.hits + stats.closed + stats.conflicts == stats.accesses == 100
+
+    def test_naive_mapping_serialises_strided_walk(self):
+        trace = matrix_column_trace(
+            0x4000000, rows=128, row_stride_bytes=8192 * 16, columns=4
+        )
+        stats = run_trace(NAIVE, trace)
+        assert stats.banks_used == 1
+        assert stats.bank_imbalance == 1.0
+        assert stats.speedup_from_banking == pytest.approx(1.0)
+
+    def test_hashed_mapping_spreads_strided_walk(self):
+        trace = matrix_column_trace(
+            0x4000000, rows=128, row_stride_bytes=8192 * 16, columns=4
+        )
+        stats = run_trace(HASHED, trace)
+        assert stats.banks_used == 16
+        assert stats.bank_imbalance < 0.15
+        assert stats.speedup_from_banking > 10
+
+    def test_random_trace_balanced(self):
+        stats = run_trace(
+            HASHED, random_trace(HASHED.geometry.total_bytes, 4000, np.random.default_rng(1))
+        )
+        assert stats.banks_used == 16
+        assert stats.bank_imbalance < 0.12
+
+    def test_total_time_consistent_with_classes(self):
+        stats = run_trace(HASHED, sequential_trace(0x4000000, 64))
+        assert stats.total_ns > 0
+        assert stats.parallel_ns <= stats.total_ns
+        assert stats.total_ns == pytest.approx(sum(stats.bank_busy_ns.values()))

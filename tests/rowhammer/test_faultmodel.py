@@ -1,0 +1,103 @@
+"""Tests for the rowhammer fault model."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rowhammer.faultmodel import (
+    DOUBLE_SIDED_THRESHOLD,
+    SINGLE_SIDED_THRESHOLD,
+    RowhammerFaultModel,
+)
+
+
+@pytest.fixture
+def model():
+    return RowhammerFaultModel(rows_per_bank=2**16, vulnerability=0.3, seed=42)
+
+
+class TestWeakCells:
+    def test_deterministic_per_machine(self, model):
+        assert model.weak_cells(3, 1000) == model.weak_cells(3, 1000)
+
+    def test_varies_across_rows(self, model):
+        counts = {model.weak_cells(0, row) for row in range(200)}
+        assert len(counts) > 1
+
+    def test_different_seed_different_cells(self):
+        a = RowhammerFaultModel(2**16, 0.3, seed=1)
+        b = RowhammerFaultModel(2**16, 0.3, seed=2)
+        counts_a = [a.weak_cells(0, r) for r in range(100)]
+        counts_b = [b.weak_cells(0, r) for r in range(100)]
+        assert counts_a != counts_b
+
+    def test_mean_tracks_vulnerability(self):
+        model = RowhammerFaultModel(2**16, 0.5, seed=7)
+        mean = sum(model.weak_cells(0, r) for r in range(4000)) / 4000
+        assert 0.4 < mean < 0.6
+
+    def test_zero_vulnerability(self):
+        model = RowhammerFaultModel(2**16, 0.0, seed=0)
+        assert all(model.weak_cells(0, r) == 0 for r in range(50))
+
+    def test_row_bounds(self, model):
+        with pytest.raises(ValueError):
+            model.weak_cells(0, 2**16)
+
+
+class TestHammer:
+    def test_double_sided_flips(self, model):
+        total = sum(
+            model.hammer(0, row, 200_000, 200_000, trial=row).flips
+            for row in range(500)
+        )
+        assert total > 50
+
+    def test_no_hammer_no_flips(self, model):
+        outcome = model.hammer(0, 100, 0, 0)
+        assert outcome.flips == 0
+        assert outcome.mode == "none"
+
+    def test_below_threshold_no_flips(self, model):
+        outcome = model.hammer(0, 100, DOUBLE_SIDED_THRESHOLD // 4, DOUBLE_SIDED_THRESHOLD // 4)
+        assert outcome.mode == "none"
+
+    def test_single_sided_weaker(self, model):
+        double = sum(
+            model.hammer(0, row, 250_000, 250_000, trial=row).flips
+            for row in range(2000)
+        )
+        single = sum(
+            model.hammer(0, row, 0, SINGLE_SIDED_THRESHOLD, trial=row).flips
+            for row in range(2000)
+        )
+        assert single < double / 3
+
+    def test_single_sided_mode_label(self, model):
+        outcome = model.hammer(0, 5, SINGLE_SIDED_THRESHOLD, 0)
+        assert outcome.mode == "single"
+
+    def test_validation(self, model):
+        with pytest.raises(ValueError):
+            model.hammer(0, 100, -1, 0)
+        with pytest.raises(ValueError):
+            model.hammer(0, 2**17, 10, 10)
+
+    @given(
+        st.integers(min_value=0, max_value=2**16 - 1),
+        st.integers(min_value=0, max_value=1_000_000),
+        st.integers(min_value=0, max_value=1_000_000),
+    )
+    @settings(max_examples=50)
+    def test_flips_bounded_by_weak_cells(self, row, above, below):
+        model = RowhammerFaultModel(2**16, 0.5, seed=3)
+        outcome = model.hammer(0, row, above, below)
+        assert 0 <= outcome.flips <= model.weak_cells(0, row)
+
+
+class TestConstruction:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            RowhammerFaultModel(1, 0.1)
+        with pytest.raises(ValueError):
+            RowhammerFaultModel(16, -0.1)

@@ -1,0 +1,123 @@
+"""Tests for the TRR/ECC mitigation stack and its attack integration."""
+
+import numpy as np
+import pytest
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.mitigations import MitigationStack, TrrModel
+
+SHORT = HammerConfig(duration_seconds=30.0, test_variability=0.0)
+
+
+def attack_on(name="No.2", vulnerability=0.3):
+    machine = SimulatedMachine.from_preset(preset(name), seed=1)
+    return DoubleSidedAttack(machine, config=SHORT, vulnerability=vulnerability)
+
+
+def belief(name="No.2"):
+    return BeliefMapping.from_mapping(preset(name).mapping)
+
+
+class TestTrrModel:
+    def test_tracked_pair_usually_caught(self):
+        trr = TrrModel(tracker_entries=4, catch_probability=0.95)
+        rng = np.random.default_rng(0)
+        caught = sum(trr.intercepts(2, rng) for _ in range(1000))
+        assert 900 < caught < 990
+
+    def test_many_sided_dilutes_tracking(self):
+        trr = TrrModel(tracker_entries=4, catch_probability=0.95)
+        rng = np.random.default_rng(1)
+        caught = sum(trr.intercepts(20, rng) for _ in range(1000))
+        assert caught < 300  # tracker flooded
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TrrModel(tracker_entries=0)
+        with pytest.raises(ValueError):
+            TrrModel(catch_probability=1.5)
+        with pytest.raises(ValueError):
+            TrrModel().intercepts(0, np.random.default_rng(0))
+
+
+class TestMitigationStack:
+    def test_no_mitigations_pass_through(self):
+        stack = MitigationStack()
+        result = stack.filter_window(10, 2, np.random.default_rng(0))
+        assert result.observable == result.raw == 10
+
+    def test_ecc_absorbs_sparse_flips(self):
+        """Sparse flips land one per word; SECDED corrects all of them."""
+        stack = MitigationStack(ecc=True, words_per_row=100_000)
+        rng = np.random.default_rng(1)
+        result = stack.filter_window(5, 2, rng)
+        assert result.observable == 0
+        assert result.corrected == 5
+
+    def test_dense_flips_defeat_ecc_sometimes(self):
+        """Cramming many flips into few words produces detected and/or
+        silent outcomes."""
+        stack = MitigationStack(ecc=True, words_per_row=4)
+        rng = np.random.default_rng(2)
+        totals = [stack.filter_window(12, 2, rng) for _ in range(50)]
+        assert any(result.detected or result.silent for result in totals)
+
+    def test_zero_flips_short_circuit(self):
+        stack = MitigationStack(trr=TrrModel(), ecc=True)
+        result = stack.filter_window(0, 2, np.random.default_rng(0))
+        assert result.raw == result.observable == 0
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            MitigationStack().filter_window(-1, 2, np.random.default_rng(0))
+
+
+class TestAttackIntegration:
+    def test_trr_suppresses_double_sided(self):
+        attack = attack_on()
+        unmitigated = attack.run(belief(), seed=0)
+        mitigated = attack.run(
+            belief(),
+            seed=0,
+            mitigations=MitigationStack(trr=TrrModel()),
+        )
+        assert unmitigated.flips > 0
+        assert mitigated.flips < unmitigated.flips * 0.2
+        assert mitigated.stopped_by_trr > 0
+
+    def test_decoys_bypass_trr_at_a_cost(self):
+        """TRRespass: decoy rows flood the tracker, letting some flips
+        through — but the shared activation budget weakens each window."""
+        attack = attack_on()
+        stack = MitigationStack(trr=TrrModel(tracker_entries=4))
+        plain = attack.run(belief(), seed=0, mitigations=stack)
+        many_sided = attack.run(belief(), seed=0, mitigations=stack, decoy_rows=14)
+        no_trr = attack.run(belief(), seed=0)
+        assert many_sided.flips > plain.flips
+        assert many_sided.flips < no_trr.flips
+
+    def test_too_many_decoys_starve_intensity(self):
+        """Past some point the decoys eat the activation budget and the
+        true pair drops below the disturbance threshold."""
+        attack = attack_on()
+        stack = MitigationStack(trr=TrrModel(tracker_entries=4))
+        some = attack.run(belief(), seed=0, mitigations=stack, decoy_rows=14)
+        flood = attack.run(belief(), seed=0, mitigations=stack, decoy_rows=60)
+        assert flood.flips < max(some.flips, 1)
+
+    def test_ecc_hides_flips_from_attacker(self):
+        attack = attack_on()
+        report = attack.run(
+            belief(), seed=0, mitigations=MitigationStack(ecc=True)
+        )
+        assert report.raw_flips > 0
+        assert report.flips <= report.raw_flips
+        assert report.ecc_corrected > 0
+
+    def test_decoy_validation(self):
+        attack = attack_on()
+        with pytest.raises(ValueError):
+            attack.run(belief(), seed=0, decoy_rows=-1)

@@ -1,0 +1,56 @@
+"""Tests for the single-sided and one-location hammer variants."""
+
+import pytest
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.variants import one_location_test, single_sided_test
+
+SHORT = HammerConfig(duration_seconds=30.0, test_variability=0.0)
+
+
+@pytest.fixture(scope="module")
+def setting():
+    machine = SimulatedMachine.from_preset(preset("No.2"), seed=1)
+    belief = BeliefMapping.from_mapping(preset("No.2").mapping)
+    return machine, belief
+
+
+def test_effectiveness_ordering(setting):
+    """The literature's ordering: double-sided > one-location >
+    single-sided (which is ~0 on moderately vulnerable DIMMs)."""
+    machine, belief = setting
+    vulnerability = 0.3
+    double = DoubleSidedAttack(machine, config=SHORT, vulnerability=vulnerability).run(
+        belief, seed=0
+    )
+    one_location = one_location_test(machine, belief, vulnerability, SHORT, seed=0)
+    single = single_sided_test(machine, belief, vulnerability, SHORT, seed=0)
+    assert double.flips > 3 * one_location.flips
+    assert one_location.flips > single.flips
+    assert single.flips <= 2
+
+
+def test_one_location_needs_no_aiming_precision(setting):
+    """One-location flips survive even a garbage row belief — the whole
+    budget lands on whatever row the aggressor happens to be."""
+    machine, _ = setting
+    truth = preset("No.2").mapping
+    garbage = BeliefMapping(
+        address_bits=33,
+        bank_functions=truth.bank_functions,
+        row_bits=(9,) + truth.row_bits,
+        column_bits=tuple(b for b in truth.column_bits if b != 9),
+    )
+    report = one_location_test(machine, garbage, 0.3, SHORT, seed=0)
+    assert report.flips > 0
+
+
+def test_reports_accounted(setting):
+    machine, belief = setting
+    report = single_sided_test(machine, belief, 0.3, SHORT, seed=0)
+    assert report.trials == report.aimed_single + report.skipped
+    report = one_location_test(machine, belief, 0.3, SHORT, seed=0)
+    assert report.trials == report.aimed_single

@@ -1,0 +1,61 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import main
+
+
+def test_list(capsys):
+    assert main(["list"]) == 0
+    out = capsys.readouterr().out
+    assert "No.1: Sandy Bridge i5-2400" in out
+    assert out.count("No.") >= 9
+
+
+def test_run_machine(capsys):
+    assert main(["run", "No.4"]) == 0
+    out = capsys.readouterr().out
+    assert "matches ground truth: yes" in out
+    assert "(13, 16)" in out
+
+
+def test_run_rejects_unknown_machine(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "No.42"])
+
+
+def test_compare(capsys):
+    assert main(["--seed", "2", "compare", "No.4"]) == 0
+    out = capsys.readouterr().out
+    assert "== DRAMDig on No.4 ==" in out
+    assert "== DRAMA on No.4 ==" in out
+    assert "== Xiao et al. on No.4 ==" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])
+
+
+def test_explain(capsys):
+    assert main(["explain", "No.2"]) == 0
+    out = capsys.readouterr().out
+    assert "shared bits" in out
+    assert "bank4 = XOR of bits (7, 8, 9, 12, 13, 18, 19)" in out
+
+
+def test_hammer(capsys):
+    assert main(["hammer", "No.4", "--tests", "1", "--minutes", "0.5"]) == 0
+    out = capsys.readouterr().out
+    assert "mapping recovered" in out
+    assert "1 tests" in out
+
+
+def test_run_save(tmp_path, capsys):
+    from repro.dram.serialization import load_mapping
+    from repro.dram.presets import preset
+
+    target = tmp_path / "mapping.json"
+    assert main(["run", "No.4", "--save", str(target)]) == 0
+    assert "mapping saved" in capsys.readouterr().out
+    assert load_mapping(target).equivalent_to(preset("No.4").mapping)

@@ -1,0 +1,79 @@
+"""Every example script must run clean — they are the documentation."""
+
+import pathlib
+import subprocess
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).resolve().parent.parent / "examples"
+
+
+def run_example(name: str, *args: str, timeout: int = 600) -> str:
+    process = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True,
+        text=True,
+        timeout=timeout,
+    )
+    assert process.returncode == 0, process.stderr[-2000:]
+    return process.stdout
+
+
+def test_examples_exist():
+    scripts = {path.name for path in EXAMPLES.glob("*.py")}
+    assert {
+        "quickstart.py",
+        "rowhammer_assessment.py",
+        "custom_machine.py",
+        "compare_tools.py",
+        "mapping_explorer.py",
+        "timing_channel_demo.py",
+        "why_xor_hashing.py",
+        "mitigation_study.py",
+    } <= scripts
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "equivalent to the ground truth" in out
+
+
+def test_custom_machine():
+    out = run_example("custom_machine.py")
+    assert "equivalent to ground truth: True" in out
+
+
+def test_mapping_explorer():
+    out = run_example("mapping_explorer.py", "No.8")
+    assert "Coffee Lake" in out
+    assert "bank0 = XOR of bits (6, 13)" in out
+
+
+def test_why_xor_hashing():
+    out = run_example("why_xor_hashing.py")
+    assert "banking speedup 16.0x" in out
+
+
+def test_mitigation_study():
+    out = run_example("mitigation_study.py")
+    assert "TRRespass decoy sweep" in out
+
+
+@pytest.mark.slow
+def test_compare_tools():
+    out = run_example("compare_tools.py")
+    assert "== DRAMA (three independent runs) ==" in out
+    assert "failed: stuck" in out
+
+
+@pytest.mark.slow
+def test_rowhammer_assessment():
+    out = run_example("rowhammer_assessment.py")
+    assert "vulnerable" in out
+
+
+@pytest.mark.slow
+def test_timing_channel_demo():
+    out = run_example("timing_channel_demo.py")
+    assert "cutoff" in out

@@ -1,0 +1,128 @@
+"""Cross-module integration tests: the full stories the paper tells."""
+
+import pytest
+
+from repro import (
+    BeliefMapping,
+    DramaTool,
+    DramDig,
+    DramDigConfig,
+    HammerConfig,
+    SimulatedMachine,
+    XiaoTool,
+    assess_vulnerability,
+    preset,
+    preset_names,
+)
+from repro.baselines.drama import DramaConfig
+from repro.core.probe import ProbeConfig
+from repro.dram.errors import ReproError
+
+
+def test_public_api_surface():
+    """Everything the README shows must be importable from `repro`."""
+    import repro
+
+    for name in (
+        "DramDig",
+        "DramaTool",
+        "XiaoTool",
+        "SimulatedMachine",
+        "preset",
+        "BeliefMapping",
+        "assess_vulnerability",
+    ):
+        assert hasattr(repro, name), name
+    assert repro.__version__
+
+
+def test_readme_quickstart_verbatim():
+    machine = SimulatedMachine.from_preset(preset("No.1"))
+    result = DramDig().run(machine)
+    text = result.mapping.describe()
+    assert "(14, 17)" in text
+    assert "17~32" in text
+
+
+def test_full_story_reverse_engineer_then_hammer():
+    """Recover the mapping with DRAMDig, then use it to hammer: aim
+    accuracy must be ~100% and the vulnerable machine must flip."""
+    machine_preset = preset("No.2")
+    machine = SimulatedMachine.from_preset(machine_preset, seed=5)
+    result = DramDig(DramDigConfig(probe=ProbeConfig(rounds=200))).run(machine)
+    report = assess_vulnerability(
+        machine,
+        BeliefMapping.from_mapping(result.mapping),
+        vulnerability=machine_preset.hammer_vulnerability,
+        tests=2,
+        config=HammerConfig(duration_seconds=30.0),
+    )
+    assert all(test.aim_accuracy > 0.99 for test in report.tests)
+    assert report.total_flips > 0
+
+
+def test_drama_belief_hammers_worse_on_average():
+    """Table III in miniature: across several DRAMA runs, its beliefs aim
+    worse than DRAMDig's deterministic mapping."""
+    machine_preset = preset("No.1")
+    hammer = HammerConfig(duration_seconds=30.0, test_variability=0.0)
+
+    machine = SimulatedMachine.from_preset(machine_preset, seed=5)
+    dramdig = DramDig(DramDigConfig(probe=ProbeConfig(rounds=200))).run(machine)
+    dramdig_report = assess_vulnerability(
+        machine,
+        BeliefMapping.from_mapping(dramdig.mapping),
+        vulnerability=machine_preset.hammer_vulnerability,
+        tests=3,
+        config=hammer,
+    )
+
+    drama_flips = 0
+    for seed in range(3):
+        machine = SimulatedMachine.from_preset(machine_preset, seed=5)
+        drama = DramaTool(
+            DramaConfig(pool_size=2500, rounds=400, timeout_seconds=600.0),
+            seed=seed,
+        ).run(machine)
+        if drama.belief is None:
+            continue
+        report = assess_vulnerability(
+            machine,
+            drama.belief,
+            vulnerability=machine_preset.hammer_vulnerability,
+            tests=1,
+            config=hammer,
+            seed=seed,
+        )
+        drama_flips += report.total_flips
+    assert dramdig_report.total_flips >= drama_flips
+
+
+def test_tools_share_one_machine_contract():
+    """All tools run against the same facade; the clock accumulates across
+    tools run on one machine instance."""
+    machine = SimulatedMachine.from_preset(preset("No.4"), seed=1)
+    DramDig(DramDigConfig(probe=ProbeConfig(rounds=200))).run(machine)
+    after_dramdig = machine.elapsed_seconds
+    XiaoTool().run(machine)
+    assert machine.elapsed_seconds > after_dramdig
+
+
+def test_every_preset_has_consistent_identity():
+    for name in preset_names():
+        machine_preset = preset(name)
+        machine = SimulatedMachine.from_preset(machine_preset)
+        assert machine.total_bytes == machine_preset.geometry.total_bytes
+        assert machine.microarchitecture == machine_preset.microarchitecture
+        assert machine.sysinfo().total_banks == machine_preset.geometry.total_banks
+
+
+def test_failure_surfaces_as_repro_error():
+    """A hopeless configuration (tiny buffer) fails with the library's own
+    exception type, not a random internal error."""
+    config = DramDigConfig(
+        probe=ProbeConfig(rounds=200), alloc_fraction=0.01, max_retries=0
+    )
+    machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+    with pytest.raises(ReproError):
+        DramDig(config).run(machine)
