@@ -1,0 +1,33 @@
+"""Small array utilities shared by the allocator and the tools.
+
+Currently one function: :func:`sorted_unique`. numpy 2.x routes
+``np.unique`` for integer arrays through a hash table
+(``_unique_hash``) that profiles an order of magnitude slower than a
+plain sort on the multi-hundred-thousand-frame arrays the simulated
+allocator and DRAMA's pool sampling produce — and those callers only
+ever need the classic sorted-unique contract. Sorting and masking
+repeats returns exactly what ``np.unique`` returns, just much faster.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sorted_unique"]
+
+
+def sorted_unique(values: np.ndarray) -> np.ndarray:
+    """Sorted unique values of a 1-D array; equals ``np.unique(values)``.
+
+    The equivalence (and therefore that swapping the implementations cannot
+    change any simulation output) is pinned by a property test in
+    ``tests/analysis/test_bits.py``.
+    """
+    values = np.asarray(values)
+    if values.size <= 1:
+        return values.copy()
+    ordered = np.sort(values)
+    keep = np.empty(ordered.shape, dtype=bool)
+    keep[0] = True
+    np.not_equal(ordered[1:], ordered[:-1], out=keep[1:])
+    return ordered[keep]

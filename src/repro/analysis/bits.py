@@ -22,6 +22,10 @@ __all__ = [
     "popcount",
     "parity",
     "parity_array",
+    "parity_table_16",
+    "packed_parity_tables",
+    "extract_tables",
+    "gather_xor",
     "extract_bits",
     "deposit_bits",
     "lowest_bit",
@@ -29,6 +33,9 @@ __all__ = [
     "iter_submasks",
     "format_mask",
 ]
+
+SLICE_BITS = 16
+SLICE_MASK = np.uint64((1 << SLICE_BITS) - 1)
 
 
 def bit(position: int) -> int:
@@ -90,10 +97,126 @@ def parity_array(values: np.ndarray, mask: int) -> np.ndarray:
     """Vectorized ``parity(value & mask)`` over a uint64 array.
 
     This is the hot primitive of the simulator: evaluating one bank address
-    function over a pool of physical addresses.
+    function over a pool of physical addresses. ``np.bitwise_count`` returns
+    uint8, so keeping the final AND in uint8 avoids the uint64 round-trip
+    (one widening copy plus one narrowing copy per call) the naive spelling
+    pays.
     """
-    masked = np.bitwise_and(values.astype(np.uint64), np.uint64(mask))
-    return (np.bitwise_count(masked) & np.uint64(1)).astype(np.uint8)
+    masked = np.bitwise_and(np.asarray(values, dtype=np.uint64), np.uint64(mask))
+    return np.bitwise_count(masked) & np.uint8(1)
+
+
+_PARITY16: np.ndarray | None = None
+
+
+def parity_table_16() -> np.ndarray:
+    """The shared 65536-entry uint8 table of 16-bit word parities.
+
+    Built once per process (64 KiB, stays in L2); every packed decode table
+    derives from it.
+    """
+    global _PARITY16
+    if _PARITY16 is None:
+        folded = np.arange(1 << SLICE_BITS, dtype=np.uint16)
+        for shift in (8, 4, 2, 1):
+            folded ^= folded >> np.uint16(shift)
+        _PARITY16 = (folded & np.uint16(1)).astype(np.uint8)
+    return _PARITY16
+
+
+def _packed_dtype(count: int):
+    if count <= 8:
+        return np.uint8
+    if count <= 16:
+        return np.uint16
+    if count <= 32:
+        return np.uint32
+    return np.uint64
+
+
+def packed_parity_tables(
+    masks: Sequence[int],
+) -> tuple[tuple[np.uint64, np.ndarray], ...]:
+    """Per-16-bit-slice lookup tables evaluating *all* ``masks`` at once.
+
+    For address slice ``s`` (bits ``[16s, 16s+16)``) the table entry for
+    slice value ``v`` packs the parity contribution of ``v`` to every mask:
+    bit ``i`` of ``table[v]`` is ``parity(v & (masks[i] >> 16s))``. A full
+    decode is then one gather per touched slice XORed together — constant
+    work regardless of how many masks there are. Slices no mask touches are
+    omitted entirely.
+
+    Returns tuples of ``(shift, table)`` where ``shift`` is the uint64
+    right-shift selecting the slice.
+    """
+    if not masks:
+        return ()
+    par16 = parity_table_16()
+    values = np.arange(1 << SLICE_BITS, dtype=np.intp)
+    dtype = _packed_dtype(len(masks))
+    tables: list[tuple[np.uint64, np.ndarray]] = []
+    top = max(mask.bit_length() for mask in masks)
+    for index_slice in range((top + SLICE_BITS - 1) // SLICE_BITS):
+        table = np.zeros(1 << SLICE_BITS, dtype=dtype)
+        touched = False
+        for position, mask in enumerate(masks):
+            slice_mask = (mask >> (SLICE_BITS * index_slice)) & int(SLICE_MASK)
+            if not slice_mask:
+                continue
+            touched = True
+            table ^= par16[values & slice_mask].astype(dtype) << dtype(position)
+        if touched:
+            tables.append((np.uint64(SLICE_BITS * index_slice), table))
+    return tuple(tables)
+
+
+def extract_tables(
+    positions: Sequence[int],
+) -> tuple[tuple[np.uint64, np.ndarray], ...]:
+    """Per-16-bit-slice lookup tables for :func:`extract_bits` (pext).
+
+    ``table[v]`` holds the compacted output bits contributed by slice value
+    ``v``; distinct slices contribute disjoint output bits, so a full
+    extraction is the XOR (equivalently OR) of one gather per touched slice.
+    """
+    if not positions:
+        return ()
+    values = np.arange(1 << SLICE_BITS, dtype=np.uint16)
+    tables: list[tuple[np.uint64, np.ndarray]] = []
+    top = max(positions) + 1
+    for index_slice in range((top + SLICE_BITS - 1) // SLICE_BITS):
+        low = SLICE_BITS * index_slice
+        table = np.zeros(1 << SLICE_BITS, dtype=np.uint64)
+        touched = False
+        for output_bit, position in enumerate(positions):
+            if not low <= position < low + SLICE_BITS:
+                continue
+            touched = True
+            table |= ((values >> np.uint16(position - low)) & np.uint16(1)).astype(
+                np.uint64
+            ) << np.uint64(output_bit)
+        if touched:
+            tables.append((np.uint64(low), table))
+    return tuple(tables)
+
+
+def gather_xor(
+    addrs: np.ndarray, tables: tuple[tuple[np.uint64, np.ndarray], ...]
+) -> np.ndarray | None:
+    """XOR-combine the per-slice table gathers for ``addrs`` (uint64).
+
+    Returns ``None`` when ``tables`` is empty (no mask touches any bit) so
+    callers can substitute an appropriately-typed zero array.
+    """
+    out = None
+    for shift, table in tables:
+        indices = ((addrs >> shift) & SLICE_MASK).astype(np.intp)
+        contribution = table[indices]
+        if out is None:
+            out = contribution
+        else:
+            out ^= contribution
+    return out
 
 
 def extract_bits(value: int, positions: Sequence[int]) -> int:

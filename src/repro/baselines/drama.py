@@ -41,6 +41,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import gf2
+from repro.analysis.arrays import sorted_unique
 from repro.analysis.bits import bit, bits_of_mask, deposit_bits, popcount
 from repro.analysis.stats import find_threshold
 from repro.dram.belief import BeliefMapping
@@ -199,14 +200,12 @@ class DramaTool:
     # ------------------------------------------------------------- clustering
 
     def _calibrate(self, machine: SimulatedMachine, pages):
+        # Batched form of the original per-pair loop; measure_latency_pairs
+        # guarantees bit-identical latencies, clock charges and stats.
         count = 256
         bases = pages.sample_addresses(count, self._rng)
         partners = pages.sample_addresses(count, self._rng)
-        samples = np.empty(count)
-        for index in range(count):
-            samples[index] = machine.measure_latency(
-                int(bases[index]), int(partners[index]), self.config.rounds
-            )
+        samples = machine.measure_latency_pairs(bases, partners, self.config.rounds)
         try:
             return find_threshold(samples)
         except ValueError as error:
@@ -214,7 +213,7 @@ class DramaTool:
 
     def _cluster_sets(self, machine: SimulatedMachine, pages, threshold) -> list[np.ndarray]:
         config = self.config
-        pool = np.unique(pages.sample_addresses(config.pool_size, self._rng))
+        pool = sorted_unique(pages.sample_addresses(config.pool_size, self._rng))
         remaining = pool
         sets: list[np.ndarray] = []
         for _ in range(config.max_set_rounds):
@@ -301,15 +300,31 @@ class DramaTool:
     ) -> tuple[int, ...]:
         """Single-shot single-bit scan — no votes, hence phantom row bits
         under noise."""
-        rows = []
+        # Pair discovery (tool RNG) and measurement (machine RNG) draw from
+        # independent generators, so gathering every per-bit pair first and
+        # measuring them in one measure_latency_pairs call preserves both
+        # streams exactly — same probes, same latencies as the scalar loop.
+        positions = []
+        bases = []
+        partners = []
         for position in range(address_bits):
             pair = self._find_pair(pages, bit(position))
             if pair is None:
                 continue
-            latency = machine.measure_latency(pair[0], pair[1], self.config.rounds)
-            if threshold.is_slow(latency):
-                rows.append(position)
-        return tuple(rows)
+            positions.append(position)
+            bases.append(pair[0])
+            partners.append(pair[1])
+        if not positions:
+            return ()
+        latencies = machine.measure_latency_pairs(
+            np.array(bases, dtype=np.uint64),
+            np.array(partners, dtype=np.uint64),
+            self.config.rounds,
+        )
+        slow = threshold.classify(latencies)
+        return tuple(
+            position for position, is_slow in zip(positions, slow) if is_slow
+        )
 
     def _find_pair(self, pages, mask: int) -> tuple[int, int] | None:
         samples = pages.sample_addresses(64, self._rng)

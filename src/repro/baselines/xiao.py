@@ -184,20 +184,14 @@ class XiaoTool:
     def _calibrate(self, machine, pages):
         """Reference-anchored calibration (same-page pairs are never
         row conflicts), as the original tool calibrated against known
-        same-row accesses."""
+        same-row accesses. Batched via measure_latency_pairs —
+        bit-identical to the original per-pair loop."""
         count = self.config.calibration_pairs
-        references = np.empty(64)
         bases = pages.sample_addresses(64, self._rng)
-        for index in range(64):
-            base = int(bases[index])
-            references[index] = self._min_latency(machine, base, base ^ 0x80)
+        references = self._min_latency_pairs(machine, bases, bases ^ np.uint64(0x80))
         bases = pages.sample_addresses(count, self._rng)
         partners = pages.sample_addresses(count, self._rng)
-        samples = np.empty(count)
-        for index in range(count):
-            samples[index] = self._min_latency(
-                machine, int(bases[index]), int(partners[index])
-            )
+        samples = self._min_latency_pairs(machine, bases, partners)
         try:
             return calibrate_threshold(references, samples)
         except ValueError as error:
@@ -208,6 +202,23 @@ class XiaoTool:
             machine.measure_latency(addr_a, addr_b, self.config.rounds)
             for _ in range(self.config.measure_repeats)
         )
+
+    def _min_latency_pairs(
+        self, machine, bases: np.ndarray, partners: np.ndarray
+    ) -> np.ndarray:
+        """Vectorized min-of-repeats over many pairs.
+
+        Repeats are interleaved per pair (pair 0's repeats, then pair 1's,
+        ...), matching the measurement order — and therefore the machine's
+        noise-RNG stream — of a scalar :meth:`_min_latency` loop exactly.
+        """
+        repeats = self.config.measure_repeats
+        rep_bases = np.repeat(np.asarray(bases, dtype=np.uint64), repeats)
+        rep_partners = np.repeat(np.asarray(partners, dtype=np.uint64), repeats)
+        latencies = machine.measure_latency_pairs(
+            rep_bases, rep_partners, self.config.rounds
+        )
+        return latencies.reshape(-1, repeats).min(axis=1)
 
     def _measure(self, machine, pages, threshold, mask: int) -> bool:
         """Min-of-two measurement of a pair differing by ``mask``."""
@@ -271,13 +282,13 @@ class XiaoTool:
         config = self.config
         bases = pages.sample_addresses(config.verify_pairs, self._rng)
         partners = pages.sample_addresses(config.verify_pairs, self._rng)
+        measured = threshold.classify(self._min_latency_pairs(machine, bases, partners))
         agreements = 0
-        for base, partner in zip(bases, partners):
+        for base, partner, is_slow in zip(bases, partners, measured):
             base, partner = int(base), int(partner)
             predicted = (
                 belief.bank_of(base) == belief.bank_of(partner)
                 and belief.row_of(base) != belief.row_of(partner)
             )
-            measured = threshold.is_slow(self._min_latency(machine, base, partner))
-            agreements += predicted == measured
+            agreements += predicted == bool(is_slow)
         return agreements / config.verify_pairs >= config.verify_agreement

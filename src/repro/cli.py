@@ -80,15 +80,24 @@ def _build_parser() -> argparse.ArgumentParser:
         "report", help="regenerate every artefact into one markdown report"
     )
     report_cmd.add_argument("--out", metavar="PATH", help="write the report here")
-    commands.add_parser("table1", help="regenerate Table I (tool comparison)")
+    table1_cmd = commands.add_parser("table1", help="regenerate Table I (tool comparison)")
     commands.add_parser("table2", help="regenerate Table II (mappings, 9 machines)")
-    commands.add_parser("figure2", help="regenerate Figure 2 (time costs)")
+    figure2_cmd = commands.add_parser("figure2", help="regenerate Figure 2 (time costs)")
     table3_cmd = commands.add_parser(
         "table3", help="regenerate Table III (rowhammer flips)"
     )
     table3_cmd.add_argument(
         "--tests", type=int, default=5, help="tests per machine (default 5)"
     )
+    for grid_cmd in (report_cmd, table1_cmd, figure2_cmd, table3_cmd):
+        grid_cmd.add_argument(
+            "--jobs",
+            type=int,
+            default=None,
+            metavar="N",
+            help="worker processes for the evaluation grid "
+            "(default: serial; -1 = all CPUs; results are bit-identical)",
+        )
     return parser
 
 
@@ -185,23 +194,25 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.evalsuite.report import ReportConfig, generate_report
 
-        report = generate_report(ReportConfig(seed=args.seed), path=args.out)
+        report = generate_report(
+            ReportConfig(seed=args.seed, jobs=args.jobs), path=args.out
+        )
         if args.out:
             print(f"report written to {args.out}")
         else:
             print(report)
         return 0
     if args.command == "table1":
-        print(render_table1(run_table1(seed=args.seed)))
+        print(render_table1(run_table1(seed=args.seed, jobs=args.jobs)))
         return 0
     if args.command == "table2":
         print(render_table2(run_table2(seed=args.seed)))
         return 0
     if args.command == "figure2":
-        print(render_figure2(run_figure2(seed=args.seed)))
+        print(render_figure2(run_figure2(seed=args.seed, jobs=args.jobs)))
         return 0
     if args.command == "table3":
-        print(render_table3(run_table3(seed=args.seed, tests=args.tests)))
+        print(render_table3(run_table3(seed=args.seed, tests=args.tests, jobs=args.jobs)))
         return 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 

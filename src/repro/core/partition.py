@@ -36,6 +36,7 @@ from dataclasses import dataclass, field
 
 import numpy as np
 
+from repro.analysis.arrays import sorted_unique
 from repro.core.probe import LatencyProbe
 from repro.dram.errors import PartitionError
 
@@ -102,7 +103,7 @@ def partition_pool(
             threshold or wrong ``#bank``.
     """
     config = config if config is not None else PartitionConfig()
-    pool = np.unique(np.asarray(pool, dtype=np.uint64))
+    pool = sorted_unique(np.asarray(pool, dtype=np.uint64))
     pool_size = int(pool.size)
     if num_banks < 2:
         raise PartitionError(f"#banks must be at least 2, got {num_banks}")

@@ -80,18 +80,13 @@ class LatencyProbe:
         (broken timing loop on real hardware).
         """
         reference_count = self.config.reference_pairs
-        references = np.empty(reference_count, dtype=np.float64)
         bases = pages.sample_addresses(reference_count, rng)
-        for index in range(reference_count):
-            base = int(bases[index])
-            # Flipping bit 7 stays within the page: never a row conflict.
-            references[index] = self._measure_min(base, base ^ 0x80)
+        # Flipping bit 7 stays within the page: never a row conflict.
+        references = self._measure_min_pairs(bases, bases ^ np.uint64(0x80))
         count = self.config.calibration_pairs
         bases = pages.sample_addresses(count, rng)
         partners = pages.sample_addresses(count, rng)
-        samples = np.empty(count, dtype=np.float64)
-        for index in range(count):
-            samples[index] = self._measure_min(int(bases[index]), int(partners[index]))
+        samples = self._measure_min_pairs(bases, partners)
         try:
             self.threshold = calibrate_threshold(
                 references, samples, self.config.min_separation
@@ -115,6 +110,22 @@ class LatencyProbe:
                 latency, self.machine.measure_latency(addr_a, addr_b, self.config.rounds)
             )
         return latency
+
+    def _measure_min_pairs(self, bases: np.ndarray, partners: np.ndarray) -> np.ndarray:
+        """Min-of-repeats over many (base, partner) pairs at once.
+
+        Repeats are interleaved per pair so the machine's noise RNG is
+        consumed in exactly the order a scalar :meth:`_measure_min` loop
+        consumes it — batching changes simulator wall-clock only, never a
+        single measured value.
+        """
+        repeats = self.config.repeats
+        rep_bases = np.repeat(np.asarray(bases, dtype=np.uint64), repeats)
+        rep_partners = np.repeat(np.asarray(partners, dtype=np.uint64), repeats)
+        latencies = self.machine.measure_latency_pairs(
+            rep_bases, rep_partners, self.config.rounds
+        )
+        return latencies.reshape(-1, repeats).min(axis=1)
 
     def is_conflict(self, addr_a: int, addr_b: int) -> bool:
         """Classify one pair: True = same bank, different row (slow)."""

@@ -26,6 +26,7 @@ from repro.dram.belief import BeliefMapping
 from repro.dram.presets import preset
 from repro.evalsuite.reporting import render_table
 from repro.machine.machine import SimulatedMachine
+from repro.parallel import DEFAULT_START_METHOD, GridCell, resolve_jobs, run_cells
 
 __all__ = ["DeterminismRow", "run_determinism", "render_determinism"]
 
@@ -61,50 +62,122 @@ def _canonical(belief: BeliefMapping) -> tuple:
     return (basis, belief.row_bits)
 
 
+def dramdig_run_cell(machine_name: str, seed: int) -> dict:
+    """One DRAMDig run: canonical output + ground-truth equivalence."""
+    truth = preset(machine_name).mapping
+    machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed)
+    result = DramDig().run(machine)
+    belief = BeliefMapping.from_mapping(result.mapping)
+    return {
+        "canonical": _canonical(belief),
+        "correct": bool(belief.hammer_equivalent(truth)),
+    }
+
+
+def drama_run_cell(machine_name: str, seed: int, tool_seed: int) -> dict | None:
+    """One DRAMA run; ``None`` when the run times out without a belief."""
+    truth = preset(machine_name).mapping
+    machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed)
+    result = DramaTool(None, seed=tool_seed).run(machine)
+    if result.belief is None:
+        return None
+    return {
+        "canonical": _canonical(result.belief),
+        "correct": bool(result.belief.hammer_equivalent(truth)),
+    }
+
+
+def _fold_rows(tool: str, machine_name: str, runs: int, records) -> DeterminismRow:
+    """Aggregate per-run records in run order (Counter insertion order and
+    tie-breaking therefore match the original serial loop exactly)."""
+    row = DeterminismRow(tool=tool, machine=machine_name, runs=runs)
+    for record in records:
+        if record is None:
+            continue
+        row.completed += 1
+        row.outputs[record["canonical"]] += 1
+        row.correct_fraction += record["correct"]
+    if row.completed:
+        row.distinct_outputs = len(row.outputs)
+        row.modal_fraction = row.outputs.most_common(1)[0][1] / row.completed
+        row.correct_fraction /= row.completed
+    return row
+
+
 def run_determinism(
     machine_name: str = "No.1",
     runs: int = 8,
     seed: int = 1,
     dramdig_config: DramDigConfig | None = None,
     drama_config: DramaConfig | None = None,
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
 ) -> list[DeterminismRow]:
     """Repeated-run study of DRAMDig and DRAMA on one machine.
 
     Each run uses a *different machine seed* (fresh noise, fresh buffer
     placement) for DRAMDig — its determinism must hold across machine
     randomness — and a different tool seed for DRAMA (its nondeterminism
-    is internal).
+    is internal). Fresh machine seed per run for both tools: a rerun on a
+    real machine sees fresh noise; DRAMDig's output must survive that,
+    DRAMA's does not.
+
+    One grid cell per (tool, run); ``jobs`` > 1 fans them out to worker
+    processes with bit-identical aggregation (records fold in run order).
+    ``dramdig_config``/``drama_config`` must be ``None`` when ``jobs`` > 1
+    (cells rebuild default configs; non-default configs are a serial-only
+    convenience kept for the test-suite).
     """
-    truth = preset(machine_name).mapping
+    if jobs is not None and resolve_jobs(jobs) > 1 and (dramdig_config or drama_config):
+        raise ValueError("custom tool configs are not supported with jobs > 1")
+    if dramdig_config or drama_config:
+        truth = preset(machine_name).mapping
+        dramdig_records = []
+        for run in range(runs):
+            machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
+            belief = BeliefMapping.from_mapping(DramDig(dramdig_config).run(machine).mapping)
+            dramdig_records.append(
+                {"canonical": _canonical(belief), "correct": bool(belief.hammer_equivalent(truth))}
+            )
+        drama_records = []
+        for run in range(runs):
+            machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
+            result = DramaTool(drama_config, seed=seed * 1000 + run).run(machine)
+            if result.belief is None:
+                drama_records.append(None)
+            else:
+                drama_records.append(
+                    {
+                        "canonical": _canonical(result.belief),
+                        "correct": bool(result.belief.hammer_equivalent(truth)),
+                    }
+                )
+    else:
+        cells = [
+            GridCell(
+                "repro.evalsuite.determinism:dramdig_run_cell",
+                {"machine_name": machine_name, "seed": seed + run},
+            )
+            for run in range(runs)
+        ] + [
+            GridCell(
+                "repro.evalsuite.determinism:drama_run_cell",
+                {
+                    "machine_name": machine_name,
+                    "seed": seed + run,
+                    "tool_seed": seed * 1000 + run,
+                },
+            )
+            for run in range(runs)
+        ]
+        records = run_cells(cells, jobs=jobs, start_method=start_method)
+        dramdig_records = records[:runs]
+        drama_records = records[runs:]
 
-    dramdig_row = DeterminismRow(tool="DRAMDig", machine=machine_name, runs=runs)
-    for run in range(runs):
-        machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
-        result = DramDig(dramdig_config).run(machine)
-        belief = BeliefMapping.from_mapping(result.mapping)
-        dramdig_row.completed += 1
-        dramdig_row.outputs[_canonical(belief)] += 1
-        dramdig_row.correct_fraction += belief.hammer_equivalent(truth)
-
-    drama_row = DeterminismRow(tool="DRAMA", machine=machine_name, runs=runs)
-    for run in range(runs):
-        # Fresh machine seed per run for both tools: a rerun on a real
-        # machine sees fresh noise. DRAMDig's output must survive that;
-        # DRAMA's does not.
-        machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed + run)
-        result = DramaTool(drama_config, seed=seed * 1000 + run).run(machine)
-        if result.belief is None:
-            continue
-        drama_row.completed += 1
-        drama_row.outputs[_canonical(result.belief)] += 1
-        drama_row.correct_fraction += result.belief.hammer_equivalent(truth)
-
-    for row in (dramdig_row, drama_row):
-        if row.completed:
-            row.distinct_outputs = len(row.outputs)
-            row.modal_fraction = row.outputs.most_common(1)[0][1] / row.completed
-            row.correct_fraction /= row.completed
-    return [dramdig_row, drama_row]
+    return [
+        _fold_rows("DRAMDig", machine_name, runs, dramdig_records),
+        _fold_rows("DRAMA", machine_name, runs, drama_records),
+    ]
 
 
 def render_determinism(rows: list[DeterminismRow]) -> str:

@@ -24,6 +24,7 @@ from repro.core.dramdig import DramDig, DramDigConfig
 from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.reporting import format_seconds, render_table
 from repro.machine.machine import SimulatedMachine
+from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
 
 __all__ = ["Figure2Point", "run_figure2", "render_figure2"]
 
@@ -39,37 +40,57 @@ class Figure2Point:
     dramdig_pool_size: int
 
 
+def figure2_machine_cell(
+    name: str,
+    seed: int,
+    dramdig_config: DramDigConfig | None,
+    drama_config: DramaConfig | None,
+) -> Figure2Point:
+    """Both tools on one machine; each gets a fresh machine (fresh clock)
+    so costs do not mix. Pure function of its arguments — grid-safe."""
+    machine_preset = preset(name)
+
+    dramdig_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
+    dramdig_result = DramDig(dramdig_config).run(dramdig_machine)
+
+    drama_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
+    drama_result = DramaTool(drama_config, seed=seed).run(drama_machine)
+
+    return Figure2Point(
+        machine=name,
+        dramdig_seconds=dramdig_result.total_seconds,
+        drama_seconds=drama_result.seconds,
+        drama_timed_out=drama_result.timed_out,
+        dramdig_pool_size=dramdig_result.pool_size,
+    )
+
+
 def run_figure2(
     seed: int = 1,
     machines: tuple[str, ...] = TABLE2_ORDER,
     dramdig_config: DramDigConfig | None = None,
     drama_config: DramaConfig | None = None,
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
 ) -> list[Figure2Point]:
     """Measure both tools' simulated time cost on every machine.
 
-    Each tool gets a fresh machine instance (fresh clock) so costs do not
-    mix.
+    One grid cell per machine; ``jobs`` > 1 fans the cells out to worker
+    processes with bit-identical results (ordered reassembly).
     """
-    points = []
-    for name in machines:
-        machine_preset = preset(name)
-
-        dramdig_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
-        dramdig_result = DramDig(dramdig_config).run(dramdig_machine)
-
-        drama_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
-        drama_result = DramaTool(drama_config, seed=seed).run(drama_machine)
-
-        points.append(
-            Figure2Point(
-                machine=name,
-                dramdig_seconds=dramdig_result.total_seconds,
-                drama_seconds=drama_result.seconds,
-                drama_timed_out=drama_result.timed_out,
-                dramdig_pool_size=dramdig_result.pool_size,
-            )
+    cells = [
+        GridCell(
+            "repro.evalsuite.figure2:figure2_machine_cell",
+            {
+                "name": name,
+                "seed": seed,
+                "dramdig_config": dramdig_config,
+                "drama_config": drama_config,
+            },
         )
-    return points
+        for name in machines
+    ]
+    return run_cells(cells, jobs=jobs, start_method=start_method)
 
 
 def render_figure2(points: list[Figure2Point]) -> str:

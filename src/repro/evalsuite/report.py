@@ -36,6 +36,8 @@ class ReportConfig:
         determinism_runs: repeated runs in the determinism study.
         determinism_machine: machine for the determinism study.
         dramdig / drama / hammer: tool configs (None = defaults).
+        jobs: worker processes for each experiment grid (None/1 = serial;
+            results are bit-identical either way).
     """
 
     seed: int = 1
@@ -47,6 +49,7 @@ class ReportConfig:
     dramdig: DramDigConfig | None = None
     drama: DramaConfig | None = None
     hammer: HammerConfig | None = None
+    jobs: int | None = None
 
 
 def generate_report(
@@ -70,6 +73,7 @@ def generate_report(
                 seed=config.seed,
                 machines=config.machines,
                 drama_config=config.drama,
+                jobs=config.jobs,
             )
         ),
         "```",
@@ -99,6 +103,7 @@ def generate_report(
                 machines=config.machines,
                 dramdig_config=config.dramdig,
                 drama_config=config.drama,
+                jobs=config.jobs,
             )
         ),
         "```",
@@ -117,6 +122,7 @@ def generate_report(
                 hammer_config=config.hammer,
                 dramdig_config=config.dramdig,
                 drama_config=config.drama,
+                jobs=config.jobs,
             )
         ),
         "```",
@@ -134,6 +140,7 @@ def generate_report(
                 seed=config.seed,
                 dramdig_config=config.dramdig,
                 drama_config=config.drama,
+                jobs=config.jobs,
             )
         ),
         "```",

@@ -13,6 +13,11 @@ Seaborn et al.'s blind-rowhammer approach is scored analytically from its
 published behaviour (hours of blind testing, Sandy-Bridge-specific,
 deterministic when it works); implementing a faithful multi-hour blind
 search adds nothing the fault model does not already show.
+
+The measurement grid is one independent cell per (tool, machine): each
+cell builds fresh machines from explicit seeds, so the cells can run
+serially (``jobs=1``, the default) or fan out across worker processes
+(``jobs=N`` via :mod:`repro.parallel`) with bit-identical results.
 """
 
 from __future__ import annotations
@@ -26,6 +31,7 @@ from repro.dram.errors import ReproError
 from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.reporting import render_table
 from repro.machine.machine import SimulatedMachine
+from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
 
 __all__ = ["ToolVerdict", "run_table1", "render_table1"]
 
@@ -63,15 +69,52 @@ def run_table1(
     machines: tuple[str, ...] = TABLE2_ORDER,
     determinism_runs: int = 3,
     drama_config: DramaConfig | None = None,
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
 ) -> list[ToolVerdict]:
-    """Measure Table I's properties for all four tools."""
-    verdicts = [
+    """Measure Table I's properties for all four tools.
+
+    ``jobs`` > 1 distributes the (tool, machine) cells over worker
+    processes; output is bit-identical to the serial run.
+    """
+    cells = []
+    for name in machines:
+        cells.append(
+            GridCell(
+                "repro.evalsuite.table1:xiao_machine_cell",
+                {"name": name, "seed": seed},
+            )
+        )
+    for name in machines:
+        cells.append(
+            GridCell(
+                "repro.evalsuite.table1:drama_machine_cell",
+                {
+                    "name": name,
+                    "seed": seed,
+                    "determinism_runs": determinism_runs,
+                    "drama_config": drama_config,
+                },
+            )
+        )
+    for name in machines:
+        cells.append(
+            GridCell(
+                "repro.evalsuite.table1:dramdig_machine_cell",
+                {"name": name, "seed": seed, "determinism_runs": determinism_runs},
+            )
+        )
+    results = run_cells(cells, jobs=jobs, start_method=start_method)
+    panel = len(machines)
+    xiao_records = results[:panel]
+    drama_records = results[panel : 2 * panel]
+    dramdig_records = results[2 * panel :]
+    return [
         _seaborn_verdict(machines),
-        _xiao_verdict(seed, machines),
-        _drama_verdict(seed, machines, determinism_runs, drama_config),
-        _dramdig_verdict(seed, machines, determinism_runs),
+        _xiao_verdict(machines, xiao_records),
+        _drama_verdict(machines, drama_records),
+        _dramdig_verdict(machines, dramdig_records),
     ]
-    return verdicts
 
 
 def _median(values: list[float]) -> float:
@@ -84,33 +127,92 @@ def _median(values: list[float]) -> float:
     return (ordered[middle - 1] + ordered[middle]) / 2
 
 
-def _dramdig_verdict(seed, machines, determinism_runs) -> ToolVerdict:
+# --------------------------------------------------------------- grid cells
+#
+# One cell = one tool on one machine, a pure function of its arguments
+# (fresh SimulatedMachine per run, every seed explicit) returning a small
+# picklable record. The per-tool verdict builders below fold the records
+# back together in machine order.
+
+
+def dramdig_machine_cell(name: str, seed: int, determinism_runs: int) -> dict:
+    """DRAMDig on one machine, ``determinism_runs`` times."""
+    outcomes = set()
+    time_seconds = None
+    for run in range(determinism_runs):
+        machine = SimulatedMachine.from_preset(preset(name), seed=seed + run)
+        try:
+            result = DramDig().run(machine)
+        except ReproError:
+            # A run-0 time already recorded stays recorded, exactly as the
+            # original serial loop left it in its ``times`` list.
+            return {"solved": False, "time": time_seconds, "nondeterministic": False}
+        outcomes.add(
+            (
+                tuple(sorted(result.mapping.bank_functions)),
+                result.mapping.row_bits,
+                result.mapping.column_bits,
+            )
+        )
+        if run == 0:
+            time_seconds = result.total_seconds
+    return {
+        "solved": True,
+        "time": time_seconds,
+        "nondeterministic": len(outcomes) > 1,
+    }
+
+
+def drama_machine_cell(
+    name: str, seed: int, determinism_runs: int, drama_config: DramaConfig | None
+) -> dict:
+    """DRAMA on one machine, ``determinism_runs`` times."""
+    outcomes = set()
+    time_seconds = None
+    for run in range(determinism_runs):
+        machine = SimulatedMachine.from_preset(preset(name), seed=seed + run)
+        result = DramaTool(drama_config, seed=seed * 31 + run * 7).run(machine)
+        if result.belief is None:
+            return {"solved": False, "time": time_seconds, "nondeterministic": False}
+        outcomes.add(
+            (
+                tuple(sorted(result.belief.bank_functions)),
+                result.belief.row_bits,
+            )
+        )
+        if run == 0:
+            time_seconds = result.seconds
+    return {
+        "solved": True,
+        "time": time_seconds,
+        "nondeterministic": len(outcomes) > 1,
+    }
+
+
+def xiao_machine_cell(name: str, seed: int) -> dict:
+    """Xiao et al. on one machine (fixed-seed tool: one run suffices)."""
+    machine = SimulatedMachine.from_preset(preset(name), seed=seed)
+    try:
+        result = XiaoTool().run(machine)
+    except ReproError as error:
+        return {"solved": False, "time": None, "error": type(error).__name__}
+    return {"solved": True, "time": result.seconds, "error": ""}
+
+
+# ---------------------------------------------------------- verdict folding
+
+
+def _dramdig_verdict(machines, records) -> ToolVerdict:
     times, details = [], {}
     successes = 0
     deterministic = True
-    for name in machines:
-        outcomes = set()
-        solved = True
-        for run in range(determinism_runs):
-            machine = SimulatedMachine.from_preset(preset(name), seed=seed + run)
-            try:
-                result = DramDig().run(machine)
-            except ReproError:
-                solved = False
-                break
-            outcomes.add(
-                (
-                    tuple(sorted(result.mapping.bank_functions)),
-                    result.mapping.row_bits,
-                    result.mapping.column_bits,
-                )
-            )
-            if run == 0:
-                times.append(result.total_seconds)
-        if solved:
+    for name, record in zip(machines, records):
+        if record["time"] is not None:
+            times.append(record["time"])
+        if record["solved"]:
             successes += 1
             details[name] = "ok"
-            if len(outcomes) > 1:
+            if record["nondeterministic"]:
                 deterministic = False
                 details[name] = "nondeterministic"
         else:
@@ -127,32 +229,18 @@ def _dramdig_verdict(seed, machines, determinism_runs) -> ToolVerdict:
     )
 
 
-def _drama_verdict(seed, machines, determinism_runs, drama_config) -> ToolVerdict:
+def _drama_verdict(machines, records) -> ToolVerdict:
     times, details = [], {}
     successes = 0
     deterministic = True
     failures = []
-    for name in machines:
-        outcomes = set()
-        solved = True
-        for run in range(determinism_runs):
-            machine = SimulatedMachine.from_preset(preset(name), seed=seed + run)
-            result = DramaTool(drama_config, seed=seed * 31 + run * 7).run(machine)
-            if result.belief is None:
-                solved = False
-                break
-            outcomes.add(
-                (
-                    tuple(sorted(result.belief.bank_functions)),
-                    result.belief.row_bits,
-                )
-            )
-            if run == 0:
-                times.append(result.seconds)
-        if solved:
+    for name, record in zip(machines, records):
+        if record["time"] is not None:
+            times.append(record["time"])
+        if record["solved"]:
             successes += 1
-            details[name] = "ok" if len(outcomes) == 1 else "nondeterministic"
-            if len(outcomes) > 1:
+            details[name] = "nondeterministic" if record["nondeterministic"] else "ok"
+            if record["nondeterministic"]:
                 deterministic = False
         else:
             failures.append(name)
@@ -170,21 +258,18 @@ def _drama_verdict(seed, machines, determinism_runs, drama_config) -> ToolVerdic
     )
 
 
-def _xiao_verdict(seed, machines) -> ToolVerdict:
+def _xiao_verdict(machines, records) -> ToolVerdict:
     times, details = [], {}
     successes = 0
     failures = []
-    for name in machines:
-        machine = SimulatedMachine.from_preset(preset(name), seed=seed)
-        try:
-            result = XiaoTool().run(machine)
-        except ReproError as error:
+    for name, record in zip(machines, records):
+        if record["solved"]:
+            successes += 1
+            times.append(record["time"])
+            details[name] = "ok"
+        else:
             failures.append(name)
-            details[name] = type(error).__name__
-            continue
-        successes += 1
-        times.append(result.seconds)
-        details[name] = "ok"
+            details[name] = record["error"]
     return ToolVerdict(
         tool="Xiao et al.",
         generic=successes == len(machines),

@@ -17,6 +17,7 @@ from repro.dram.belief import BeliefMapping
 from repro.dram.presets import preset
 from repro.evalsuite.reporting import render_table
 from repro.machine.machine import SimulatedMachine
+from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
 from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
 
 __all__ = ["Table3Row", "run_table3", "render_table3", "TABLE3_MACHINES"]
@@ -41,6 +42,57 @@ class Table3Row:
         return sum(self.drama_flips)
 
 
+def table3_machine_cell(
+    name: str,
+    seed: int,
+    tests: int,
+    hammer_config: HammerConfig | None,
+    dramdig_config: DramDigConfig | None,
+    drama_config: DramaConfig | None,
+) -> Table3Row:
+    """Both tools' five-test comparison on one machine.
+
+    DRAMDig's mapping is derived once (it is deterministic — re-running
+    changes nothing); DRAMA re-runs before every test, as its
+    nondeterminism demands. A DRAMA timeout contributes a zero-flip test
+    (no mapping, no aim). Every seed is derived from the arguments, so the
+    cell is grid-safe.
+    """
+    machine_preset = preset(name)
+    row = Table3Row(machine=name)
+
+    dramdig_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
+    dramdig_result = DramDig(dramdig_config).run(dramdig_machine)
+    dramdig_belief = BeliefMapping.from_mapping(dramdig_result.mapping)
+    attack = DoubleSidedAttack(
+        dramdig_machine,
+        config=hammer_config,
+        vulnerability=machine_preset.hammer_vulnerability,
+    )
+    for test in range(tests):
+        report = attack.run(dramdig_belief, seed=seed * 1000 + test)
+        row.dramdig_flips.append(report.flips)
+
+    for test in range(tests):
+        drama_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
+        drama_result = DramaTool(drama_config, seed=seed * 100 + test * 17).run(
+            drama_machine
+        )
+        if drama_result.belief is None:
+            row.drama_flips.append(0)
+            continue
+        drama_attack = DoubleSidedAttack(
+            drama_machine,
+            config=hammer_config,
+            vulnerability=machine_preset.hammer_vulnerability,
+        )
+        report = drama_attack.run(
+            drama_result.belief, seed=seed * 2000 + test
+        )
+        row.drama_flips.append(report.flips)
+    return row
+
+
 def run_table3(
     seed: int = 1,
     tests: int = 5,
@@ -48,50 +100,29 @@ def run_table3(
     hammer_config: HammerConfig | None = None,
     dramdig_config: DramDigConfig | None = None,
     drama_config: DramaConfig | None = None,
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
 ) -> list[Table3Row]:
     """Run the paper's rowhammer comparison.
 
-    DRAMDig's mapping is derived once (it is deterministic — re-running
-    changes nothing); DRAMA re-runs before every test, as its
-    nondeterminism demands. A DRAMA timeout contributes a zero-flip test
-    (no mapping, no aim).
+    One grid cell per machine; ``jobs`` > 1 fans the cells out to worker
+    processes with bit-identical results (ordered reassembly).
     """
-    rows = []
-    for name in machines:
-        machine_preset = preset(name)
-        row = Table3Row(machine=name)
-
-        dramdig_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
-        dramdig_result = DramDig(dramdig_config).run(dramdig_machine)
-        dramdig_belief = BeliefMapping.from_mapping(dramdig_result.mapping)
-        attack = DoubleSidedAttack(
-            dramdig_machine,
-            config=hammer_config,
-            vulnerability=machine_preset.hammer_vulnerability,
+    cells = [
+        GridCell(
+            "repro.evalsuite.table3:table3_machine_cell",
+            {
+                "name": name,
+                "seed": seed,
+                "tests": tests,
+                "hammer_config": hammer_config,
+                "dramdig_config": dramdig_config,
+                "drama_config": drama_config,
+            },
         )
-        for test in range(tests):
-            report = attack.run(dramdig_belief, seed=seed * 1000 + test)
-            row.dramdig_flips.append(report.flips)
-
-        for test in range(tests):
-            drama_machine = SimulatedMachine.from_preset(machine_preset, seed=seed)
-            drama_result = DramaTool(drama_config, seed=seed * 100 + test * 17).run(
-                drama_machine
-            )
-            if drama_result.belief is None:
-                row.drama_flips.append(0)
-                continue
-            drama_attack = DoubleSidedAttack(
-                drama_machine,
-                config=hammer_config,
-                vulnerability=machine_preset.hammer_vulnerability,
-            )
-            report = drama_attack.run(
-                drama_result.belief, seed=seed * 2000 + test
-            )
-            row.drama_flips.append(report.flips)
-        rows.append(row)
-    return rows
+        for name in machines
+    ]
+    return run_cells(cells, jobs=jobs, start_method=start_method)
 
 
 def render_table3(rows: list[Table3Row]) -> str:

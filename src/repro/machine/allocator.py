@@ -22,6 +22,7 @@ from dataclasses import dataclass
 
 import numpy as np
 
+from repro.analysis.arrays import sorted_unique
 from repro.dram.errors import AllocationError
 
 __all__ = ["PAGE_SIZE", "PAGE_SHIFT", "PhysPages", "PageAllocator"]
@@ -48,7 +49,7 @@ class PhysPages:
         # every allocator already produces sorted unique frames, so only pay
         # for deduplication when the input actually needs it.
         if pages.size > 1 and not bool(np.all(pages[1:] > pages[:-1])):
-            pages = np.unique(pages)
+            pages = sorted_unique(pages)
         object.__setattr__(self, "page_numbers", pages)
 
     def __len__(self) -> int:
@@ -184,7 +185,7 @@ class PageAllocator:
                 block = block[keep]
             chunks.append(block)
             collected += block.size
-        pages = np.unique(np.concatenate(chunks))
+        pages = sorted_unique(np.concatenate(chunks))
         return PhysPages(page_numbers=pages, total_bytes=self.total_bytes)
 
     def allocate_sparse(
@@ -223,5 +224,5 @@ class PageAllocator:
             used_starts.add(start)
             chunks.append(np.arange(start, start + frames_per_huge, dtype=np.uint64))
             collected += frames_per_huge
-        pages = np.unique(np.concatenate(chunks))
+        pages = sorted_unique(np.concatenate(chunks))
         return PhysPages(page_numbers=pages, total_bytes=self.total_bytes)

@@ -134,10 +134,8 @@ class SimulatedMachine:
         """
         access_class = self._controller.classify_pair(addr_a, addr_b)
         is_conflict = access_class is AccessClass.ROW_CONFLICT
-        latency = float(
-            self._latency_model.sample_batch_ns(np.array([is_conflict]), self._rng)[0]
-        )
-        self._charge_measurements(np.array([latency]), rounds)
+        latency = float(self._latency_model.sample_pair_ns(is_conflict, self._rng))
+        self._charge_one(latency, rounds)
         return latency
 
     def measure_latency_batch(
@@ -152,7 +150,55 @@ class SimulatedMachine:
         self._charge_measurements(latencies, rounds)
         return latencies
 
+    def measure_latency_pairs(
+        self, bases: np.ndarray, partners: np.ndarray, rounds: int = DEFAULT_ROUNDS
+    ) -> np.ndarray:
+        """Measure ``(bases[i], partners[i])`` pairs with distinct bases.
+
+        Classification is vectorized (one decode pass over each array);
+        noise sampling and clock charging then proceed pair by pair in the
+        same order a scalar :meth:`measure_latency` loop would, so the
+        returned latencies, the simulated-clock charge, and the stats
+        counters are all bit-identical to that loop — it is purely a
+        simulator-speed transformation. Baseline tools use it to replace
+        their calibration/row-scan loops.
+        """
+        bases = np.asarray(bases, dtype=np.uint64)
+        partners = np.asarray(partners, dtype=np.uint64)
+        if bases.shape != partners.shape:
+            raise ValueError("bases and partners must have matching shapes")
+        conflicts = self._controller.classify_pairwise(bases, partners)
+        latencies = np.empty(bases.shape, dtype=np.float64)
+        model = self._latency_model
+        rng = self._rng
+        for index in range(bases.size):
+            latency = float(model.sample_pair_ns(bool(conflicts[index]), rng))
+            self._charge_one(latency, rounds)
+            latencies[index] = latency
+        return latencies
+
+    def _charge_one(self, latency: float, rounds: int) -> None:
+        """Scalar clock/stats charge — exactly one pair measurement.
+
+        Matches :meth:`_charge_measurements` for a single-element batch,
+        term for term (``count`` = 1), so scalar and batch paths account
+        identically; pinned by ``tests/machine/test_machine.py``.
+        """
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
+        total = self._cost.setup_ns + rounds * (
+            self._cost.per_round_ns + 2.0 * latency
+        )
+        self.clock.charge(total)
+        self.stats.measurements += 1
+        self.stats.accesses_timed += 2 * rounds
+
     def _charge_measurements(self, latencies: np.ndarray, rounds: int) -> None:
+        # Accounting audit (two counters, two units — not a double count):
+        # ``measurements`` counts pair measurements (one per latency summary
+        # returned to the tool); ``accesses_timed`` counts individual timed
+        # DRAM accesses (2 addresses x ``rounds`` alternations per pair).
+        # Each increments exactly once per charge.
         if rounds <= 0:
             raise ValueError("rounds must be positive")
         count = latencies.size
@@ -161,8 +207,8 @@ class SimulatedMachine:
             count * self._cost.per_round_ns + pair_sum
         )
         self.clock.charge(total)
-        self.stats.measurements += latencies.size
-        self.stats.accesses_timed += 2 * rounds * latencies.size
+        self.stats.measurements += count
+        self.stats.accesses_timed += 2 * rounds * count
 
     def charge_analysis(self, duration_ns: float) -> None:
         """Charge non-measurement work (sorting pools, GF(2) solving). Tools

@@ -105,3 +105,17 @@ class MemoryController:
         same_bank = self.mapping.bank_of_array(others) == base_bank
         diff_row = self.mapping.row_of_array(others) != base_row
         return same_bank & diff_row
+
+    def classify_pairwise(self, bases: np.ndarray, partners: np.ndarray) -> np.ndarray:
+        """Element-wise :meth:`classify_pair` over two equal-length arrays.
+
+        Returns a boolean array: True where ``(bases[i], partners[i])`` is a
+        row conflict. Agrees exactly with the scalar form (same integer
+        decode), which is what lets batched measurement paths replace scalar
+        loops without changing a single classification.
+        """
+        bases = np.asarray(bases, dtype=np.uint64)
+        partners = np.asarray(partners, dtype=np.uint64)
+        same_bank = self.mapping.bank_of_array(bases) == self.mapping.bank_of_array(partners)
+        diff_row = self.mapping.row_of_array(bases) != self.mapping.row_of_array(partners)
+        return same_bank & diff_row

@@ -129,6 +129,32 @@ class LatencyModel:
             latency += self.noise.outlier_extra_ns * rng.random()
         return max(latency, 1.0)
 
+    def sample_pair_ns(self, is_conflict: bool, rng: np.random.Generator) -> float:
+        """One pair-measurement latency summary, scalar form.
+
+        Draws from ``rng`` in exactly the order a *single-element*
+        :meth:`sample_batch_ns` call does (one normal, then two uniforms
+        when outliers are enabled — the second uniform is consumed whether
+        or not the outlier hits, as the batch form does), without the
+        array-allocation overhead. Each scalar call is therefore
+        bit-identical, value and generator state, to
+        ``sample_batch_ns(np.array([flag]), rng)[0]`` — which is how
+        ``measure_latency`` historically drew. One *multi-element* batch
+        call draws its normals and uniforms in blocks and so consumes the
+        stream in a different order; the two are interchangeable only
+        call-for-call, and ``tests/memctrl/test_timing.py`` pins both
+        facts.
+        """
+        latency = self.ideal_ns(
+            AccessClass.ROW_CONFLICT if is_conflict else AccessClass.DIFFERENT_BANK
+        )
+        if self.noise.jitter_sigma_ns:
+            latency += rng.normal(0.0, self.noise.jitter_sigma_ns)
+        if self.noise.outlier_probability:
+            hit = rng.random() < self.noise.outlier_probability
+            latency += (hit * self.noise.outlier_extra_ns) * rng.random()
+        return max(latency, 1.0)
+
     def sample_batch_ns(
         self, conflict_flags: np.ndarray, rng: np.random.Generator
     ) -> np.ndarray:

@@ -1,0 +1,27 @@
+"""Parallel evaluation engine.
+
+The paper's evaluation grid — tools x machine presets x seeds — is
+embarrassingly parallel: every cell builds its own
+:class:`~repro.machine.machine.SimulatedMachine` from an explicit seed
+and shares nothing with its neighbours. This package fans those cells
+out to worker processes and reassembles the results in submission
+order, so the parallel path is bit-identical to the serial one; the
+``--jobs N`` flag of ``dramdig table1/figure2/table3/report`` is wired
+through here.
+"""
+
+from repro.parallel.grid import (
+    DEFAULT_START_METHOD,
+    GridCell,
+    execute_cell,
+    resolve_jobs,
+    run_cells,
+)
+
+__all__ = [
+    "DEFAULT_START_METHOD",
+    "GridCell",
+    "execute_cell",
+    "resolve_jobs",
+    "run_cells",
+]

@@ -1,0 +1,180 @@
+"""Perf harness: wall-clock evidence for the optimisation work.
+
+Writes ``BENCH_perf.json`` with three families of numbers:
+
+* **grid** — wall-clock seconds of the Table I and Figure 2 evaluation
+  grids, serial and parallel, next to the recorded pre-optimisation
+  (seed) baselines measured on the same reference container;
+* **micro** — decode/parity throughput of the current hot-path kernels
+  next to both the retained reference implementations
+  (``bank_of_array_popcount`` / ``row_of_array_shift``) and the recorded
+  seed numbers;
+* **environment** — CPU count and worker count, because a parallel
+  speedup claim without the CPU count is meaningless (on a single-CPU
+  container the process pool cannot beat serial; the vectorised kernels
+  carry the speedup there, and the JSON says so explicitly).
+
+Run with ``python -m repro.parallel.perf [--jobs N] [--out PATH]``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.analysis.bits import parity_array
+from repro.dram.presets import TABLE2_ORDER, preset
+from repro.evalsuite.figure2 import run_figure2
+from repro.evalsuite.table1 import run_table1
+from repro.parallel.grid import resolve_jobs
+
+__all__ = ["SEED_BASELINES", "run_perf", "main"]
+
+# Pre-optimisation numbers, measured on the reference container at the
+# commit this harness was introduced (seed code, serial, same workloads
+# as below). They anchor the speedup columns when the harness runs on
+# the same class of hardware; rerun on different hardware, compare the
+# "reference" micro columns instead — those are measured live.
+SEED_BASELINES = {
+    "table1_seconds": 41.0,
+    "figure2_seconds": 13.1,
+    "bank_of_array_us": 142.3,
+    "row_of_array_us": 302.3,
+    "parity_array_us": 37.9,
+    "pool_size": 16384,
+}
+
+_MICRO_POOL = 16384
+
+
+def _best_of(callable_, repeats: int = 5) -> float:
+    """Best-of-N wall-clock seconds (best, not mean: least noise)."""
+    best = float("inf")
+    for _ in range(repeats):
+        start = time.perf_counter()
+        callable_()
+        best = min(best, time.perf_counter() - start)
+    return best
+
+
+def _micro_benches() -> dict:
+    mapping = preset("No.1").mapping
+    rng = np.random.default_rng(0)
+    pool = rng.integers(0, 2**33, _MICRO_POOL, dtype=np.uint64)
+    mask = (1 << 14) | (1 << 17)
+
+    current = {
+        "bank_of_array_us": _best_of(lambda: mapping.bank_of_array(pool)) * 1e6,
+        "row_of_array_us": _best_of(lambda: mapping.row_of_array(pool)) * 1e6,
+        "parity_array_us": _best_of(lambda: parity_array(pool, mask)) * 1e6,
+    }
+    reference = {
+        "bank_of_array_us": _best_of(lambda: mapping.bank_of_array_popcount(pool)) * 1e6,
+        "row_of_array_us": _best_of(lambda: mapping.row_of_array_shift(pool)) * 1e6,
+    }
+    return {
+        "pool_size": _MICRO_POOL,
+        "current": current,
+        "reference_impls": reference,
+        "speedup_vs_seed": {
+            key: SEED_BASELINES[key] / current[key]
+            for key in ("bank_of_array_us", "row_of_array_us", "parity_array_us")
+        },
+        "speedup_vs_reference": {
+            key: reference[key] / current[key] for key in reference
+        },
+    }
+
+
+def _grid_benches(jobs: int, machines: tuple[str, ...]) -> dict:
+    def timed(callable_) -> float:
+        start = time.perf_counter()
+        callable_()
+        return time.perf_counter() - start
+
+    table1_serial = timed(lambda: run_table1(seed=1, machines=machines))
+    table1_parallel = timed(lambda: run_table1(seed=1, machines=machines, jobs=jobs))
+    figure2_serial = timed(lambda: run_figure2(seed=1, machines=machines))
+    figure2_parallel = timed(lambda: run_figure2(seed=1, machines=machines, jobs=jobs))
+    return {
+        "machines": list(machines),
+        "jobs": jobs,
+        "table1_serial_seconds": table1_serial,
+        "table1_parallel_seconds": table1_parallel,
+        "figure2_serial_seconds": figure2_serial,
+        "figure2_parallel_seconds": figure2_parallel,
+        "table1_speedup_vs_seed": SEED_BASELINES["table1_seconds"] / table1_serial,
+        "figure2_speedup_vs_seed": SEED_BASELINES["figure2_seconds"] / figure2_serial,
+        "table1_parallel_speedup": table1_serial / table1_parallel,
+        "figure2_parallel_speedup": figure2_serial / figure2_parallel,
+    }
+
+
+def run_perf(
+    jobs: int | None = None,
+    machines: tuple[str, ...] = TABLE2_ORDER,
+    out: str | Path | None = "BENCH_perf.json",
+) -> dict:
+    """Measure micro and grid performance; write and return the record."""
+    workers = resolve_jobs(jobs if jobs is not None else -1)
+    record = {
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "note": (
+                "parallel speedup requires cpu_count > 1; on a single-CPU "
+                "container the vectorised kernels carry the speedup and the "
+                "parallel columns only demonstrate bit-identity, not speed"
+            ),
+        },
+        "seed_baselines": SEED_BASELINES,
+        "micro": _micro_benches(),
+        "grid": _grid_benches(workers, machines),
+    }
+    if out is not None:
+        Path(out).write_text(json.dumps(record, indent=2) + "\n")
+    return record
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.parallel.perf",
+        description="measure serial/parallel grid wall-clock and decode throughput",
+    )
+    parser.add_argument(
+        "--jobs", type=int, default=None, metavar="N",
+        help="worker processes for the parallel grid runs (default: all CPUs)",
+    )
+    parser.add_argument(
+        "--out", default="BENCH_perf.json", metavar="PATH",
+        help="output JSON path (default BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--machines", nargs="*", default=list(TABLE2_ORDER), metavar="NAME",
+        help="machine panel for the grid runs (default: all nine presets)",
+    )
+    args = parser.parse_args(argv)
+    record = run_perf(jobs=args.jobs, machines=tuple(args.machines), out=args.out)
+    grid = record["grid"]
+    micro = record["micro"]
+    print(f"table1: serial {grid['table1_serial_seconds']:.1f}s "
+          f"(seed {SEED_BASELINES['table1_seconds']:.1f}s, "
+          f"{grid['table1_speedup_vs_seed']:.1f}x), "
+          f"parallel x{grid['jobs']} {grid['table1_parallel_seconds']:.1f}s")
+    print(f"figure2: serial {grid['figure2_serial_seconds']:.1f}s "
+          f"(seed {SEED_BASELINES['figure2_seconds']:.1f}s, "
+          f"{grid['figure2_speedup_vs_seed']:.1f}x), "
+          f"parallel x{grid['jobs']} {grid['figure2_parallel_seconds']:.1f}s")
+    for key, speedup in micro["speedup_vs_seed"].items():
+        print(f"{key.removesuffix('_us')}: {micro['current'][key]:.1f}us "
+              f"({speedup:.1f}x vs seed)")
+    print(f"written {args.out}")
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

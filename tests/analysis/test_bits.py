@@ -160,3 +160,70 @@ class TestFormatMask:
 
     def test_single_bit(self):
         assert bits.format_mask(64) == "(6)"
+
+
+uint64s = st.integers(min_value=0, max_value=2**64 - 1)
+
+
+class TestParityTable16:
+    def test_matches_scalar_parity(self):
+        table = bits.parity_table_16()
+        assert table.shape == (1 << bits.SLICE_BITS,)
+        assert table.dtype == np.uint8
+        for value in (0, 1, 0b11, 0x8000, 0xFFFF, 0x1234):
+            assert table[value] == bits.parity(value)
+
+    def test_cached_instance(self):
+        assert bits.parity_table_16() is bits.parity_table_16()
+
+
+class TestPackedParityTables:
+    """GF(2) equality of the sliced-LUT decode with the popcount parity —
+    the property the acceptance criteria require."""
+
+    def test_empty_masks(self):
+        assert bits.packed_parity_tables([]) == ()
+        assert bits.gather_xor(np.arange(4, dtype=np.uint64), ()) is None
+
+    @given(
+        st.lists(uint64s.filter(lambda m: m > 0), min_size=1, max_size=12),
+        st.lists(uint64s, min_size=1, max_size=64),
+    )
+    def test_gather_xor_equals_popcount_parity(self, masks, raw_addrs):
+        addrs = np.array(raw_addrs, dtype=np.uint64)
+        packed = bits.gather_xor(addrs, bits.packed_parity_tables(masks))
+        for position, mask in enumerate(masks):
+            expected = bits.parity_array(addrs, mask)
+            np.testing.assert_array_equal(
+                ((packed >> position) & 1).astype(np.uint8), expected
+            )
+
+    def test_packed_dtype_grows_with_mask_count(self):
+        addrs = np.arange(8, dtype=np.uint64)
+        for count, dtype in ((8, np.uint8), (16, np.uint16), (17, np.uint32)):
+            masks = [1 << index for index in range(count)]
+            packed = bits.gather_xor(addrs, bits.packed_parity_tables(masks))
+            assert packed.dtype == dtype
+
+
+class TestExtractTables:
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=63),
+            unique=True,
+            min_size=1,
+            max_size=20,
+        ),
+        st.lists(uint64s, min_size=1, max_size=64),
+    )
+    def test_gather_xor_equals_scalar_extract(self, positions, raw_addrs):
+        addrs = np.array(raw_addrs, dtype=np.uint64)
+        gathered = bits.gather_xor(addrs, bits.extract_tables(positions))
+        expected = np.array(
+            [bits.extract_bits(int(value), positions) for value in addrs],
+            dtype=np.uint64,
+        )
+        np.testing.assert_array_equal(gathered, expected)
+
+    def test_empty_positions(self):
+        assert bits.extract_tables([]) == ()

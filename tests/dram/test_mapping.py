@@ -204,6 +204,49 @@ class TestVectorizedDecode:
             assert banks.max() < mapping.geometry.total_banks, name
 
 
+class TestLookupTableDecode:
+    """The packed-parity-table decoders must agree exactly with the retained
+    popcount/shift reference implementations on every preset — the GF(2)
+    equality the perf acceptance criteria require."""
+
+    def test_every_preset_agrees_with_reference(self):
+        for name, machine in PRESETS.items():
+            mapping = machine.mapping
+            rng = np.random.default_rng(13)
+            addrs = rng.integers(0, mapping.geometry.total_bytes, 1024, dtype=np.uint64)
+            np.testing.assert_array_equal(
+                mapping.bank_of_array(addrs),
+                mapping.bank_of_array_popcount(addrs),
+                err_msg=name,
+            )
+            np.testing.assert_array_equal(
+                mapping.row_of_array(addrs),
+                mapping.row_of_array_shift(addrs),
+                err_msg=name,
+            )
+            columns_ref = np.array(
+                [mapping.column_of(int(addr)) for addr in addrs[:128]], dtype=np.uint64
+            )
+            np.testing.assert_array_equal(
+                mapping.column_of_array(addrs[:128]), columns_ref, err_msg=name
+            )
+
+    def test_bank_dtype_preserved(self):
+        mapping = no1_mapping()
+        addrs = np.arange(64, dtype=np.uint64)
+        assert mapping.bank_of_array(addrs).dtype == np.uint32
+        assert mapping.row_of_array(addrs).dtype == np.uint64
+
+    def test_tables_survive_pickling(self):
+        import pickle
+
+        mapping = no1_mapping()
+        addrs = np.arange(256, dtype=np.uint64) << np.uint64(13)
+        expected = mapping.bank_of_array(addrs)  # populate the cache first
+        clone = pickle.loads(pickle.dumps(mapping))
+        np.testing.assert_array_equal(clone.bank_of_array(addrs), expected)
+
+
 class TestComparison:
     def test_same_bank(self):
         mapping = small_mapping()

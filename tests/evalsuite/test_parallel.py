@@ -1,0 +1,100 @@
+"""Tests for the parallel evaluation grid (repro.parallel).
+
+The load-bearing property is **bit-identity**: running any evaluation
+grid with ``jobs > 1`` must produce exactly the bytes the serial run
+produces. The cross-process regression here renders Table I both ways
+(spawn workers, fixed seeds) and compares the rendered strings.
+"""
+
+import numpy as np
+import pytest
+
+from repro.evalsuite.figure2 import run_figure2
+from repro.evalsuite.table1 import render_table1, run_table1
+from repro.parallel import GridCell, execute_cell, resolve_jobs, run_cells
+
+
+class TestGridCell:
+    def test_valid_task(self):
+        cell = GridCell("repro.analysis.bits:parity", {"value": 6})
+        assert cell.task == "repro.analysis.bits:parity"
+
+    def test_missing_function_rejected(self):
+        with pytest.raises(ValueError):
+            GridCell("repro.analysis.bits")
+
+    def test_module_outside_package_rejected(self):
+        with pytest.raises(ValueError):
+            GridCell("os:system", {"command": "true"})
+
+    def test_empty_task_rejected(self):
+        with pytest.raises(ValueError):
+            GridCell("")
+
+
+class TestResolveJobs:
+    def test_none_is_serial(self):
+        assert resolve_jobs(None) == 1
+
+    def test_zero_is_serial(self):
+        assert resolve_jobs(0) == 1
+
+    def test_positive_passthrough(self):
+        assert resolve_jobs(7) == 7
+
+    def test_negative_means_all_cpus(self):
+        assert resolve_jobs(-1) >= 1
+
+
+class TestExecuteCell:
+    def test_runs_named_function_with_payload(self):
+        assert execute_cell(GridCell("repro.analysis.bits:parity", {"value": 0b111})) == 1
+
+    def test_unknown_function_raises(self):
+        with pytest.raises(AttributeError):
+            execute_cell(GridCell("repro.analysis.bits:no_such_function"))
+
+
+class TestRunCells:
+    def test_serial_preserves_order(self):
+        cells = [
+            GridCell("repro.analysis.bits:parity", {"value": value})
+            for value in (0b0, 0b1, 0b11, 0b111)
+        ]
+        assert run_cells(cells) == [0, 1, 0, 1]
+
+    def test_empty_input(self):
+        assert run_cells([]) == []
+
+    def test_parallel_preserves_order(self):
+        cells = [
+            GridCell("repro.analysis.bits:parity", {"value": value})
+            for value in range(8)
+        ]
+        assert run_cells(cells, jobs=4) == [run_cells([cell])[0] for cell in cells]
+
+
+class TestCrossProcessIdentity:
+    """Satellite regression: parallel grids are byte-identical to serial."""
+
+    PANEL = ("No.1", "No.2")
+
+    def test_table1_jobs4_byte_identical_to_serial(self):
+        serial = render_table1(
+            run_table1(seed=1, machines=self.PANEL, determinism_runs=2, jobs=1)
+        )
+        parallel = render_table1(
+            run_table1(seed=1, machines=self.PANEL, determinism_runs=2, jobs=4)
+        )
+        assert parallel == serial
+
+    def test_figure2_jobs2_matches_serial_exactly(self):
+        serial = run_figure2(seed=1, machines=("No.1",))
+        parallel = run_figure2(seed=1, machines=("No.1",), jobs=2)
+        assert len(serial) == len(parallel) == 1
+        assert serial[0] == parallel[0]
+        # float equality is intentional: the cells must be bit-identical,
+        # not merely close
+        assert np.float64(serial[0].dramdig_seconds) == np.float64(
+            parallel[0].dramdig_seconds
+        )

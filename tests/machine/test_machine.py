@@ -102,6 +102,90 @@ class TestMeasurement:
             machine.measure_latency(0, 64, rounds=0)
 
 
+class TestPairMeasurement:
+    def test_pairs_bit_identical_to_scalar_loop(self):
+        """measure_latency_pairs must reproduce a scalar measure_latency
+        loop exactly — latencies, clock charge, and stats — on an
+        identically-seeded machine (it replaced such loops in the
+        baselines)."""
+        rng = np.random.default_rng(3)
+        bases = rng.integers(0, preset("No.1").mapping.geometry.total_bytes, 64, dtype=np.uint64)
+        partners = rng.integers(0, preset("No.1").mapping.geometry.total_bytes, 64, dtype=np.uint64)
+
+        noisy = SimulatedMachine.from_preset(preset("No.1"), seed=7)
+        batch = noisy.measure_latency_pairs(bases, partners, rounds=50)
+
+        reference = SimulatedMachine.from_preset(preset("No.1"), seed=7)
+        scalar = np.array(
+            [
+                reference.measure_latency(int(a), int(b), rounds=50)
+                for a, b in zip(bases, partners)
+            ]
+        )
+        np.testing.assert_array_equal(batch, scalar)
+        assert noisy.clock.elapsed_ns == reference.clock.elapsed_ns
+        assert noisy.stats.measurements == reference.stats.measurements
+        assert noisy.stats.accesses_timed == reference.stats.accesses_timed
+
+    def test_shape_mismatch_rejected(self):
+        machine = quiet_machine()
+        with pytest.raises(ValueError, match="matching shapes"):
+            machine.measure_latency_pairs(
+                np.zeros(3, dtype=np.uint64), np.zeros(4, dtype=np.uint64)
+            )
+
+
+class TestStatsAccounting:
+    """Pin the counter semantics for every measurement path (the audit of
+    the suspected ``measurements`` double-increment): ``measurements``
+    counts pair measurements, ``accesses_timed`` counts individual timed
+    accesses (2 per round per pair) — two counters, two units, each
+    incremented exactly once per charge."""
+
+    def test_scalar_path(self):
+        machine = quiet_machine()
+        machine.measure_latency(0, 4096, rounds=25)
+        assert machine.stats.measurements == 1
+        assert machine.stats.accesses_timed == 2 * 25
+
+    def test_batch_path(self):
+        machine = quiet_machine()
+        machine.measure_latency_batch(
+            0, np.array([64, 128, 192], dtype=np.uint64), rounds=25
+        )
+        assert machine.stats.measurements == 3
+        assert machine.stats.accesses_timed == 2 * 25 * 3
+
+    def test_pairs_path(self):
+        machine = quiet_machine()
+        machine.measure_latency_pairs(
+            np.array([0, 64], dtype=np.uint64),
+            np.array([4096, 8192], dtype=np.uint64),
+            rounds=25,
+        )
+        assert machine.stats.measurements == 2
+        assert machine.stats.accesses_timed == 2 * 25 * 2
+
+    def test_paths_compose_without_double_counting(self):
+        machine = quiet_machine()
+        machine.measure_latency(0, 4096, rounds=10)  # 1 pair
+        machine.measure_latency_batch(0, np.array([64], dtype=np.uint64), rounds=10)
+        machine.measure_latency_pairs(
+            np.array([0], dtype=np.uint64), np.array([128], dtype=np.uint64), rounds=10
+        )
+        assert machine.stats.measurements == 3
+        assert machine.stats.accesses_timed == 2 * 10 * 3
+
+    def test_scalar_and_batch_charge_identically(self):
+        scalar_machine = quiet_machine(seed=1)
+        batch_machine = quiet_machine(seed=1)
+        scalar_machine.measure_latency(0, 4096, rounds=40)
+        batch_machine.measure_latency_batch(
+            0, np.array([4096], dtype=np.uint64), rounds=40
+        )
+        assert scalar_machine.clock.elapsed_ns == batch_machine.clock.elapsed_ns
+
+
 class TestDeterminism:
     def test_same_seed_same_behaviour(self):
         machine_a = SimulatedMachine.from_preset(preset("No.1"), seed=42)

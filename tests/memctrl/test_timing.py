@@ -101,3 +101,63 @@ class TestBatchSampling:
         batch = model.sample_batch_ns(np.ones(2000, dtype=bool), rng)
         ideal = model.ideal_ns(AccessClass.ROW_CONFLICT)
         assert abs(np.median(batch) - ideal) < 2.0
+
+
+class TestPairSampling:
+    """``sample_pair_ns`` must be bit-identical, per call, to a
+    single-element ``sample_batch_ns`` — the contract that let it replace
+    the size-1 batch inside ``measure_latency`` without changing any
+    downstream artefact."""
+
+    def test_noiseless_equals_ideal(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR4, NoiseParams.noiseless())
+        rng = np.random.default_rng(0)
+        assert model.sample_pair_ns(True, rng) == model.ideal_ns(AccessClass.ROW_CONFLICT)
+        assert model.sample_pair_ns(False, rng) == model.ideal_ns(
+            AccessClass.DIFFERENT_BANK
+        )
+
+    def test_bit_identical_to_single_element_batch(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)  # default noise
+        flags = [True, False, True, True, False] * 40
+        rng_scalar = np.random.default_rng(9)
+        rng_batch = np.random.default_rng(9)
+        for flag in flags:
+            scalar = model.sample_pair_ns(flag, rng_scalar)
+            batch = model.sample_batch_ns(np.array([flag]), rng_batch)[0]
+            assert scalar == batch
+
+    def test_bit_identical_with_outliers_only(self):
+        noise = NoiseParams(
+            jitter_sigma_ns=0.0, outlier_probability=0.3, outlier_extra_ns=80.0
+        )
+        model = LatencyModel.for_generation(DdrGeneration.DDR3, noise)
+        rng_scalar = np.random.default_rng(10)
+        rng_batch = np.random.default_rng(10)
+        for _ in range(200):
+            scalar = model.sample_pair_ns(False, rng_scalar)
+            batch = model.sample_batch_ns(np.zeros(1, dtype=bool), rng_batch)[0]
+            assert scalar == batch
+
+    def test_generator_state_advances_identically(self):
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)
+        rng_scalar = np.random.default_rng(11)
+        rng_batch = np.random.default_rng(11)
+        for _ in range(17):
+            model.sample_pair_ns(True, rng_scalar)
+            model.sample_batch_ns(np.ones(1, dtype=bool), rng_batch)
+        # identical stream position: the next draw from both must agree
+        assert rng_scalar.random() == rng_batch.random()
+
+    def test_multi_element_batch_reorders_stream(self):
+        """Documented sharp edge: one big batch is NOT a scalar loop —
+        normals and uniforms are drawn in blocks. Anyone tempted to batch
+        a per-pair loop wholesale must preserve the per-pair draw order
+        (see SimulatedMachine.measure_latency_pairs)."""
+        model = LatencyModel.for_generation(DdrGeneration.DDR3)
+        flags = np.ones(8, dtype=bool)
+        batch = model.sample_batch_ns(flags, np.random.default_rng(12))
+        rng = np.random.default_rng(12)
+        scalar = np.array([model.sample_pair_ns(True, rng) for _ in range(8)])
+        assert scalar[0] == batch[0]
+        assert not np.array_equal(scalar, batch)
