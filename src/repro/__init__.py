@@ -17,6 +17,7 @@ Package layout:
 * :mod:`repro.memctrl`    — memory-controller and timing-channel simulator.
 * :mod:`repro.machine`    — simulated machine (allocator, clock, sysinfo).
 * :mod:`repro.core`       — the DRAMDig pipeline (the paper's contribution).
+* :mod:`repro.faults`     — deterministic fault injection and recovery policy.
 * :mod:`repro.baselines`  — DRAMA and Xiao et al. comparators.
 * :mod:`repro.rowhammer`  — fault model and double-sided attack driver.
 * :mod:`repro.evalsuite`  — one module per paper table/figure.
@@ -33,6 +34,14 @@ from repro.dram import (
     preset_names,
 )
 from repro.dram.belief import BeliefMapping
+from repro.faults import (
+    DegradationEvent,
+    FaultInjector,
+    FaultProfile,
+    RecoveryPolicy,
+    get_profile,
+    profile_names,
+)
 from repro.machine import SimulatedMachine
 from repro.rowhammer import DoubleSidedAttack, HammerConfig, assess_vulnerability
 
@@ -51,6 +60,12 @@ __all__ = [
     "preset",
     "preset_names",
     "BeliefMapping",
+    "DegradationEvent",
+    "FaultInjector",
+    "FaultProfile",
+    "RecoveryPolicy",
+    "get_profile",
+    "profile_names",
     "SimulatedMachine",
     "DoubleSidedAttack",
     "HammerConfig",

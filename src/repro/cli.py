@@ -13,11 +13,12 @@ Subcommands mirror the paper:
 from __future__ import annotations
 
 import argparse
+import dataclasses
 import sys
 
 from repro.baselines.drama import DramaTool
 from repro.baselines.xiao import XiaoTool
-from repro.core.dramdig import DramDig
+from repro.core.dramdig import DramDig, DramDigConfig
 from repro.dram.belief import BeliefMapping
 from repro.dram.errors import ReproError
 from repro.dram.explain import explain_mapping
@@ -33,11 +34,43 @@ from repro.evalsuite import (
     run_table2,
     run_table3,
 )
+from repro.faults import FaultInjector, get_profile, profile_names
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.assess import assess_vulnerability
 from repro.rowhammer.hammer import HammerConfig
 
 __all__ = ["main"]
+
+
+def _jobs_arg(text: str) -> int:
+    """Worker count for the evaluation grid: a positive int, or -1 (all CPUs).
+
+    Rejected at the argparse layer so ``--jobs 0`` / ``--jobs -8`` fail
+    with a usage message instead of surfacing later as an opaque
+    multiprocessing error.
+    """
+    try:
+        jobs = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if jobs == 0 or jobs < -1:
+        raise argparse.ArgumentTypeError(
+            f"--jobs must be a positive integer or -1 for all CPUs (got {jobs})"
+        )
+    return jobs
+
+
+def _retries_arg(text: str) -> int:
+    """Non-negative pipeline restart budget."""
+    try:
+        retries = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if retries < 0:
+        raise argparse.ArgumentTypeError(
+            f"--max-retries must be non-negative (got {retries})"
+        )
+    return retries
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -52,6 +85,22 @@ def _build_parser() -> argparse.ArgumentParser:
     run_cmd.add_argument("machine", choices=TABLE2_ORDER)
     run_cmd.add_argument(
         "--save", metavar="PATH", help="write the recovered mapping as JSON"
+    )
+    run_cmd.add_argument(
+        "--noise-profile",
+        choices=profile_names(),
+        default=None,
+        metavar="PROFILE",
+        help="inject a deterministic fault profile "
+        f"({', '.join(profile_names())}) and enable the adaptive "
+        "recovery stack",
+    )
+    run_cmd.add_argument(
+        "--max-retries",
+        type=_retries_arg,
+        default=None,
+        metavar="N",
+        help="override the whole-pipeline restart budget",
     )
 
     compare_cmd = commands.add_parser(
@@ -92,7 +141,7 @@ def _build_parser() -> argparse.ArgumentParser:
     for grid_cmd in (report_cmd, table1_cmd, figure2_cmd, table3_cmd):
         grid_cmd.add_argument(
             "--jobs",
-            type=int,
+            type=_jobs_arg,
             default=None,
             metavar="N",
             help="worker processes for the evaluation grid "
@@ -103,10 +152,21 @@ def _build_parser() -> argparse.ArgumentParser:
 
 def _command_run(args) -> int:
     machine_preset = preset(args.machine)
-    machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
+    faults = None
+    config = DramDigConfig()
+    if args.noise_profile is not None:
+        faults = FaultInjector(get_profile(args.noise_profile), seed=args.seed)
+        config = DramDigConfig.resilient(config)
+    if args.max_retries is not None:
+        config = dataclasses.replace(config, max_retries=args.max_retries)
+    machine = SimulatedMachine.from_preset(
+        machine_preset, seed=args.seed, faults=faults
+    )
     print(f"Reverse-engineering {args.machine} "
           f"({machine_preset.microarchitecture}, {machine_preset.geometry.describe()})")
-    result = DramDig().run(machine)
+    if args.noise_profile is not None:
+        print(f"noise profile: {args.noise_profile} (adaptive recovery enabled)")
+    result = DramDig(config).run(machine)
     print(result.summary())
     verdict = result.mapping.equivalent_to(machine_preset.mapping)
     print(f"matches ground truth: {'yes' if verdict else 'NO'}")

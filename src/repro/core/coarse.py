@@ -62,6 +62,13 @@ class CoarseDetector:
         votes: latency opinions per bit; the majority wins. Refresh noise
             only ever inflates latency, so 2 agreeing votes (escalating to a
             3rd on disagreement) is enough in practice.
+        recheck_sweeps: re-measurement rungs applied to every *conflict*
+            verdict (0 = trust the vote). Noise only adds latency, so a
+            true conflict survives any number of re-measurements; a sticky
+            mis-read lie dies as soon as one rung's backoff out-waits its
+            stickiness window. Each rung sleeps (simulated) twice as long
+            as the previous, starting at ``recheck_backoff_s``.
+        recheck_backoff_s: first rung's simulated sleep.
     """
 
     def __init__(
@@ -71,14 +78,22 @@ class CoarseDetector:
         address_bits: int,
         rng: np.random.Generator,
         votes: int = 2,
+        recheck_sweeps: int = 0,
+        recheck_backoff_s: float = 0.5,
     ):
         if votes < 1:
             raise ValueError("votes must be at least 1")
+        if recheck_sweeps < 0:
+            raise ValueError("recheck_sweeps must be non-negative")
+        if recheck_backoff_s < 0:
+            raise ValueError("recheck_backoff_s must be non-negative")
         self.probe = probe
         self.pages = pages
         self.address_bits = address_bits
         self.rng = rng
         self.votes = votes
+        self.recheck_sweeps = recheck_sweeps
+        self.recheck_backoff_s = recheck_backoff_s
 
     # ----------------------------------------------------------------- steps
 
@@ -132,7 +147,29 @@ class CoarseDetector:
         agreed = sum(decisions)
         if agreed not in (0, len(decisions)) and len(decisions) >= 2:
             # Disagreement: one tie-breaking extra pair.
-            base, partner = find_pairs(self.pages, mask, 1, self.rng)[0]
-            decisions.append(self.probe.is_conflict(base, partner))
+            pairs = pairs + find_pairs(self.pages, mask, 1, self.rng)
+            decisions.append(self.probe.is_conflict(*pairs[-1]))
             agreed = sum(decisions)
-        return agreed * 2 > len(decisions)
+        verdict = agreed * 2 > len(decisions)
+        if not verdict or not self.recheck_sweeps:
+            return verdict
+        return self._recheck_conflict(
+            [pair for pair, vote in zip(pairs, decisions) if vote]
+        )
+
+    def _recheck_conflict(self, suspects: list[tuple[int, int]]) -> bool:
+        """Confirm a conflict verdict over a doubling-backoff ladder.
+
+        Every pair that voted *conflict* is re-measured after each rung's
+        simulated sleep. Faults only ever add latency, so a genuine
+        conflict reads slow every time; a pair that reads fast even once
+        was lying (a transient mis-read whose window expired) and the
+        verdict flips to no-conflict.
+        """
+        backoff_s = self.recheck_backoff_s
+        for _ in range(self.recheck_sweeps):
+            self.probe.machine.charge_analysis(backoff_s * 1e9)
+            backoff_s *= 2.0
+            if not all(self.probe.is_conflict(a, b) for a, b in suspects):
+                return False
+        return True

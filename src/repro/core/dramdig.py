@@ -16,12 +16,30 @@ The tool's own randomness (pivot choices, pair sampling) comes from a
 fixed seed, so the recovered mapping is a deterministic function of the
 machine — the property the paper's Table I claims for DRAMDig and denies
 for DRAMA.
+
+Two recovery layers wrap the steps, both off by default (seed behaviour)
+and both seeded-deterministic when enabled:
+
+* a **per-step retry policy** (:class:`~repro.faults.recovery.RecoveryPolicy`)
+  retries a failed step in place after a simulated backoff sleep, so a
+  transient condition (refresh storm, sticky mis-read window) expires
+  without discarding the phases already completed;
+* the classic **whole-pipeline restart** escalates measurement repeats
+  when a pass fails validation outright.
+
+Every recovery action lands as a structured
+:class:`~repro.faults.recovery.DegradationEvent` on the result, so
+"converged" and "converged after fighting the machine" are
+distinguishable. :meth:`DramDigConfig.resilient` turns the whole recovery
+stack on — step retries, probe recalibration-on-drift, partition
+escalation.
 """
 
 from __future__ import annotations
 
 import dataclasses
 from dataclasses import dataclass
+from typing import Callable, TypeVar
 
 import numpy as np
 
@@ -34,13 +52,16 @@ from repro.core.probe import LatencyProbe, ProbeConfig
 from repro.core.result import DramDigResult
 from repro.core.selection import select_addresses
 from repro.dram.errors import (
+    CalibrationError,
     FineDetectionError,
     FunctionSearchError,
     MappingError,
     PartitionError,
     ReproError,
+    SelectionError,
 )
 from repro.dram.mapping import AddressMapping
+from repro.faults.recovery import DegradationEvent, RecoveryPolicy
 from repro.machine.machine import SimulatedMachine
 from repro.machine.sysinfo import gather_system_info
 
@@ -49,6 +70,8 @@ __all__ = ["DramDig", "DramDigConfig"]
 # Simulated cost of faulting in and touching one byte of the buffer
 # (page-fault + zeroing throughput of roughly 2.9 GiB/s).
 _ALLOC_NS_PER_BYTE = 0.33
+
+_T = TypeVar("_T")
 
 
 @dataclass(frozen=True)
@@ -63,11 +86,17 @@ class DramDigConfig:
             half of memory to be probed at all.
         alloc_strategy: allocation behaviour to request from the OS.
         coarse_votes: majority-vote width for Steps 1 and 3.
+        conflict_recheck_sweeps: doubling-backoff re-measurement rungs
+            applied to conflict verdicts in Steps 1 and 3 (0 = trust the
+            vote). Defeats sticky transient mis-reads, which can only turn
+            fast reads slow and cannot survive a re-measurement once their
+            stickiness window expires.
         function_strategy: Algorithm 3 implementation ("nullspace" or the
             paper-literal "enumerate").
         tool_seed: the tool's internal RNG seed — fixed, hence determinism.
         max_retries: pipeline restarts allowed on validation failure, with
             measurement repeats escalated each time.
+        recovery: per-step retry policy (default: retry nothing).
     """
 
     probe: ProbeConfig = ProbeConfig()
@@ -75,15 +104,41 @@ class DramDigConfig:
     alloc_fraction: float = 0.85
     alloc_strategy: str = "contiguous"
     coarse_votes: int = 2
+    conflict_recheck_sweeps: int = 0
     function_strategy: str = "nullspace"
     tool_seed: int = 0xD16
     max_retries: int = 2
+    recovery: RecoveryPolicy = RecoveryPolicy()
 
     def __post_init__(self) -> None:
         if not 0 < self.alloc_fraction <= 1:
             raise ValueError("alloc_fraction must be in (0, 1]")
+        if self.conflict_recheck_sweeps < 0:
+            raise ValueError("conflict_recheck_sweeps must be non-negative")
         if self.max_retries < 0:
             raise ValueError("max_retries must be non-negative")
+
+    @classmethod
+    def resilient(cls, base: "DramDigConfig | None" = None) -> "DramDigConfig":
+        """A configuration with the full recovery stack enabled.
+
+        Turns on probe recalibration-on-drift, partition re-verification
+        escalation and round-budget escalation, per-step retries with
+        backoff, and a deeper whole-pipeline restart budget. All recovery
+        actions draw from fixed-seed private RNG streams, so the recovered
+        mapping stays a deterministic function of the machine.
+        """
+        base = base if base is not None else cls()
+        return dataclasses.replace(
+            base,
+            probe=dataclasses.replace(base.probe, max_recalibrations=64),
+            partition=dataclasses.replace(
+                base.partition, max_verify_sweeps=6, max_escalations=3
+            ),
+            conflict_recheck_sweeps=4,
+            recovery=RecoveryPolicy(step_retries=4),
+            max_retries=max(base.max_retries, 4),
+        )
 
 
 class DramDig:
@@ -100,19 +155,39 @@ class DramDig:
                 beyond what the escalation handles, or a broken setup).
         """
         config = self.config
+        degradation: list[DegradationEvent] = []
         last_error: ReproError | None = None
         for attempt in range(config.max_retries + 1):
             try:
-                result = self._run_once(machine, config)
+                result = self._run_once(machine, config, degradation)
                 result.retries = attempt
+                result.degradation = degradation
                 return result
             except (
+                CalibrationError,
+                SelectionError,
                 PartitionError,
                 FunctionSearchError,
                 FineDetectionError,
                 MappingError,
             ) as error:
+                # CalibrationError and SelectionError join the restart set
+                # only once the step-retry policy is active; the seed
+                # pipeline's fail-fast contract for a broken timing loop
+                # or an unusable allocation is kept.
+                if not config.recovery.enabled and isinstance(
+                    error, (CalibrationError, SelectionError)
+                ):
+                    raise
                 last_error = error
+                degradation.append(
+                    DegradationEvent(
+                        step="pipeline",
+                        action="restart",
+                        attempt=attempt + 1,
+                        detail=str(error),
+                    )
+                )
                 # Escalate noise suppression and try again.
                 config = dataclasses.replace(
                     config,
@@ -127,11 +202,21 @@ class DramDig:
 
     # ----------------------------------------------------------- single pass
 
-    def _run_once(self, machine: SimulatedMachine, config: DramDigConfig) -> DramDigResult:
+    def _run_once(
+        self,
+        machine: SimulatedMachine,
+        config: DramDigConfig,
+        degradation: list[DegradationEvent],
+    ) -> DramDigResult:
         rng = np.random.default_rng(config.tool_seed)
         clock = machine.clock
         phase_seconds: dict[str, float] = {}
         start_ns = clock.checkpoint()
+
+        def step(name: str, errors: tuple[type[ReproError], ...], fn: Callable[[], _T]) -> _T:
+            return _run_step(
+                name, fn, errors, machine, config.recovery, degradation
+            )
 
         # Knowledge + allocation.
         mark = clock.checkpoint()
@@ -147,14 +232,23 @@ class DramDig:
         # Probe calibration.
         mark = clock.checkpoint()
         probe = LatencyProbe(machine, config.probe)
-        probe.calibrate(pages, rng)
+        step("calibrate", (CalibrationError,), lambda: probe.calibrate(pages, rng))
         phase_seconds["calibrate"] = clock.since(mark) / 1e9
 
         # Step 1 — coarse detection.
         mark = clock.checkpoint()
-        coarse = CoarseDetector(
-            probe, pages, knowledge.address_bits, rng, votes=config.coarse_votes
-        ).detect()
+        coarse = step(
+            "coarse",
+            (SelectionError,),
+            lambda: CoarseDetector(
+                probe,
+                pages,
+                knowledge.address_bits,
+                rng,
+                votes=config.coarse_votes,
+                recheck_sweeps=config.conflict_recheck_sweeps,
+            ).detect(),
+        )
         phase_seconds["coarse"] = clock.since(mark) / 1e9
 
         # Step 2 — Algorithm 1: selection. Degenerate pools (fewer than
@@ -175,28 +269,70 @@ class DramDig:
 
         # Step 2 — Algorithm 2: partition.
         mark = clock.checkpoint()
-        partition = partition_pool(
-            probe, selection.pool, knowledge.total_banks, rng, config.partition
+        partition = step(
+            "partition",
+            (PartitionError,),
+            lambda: partition_pool(
+                probe, selection.pool, knowledge.total_banks, rng, config.partition
+            ),
         )
         phase_seconds["partition"] = clock.since(mark) / 1e9
+        if partition.ran_dry:
+            degradation.append(
+                DegradationEvent(
+                    step="partition",
+                    action="ran-dry",
+                    detail=(
+                        f"{partition.pile_count}/{knowledge.total_banks} piles "
+                        f"before the pool ran out"
+                    ),
+                )
+            )
+        if partition.escalations:
+            degradation.append(
+                DegradationEvent(
+                    step="partition",
+                    action="escalated",
+                    attempt=partition.escalations,
+                    detail=(
+                        f"{partition.escalations} extra round budgets, "
+                        f"{partition.verify_resweeps} re-verification sweeps"
+                    ),
+                )
+            )
 
         # Step 2 — Algorithm 3: bank address functions.
         mark = clock.checkpoint()
-        search = detect_bank_functions(
-            partition.piles,
-            selection_bits,
-            knowledge.num_bank_functions,
-            knowledge.total_banks,
-            strategy=config.function_strategy,
+        search = step(
+            "functions",
+            (FunctionSearchError,),
+            lambda: detect_bank_functions(
+                partition.piles,
+                selection_bits,
+                knowledge.num_bank_functions,
+                knowledge.total_banks,
+                strategy=config.function_strategy,
+            ),
         )
         phase_seconds["functions"] = clock.since(mark) / 1e9
 
         # Step 3 — fine-grained detection.
         mark = clock.checkpoint()
-        fine = FineDetector(
-            probe, knowledge, pages, rng, votes=config.coarse_votes
-        ).detect(coarse, search.functions)
+        fine = step(
+            "fine",
+            (FineDetectionError,),
+            lambda: FineDetector(
+                probe,
+                knowledge,
+                pages,
+                rng,
+                votes=config.coarse_votes,
+                recheck_sweeps=config.conflict_recheck_sweeps,
+            ).detect(coarse, search.functions),
+        )
         phase_seconds["fine"] = clock.since(mark) / 1e9
+
+        degradation.extend(probe.events)
 
         # Assemble + validate (raises MappingError on an inconsistent result).
         geometry = _geometry_from_knowledge(knowledge)
@@ -216,9 +352,46 @@ class DramDig:
             raw_pool_size=selection.raw_count,
             pile_count=partition.pile_count,
             partition_rounds=partition.rounds,
+            partition_stop_reason=partition.stop_reason,
             coarse=coarse,
             fine=fine,
         )
+
+
+def _run_step(
+    name: str,
+    fn: Callable[[], _T],
+    retriable: tuple[type[ReproError], ...],
+    machine: SimulatedMachine,
+    policy: RecoveryPolicy,
+    degradation: list[DegradationEvent],
+) -> _T:
+    """Run one pipeline step under the per-step retry policy.
+
+    With the default policy this is a transparent call. Otherwise a
+    retriable failure sleeps simulated time (exponential backoff) and
+    re-runs the step in place; the backoff is what lets time-windowed
+    faults — storms, sticky mis-reads — expire between attempts.
+    """
+    backoff_s = policy.backoff_initial_s
+    for attempt in range(policy.step_retries + 1):
+        try:
+            return fn()
+        except retriable as error:
+            if attempt >= policy.step_retries:
+                raise
+            degradation.append(
+                DegradationEvent(
+                    step=name,
+                    action="retry",
+                    attempt=attempt + 1,
+                    detail=str(error),
+                    backoff_s=backoff_s,
+                )
+            )
+            machine.charge_analysis(backoff_s * 1e9)
+            backoff_s *= policy.backoff_multiplier
+    raise AssertionError("unreachable")  # pragma: no cover
 
 
 def _geometry_from_knowledge(knowledge: DomainKnowledge):

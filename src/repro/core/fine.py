@@ -78,12 +78,16 @@ class FineDetector:
         rng: np.random.Generator,
         votes: int = 2,
         use_column_exclusion_rule: bool = True,
+        recheck_sweeps: int = 0,
+        recheck_backoff_s: float = 0.5,
     ):
         self.probe = probe
         self.knowledge = knowledge
         self.pages = pages
         self.rng = rng
         self.votes = max(1, votes)
+        self.recheck_sweeps = max(0, recheck_sweeps)
+        self.recheck_backoff_s = recheck_backoff_s
         # Ablation hook: disabling the paper's empirical observation 2 (the
         # lowest bit of the widest function is not a column) lets the
         # ablation bench quantify what that knowledge buys.
@@ -193,7 +197,20 @@ class FineDetector:
         decisions = [self.probe.is_conflict(a, b) for a, b in pairs]
         agreed = sum(decisions)
         if agreed not in (0, len(decisions)) and len(decisions) >= 2:
-            base, partner = find_pairs(self.pages, mask, 1, self.rng)[0]
-            decisions.append(self.probe.is_conflict(base, partner))
+            pairs = pairs + find_pairs(self.pages, mask, 1, self.rng)
+            decisions.append(self.probe.is_conflict(*pairs[-1]))
             agreed = sum(decisions)
-        return agreed * 2 > len(decisions)
+        verdict = agreed * 2 > len(decisions)
+        if not verdict or not self.recheck_sweeps:
+            return verdict
+        # Same defence as the coarse detector: noise only adds latency, so
+        # a genuine conflict survives every re-measurement, while a sticky
+        # mis-read dies once a rung's backoff out-waits its window.
+        suspects = [pair for pair, vote in zip(pairs, decisions) if vote]
+        backoff_s = self.recheck_backoff_s
+        for _ in range(self.recheck_sweeps):
+            self.probe.machine.charge_analysis(backoff_s * 1e9)
+            backoff_s *= 2.0
+            if not all(self.probe.is_conflict(a, b) for a, b in suspects):
+                return False
+        return True

@@ -28,10 +28,30 @@ Accepted piles are re-verified with a second measurement sweep: refresh
 spikes only ever add latency, so an address that fails to read slow twice
 in a row is dropped from the pile. This keeps Algorithm 3's per-pile
 constancy analysis clean at realistic noise levels.
+
+Robustness extensions (all seeded-deterministic):
+
+* **Pivot blacklisting** — a pivot whose pile failed the size tolerance
+  is excluded from subsequent draws. Under deterministic noise the old
+  behaviour could redraw the same bad address forever, burning the whole
+  round budget on it.
+* **Re-verification escalation** — an oversized pile is re-swept (up to
+  ``max_verify_sweeps`` times) after a simulated backoff sleep, so
+  transient mis-read windows expire and the false members fall out,
+  instead of rejecting the pivot outright.
+* **Round-budget escalation** — when the budget runs out and
+  ``max_escalations`` allows, the partition sleeps, clears the blacklist
+  and earns a fresh budget rather than raising a hard
+  :class:`PartitionError`.
+* **Stop-reason diagnostics** — every exit records *why* on
+  :attr:`PartitionResult.stop_reason`; running dry with fewer than
+  ``#bank`` piles additionally emits a :class:`RuntimeWarning`, so
+  Algorithm 3 callers can distinguish "converged" from "ran dry".
 """
 
 from __future__ import annotations
 
+import warnings
 from dataclasses import dataclass, field
 
 import numpy as np
@@ -45,12 +65,34 @@ __all__ = ["PartitionConfig", "PartitionResult", "partition_pool"]
 
 @dataclass(frozen=True)
 class PartitionConfig:
-    """Algorithm 2 tuning (defaults are the paper's)."""
+    """Algorithm 2 tuning (defaults are the paper's).
+
+    Attributes:
+        delta: pile-size tolerance around the ideal ``pool / #bank``.
+        per_threshold: partitioned fraction at which to stop.
+        max_rounds_factor: round budget per bank.
+        verify_members: re-measure accepted piles once (noise hygiene).
+        blacklist_rejected: exclude rejected pivots from later draws.
+        max_verify_sweeps: total verification sweeps allowed for an
+            oversized pile (1 = the single classic sweep; more enables
+            backoff-and-resweep escalation against sticky mis-reads).
+        verify_backoff_s: simulated sleep before each escalated sweep,
+            doubled per extra sweep, letting transient windows expire.
+        max_escalations: fresh round budgets granted on exhaustion before
+            raising :class:`PartitionError` (0 = the seed fail-fast).
+        escalation_backoff_s: simulated sleep when a budget is granted,
+            doubled per escalation.
+    """
 
     delta: float = 0.2
     per_threshold: float = 0.85
     max_rounds_factor: int = 8
     verify_members: bool = True
+    blacklist_rejected: bool = True
+    max_verify_sweeps: int = 1
+    verify_backoff_s: float = 0.5
+    max_escalations: int = 0
+    escalation_backoff_s: float = 2.0
 
     def __post_init__(self) -> None:
         if not 0 < self.delta < 1:
@@ -59,6 +101,14 @@ class PartitionConfig:
             raise ValueError("per_threshold must be in (0, 1]")
         if self.max_rounds_factor < 1:
             raise ValueError("max_rounds_factor must be at least 1")
+        if self.max_verify_sweeps < 1:
+            raise ValueError("max_verify_sweeps must be at least 1")
+        if self.verify_backoff_s < 0:
+            raise ValueError("verify_backoff_s must be non-negative")
+        if self.max_escalations < 0:
+            raise ValueError("max_escalations must be non-negative")
+        if self.escalation_backoff_s < 0:
+            raise ValueError("escalation_backoff_s must be non-negative")
 
 
 @dataclass
@@ -70,17 +120,30 @@ class PartitionResult:
         leftovers: pool addresses never placed into an accepted pile.
         rounds: pivots tried (accepted + rejected).
         rejected_piles: pivots whose pile size fell outside tolerance.
+        stop_reason: why the partition loop exited — "complete" (all
+            piles found), "threshold" (partitioned fraction reached),
+            "pool-exhausted" (remaining pool too small for another pile).
+        escalations: fresh round budgets granted on exhaustion.
+        verify_resweeps: escalated verification sweeps performed.
     """
 
     piles: dict[int, np.ndarray] = field(default_factory=dict)
     leftovers: np.ndarray = field(default_factory=lambda: np.empty(0, dtype=np.uint64))
     rounds: int = 0
     rejected_piles: int = 0
+    stop_reason: str = ""
+    escalations: int = 0
+    verify_resweeps: int = 0
 
     @property
     def pile_count(self) -> int:
         """Number of accepted piles."""
         return len(self.piles)
+
+    @property
+    def ran_dry(self) -> bool:
+        """True when the partition stopped early without converging."""
+        return self.stop_reason == "pool-exhausted"
 
     def partitioned_count(self) -> int:
         """Addresses placed in piles, pivots included."""
@@ -97,10 +160,11 @@ def partition_pool(
     """Run Algorithm 2.
 
     Raises:
-        PartitionError: when the round budget is exhausted before either
-            all piles are found or the partitioned fraction reaches the
-            threshold — on real machines the signature of a mis-calibrated
-            threshold or wrong ``#bank``.
+        PartitionError: when the round budget (including any escalations)
+            is exhausted before either all piles are found or the
+            partitioned fraction reaches the threshold — on real machines
+            the signature of a mis-calibrated threshold or wrong
+            ``#bank``.
     """
     config = config if config is not None else PartitionConfig()
     pool = sorted_unique(np.asarray(pool, dtype=np.uint64))
@@ -114,29 +178,65 @@ def partition_pool(
     ideal_pile = pool_size / num_banks
     low = (1.0 - config.delta) * ideal_pile
     high = (1.0 + config.delta) * ideal_pile
-    max_rounds = config.max_rounds_factor * num_banks
+    budget = config.max_rounds_factor * num_banks
+    max_rounds = budget
 
     result = PartitionResult()
     remaining = pool
+    blacklist: set[int] = set()
     while result.pile_count < num_banks:
         partitioned_fraction = 1.0 - remaining.size / pool_size
         if partitioned_fraction >= config.per_threshold:
+            result.stop_reason = "threshold"
             break
         if result.rounds >= max_rounds:
-            raise PartitionError(
-                f"no convergence after {result.rounds} rounds: "
-                f"{result.pile_count}/{num_banks} piles, "
-                f"{partitioned_fraction:.0%} partitioned"
-            )
+            if result.escalations < config.max_escalations:
+                # Earn a fresh budget instead of dying: sleep (simulated)
+                # so transient conditions expire, forget the blacklist —
+                # old rejections may have been the noise's fault — and go
+                # around again.
+                result.escalations += 1
+                blacklist.clear()
+                backoff_s = config.escalation_backoff_s * 2 ** (result.escalations - 1)
+                probe.machine.charge_analysis(backoff_s * 1e9)
+                max_rounds += budget
+            else:
+                raise PartitionError(
+                    f"no convergence after {result.rounds} rounds: "
+                    f"{result.pile_count}/{num_banks} piles, "
+                    f"{partitioned_fraction:.0%} partitioned, "
+                    f"{result.rejected_piles} pivots rejected"
+                )
         if remaining.size < max(2, low):
+            result.stop_reason = "pool-exhausted"
+            warnings.warn(
+                f"partition ran dry: {result.pile_count}/{num_banks} piles "
+                f"with {remaining.size} addresses left "
+                f"({partitioned_fraction:.0%} partitioned) — too few for "
+                f"another tolerable pile (need about {low:.0f})",
+                RuntimeWarning,
+                stacklevel=2,
+            )
             break
         result.rounds += 1
-        pivot_index = int(rng.integers(remaining.size))
+        pivot_index = _draw_pivot(remaining, blacklist, rng, config)
+        if pivot_index is None:
+            # Every remaining address has already failed as a pivot; more
+            # rounds would redraw known-bad pivots forever.
+            raise PartitionError(
+                f"no convergence after {result.rounds} rounds: all "
+                f"{remaining.size} remaining pivot candidates rejected "
+                f"({result.pile_count}/{num_banks} piles, "
+                f"{partitioned_fraction:.0%} partitioned)"
+            )
         pivot = int(remaining[pivot_index])
         others = np.delete(remaining, pivot_index)
         members = others[probe.conflict_mask(pivot, others)]
         if config.verify_members and members.size:
             members = members[probe.conflict_mask(pivot, members)]
+            members = _escalate_verification(
+                probe, pivot, members, high, config, result
+            )
         pile_size = members.size + 1  # pivot belongs to its own pile
         if low <= pile_size <= high:
             result.piles[pivot] = members
@@ -145,5 +245,63 @@ def partition_pool(
             remaining = remaining[keep]
         else:
             result.rejected_piles += 1
+            if config.blacklist_rejected:
+                blacklist.add(pivot)
+    else:
+        result.stop_reason = "complete"
     result.leftovers = remaining
     return result
+
+
+def _draw_pivot(
+    remaining: np.ndarray,
+    blacklist: set[int],
+    rng: np.random.Generator,
+    config: PartitionConfig,
+) -> int | None:
+    """Index of the next pivot, skipping blacklisted addresses.
+
+    Draws identically to the classic uniform draw while the blacklist is
+    empty (the common case), so runs without rejections consume the tool
+    RNG exactly as before. Returns None when every candidate is
+    blacklisted.
+    """
+    if not (config.blacklist_rejected and blacklist):
+        return int(rng.integers(remaining.size))
+    eligible = np.flatnonzero(
+        ~np.isin(remaining, np.fromiter(blacklist, dtype=np.uint64, count=len(blacklist)))
+    )
+    if eligible.size == 0:
+        return None
+    return int(eligible[int(rng.integers(eligible.size))])
+
+
+def _escalate_verification(
+    probe: LatencyProbe,
+    pivot: int,
+    members: np.ndarray,
+    high: float,
+    config: PartitionConfig,
+    result: PartitionResult,
+) -> np.ndarray:
+    """Re-sweep a pile over the full doubling-backoff ladder.
+
+    Sticky mis-reads survive an immediate re-measurement — the same pair
+    lies identically within one stickiness window — but not a re-sweep
+    after the window expired. The window length is unknown, so no-drop
+    sweeps prove nothing (they may all sit inside one window): the only
+    safe policy is to climb the whole ladder, whose doubling backoffs
+    defeat any window up to about the final rung. Refresh spikes only
+    add latency, so true members never fall out; the pile can only
+    shrink toward the truth.
+    """
+    del high  # acceptance is judged by the caller, after the ladder
+    sweeps = 2  # conflict_mask + the classic verify sweep already ran
+    backoff_s = config.verify_backoff_s
+    while sweeps < config.max_verify_sweeps + 1 and members.size:
+        probe.machine.charge_analysis(backoff_s * 1e9)
+        members = members[probe.conflict_mask(pivot, members)]
+        result.verify_resweeps += 1
+        sweeps += 1
+        backoff_s *= 2.0
+    return members

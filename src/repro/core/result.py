@@ -8,6 +8,7 @@ from repro.analysis.bits import format_mask
 from repro.core.coarse import CoarseResult
 from repro.core.fine import FineResult
 from repro.dram.mapping import AddressMapping
+from repro.faults.recovery import DegradationEvent
 
 __all__ = ["DramDigResult"]
 
@@ -27,9 +28,14 @@ class DramDigResult:
             count the paper quotes in Section IV-B).
         pile_count: piles accepted by Algorithm 2.
         partition_rounds: pivots tried by Algorithm 2.
+        partition_stop_reason: why Algorithm 2 exited ("complete",
+            "threshold", or "pool-exhausted").
         coarse: Step 1 classification.
         fine: Step 3 completion.
         retries: pipeline restarts needed (0 in a clean run).
+        degradation: recovery actions taken to reach convergence (step
+            retries, probe recalibrations, partition escalations, pipeline
+            restarts) — empty in a clean run.
     """
 
     mapping: AddressMapping
@@ -40,9 +46,16 @@ class DramDigResult:
     raw_pool_size: int = 0
     pile_count: int = 0
     partition_rounds: int = 0
+    partition_stop_reason: str = ""
     coarse: CoarseResult | None = None
     fine: FineResult | None = None
     retries: int = 0
+    degradation: list[DegradationEvent] = field(default_factory=list)
+
+    @property
+    def degraded(self) -> bool:
+        """True when any recovery machinery fired during the run."""
+        return bool(self.degradation)
 
     @property
     def bank_functions(self) -> tuple[int, ...]:
@@ -66,4 +79,9 @@ class DramDigResult:
             f"{name} {seconds:.1f}s" for name, seconds in self.phase_seconds.items()
         )
         lines.append(f"phases: {phases}")
+        if self.degraded:
+            lines.append(
+                f"degraded: {len(self.degradation)} recovery actions "
+                f"({'; '.join(event.describe() for event in self.degradation)})"
+            )
         return "\n".join(lines)

@@ -1,0 +1,28 @@
+"""Fault injection and adaptive recovery for the timing pipeline.
+
+Real reverse-engineering runs fail in stereotyped ways: refresh storms
+pollute calibration, thermal drift invalidates a once-good threshold,
+transient mis-reads inflate Algorithm 2's piles, and memory pressure
+shrinks the address pool. This package models those failure modes as
+composable :class:`FaultProfile` layers a :class:`SimulatedMachine`
+draws from (:class:`FaultInjector`), and supplies the recovery policy
+(:class:`RecoveryPolicy`) plus the structured degradation record
+(:class:`DegradationEvent`) the pipeline reports when it survives them.
+
+Everything here is seeded-RNG deterministic: a machine with the same
+preset, seed and profile injects the identical fault sequence on every
+run, so the paper's determinism claims hold bit-for-bit with faults on.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.profiles import FaultProfile, get_profile, profile_names
+from repro.faults.recovery import DegradationEvent, RecoveryPolicy
+
+__all__ = [
+    "FaultInjector",
+    "FaultProfile",
+    "get_profile",
+    "profile_names",
+    "DegradationEvent",
+    "RecoveryPolicy",
+]

@@ -1,0 +1,248 @@
+"""Composable noise profiles — what can go wrong on a machine under test.
+
+A :class:`FaultProfile` is a declarative bundle of fault intensities; the
+:class:`~repro.faults.injector.FaultInjector` interprets it against a
+machine's simulated clock. Five orthogonal fault families are modelled,
+each mirroring a failure mode documented for real mapping
+reverse-engineering runs:
+
+* **Latency-spike bursts** — a stretch of consecutive measurements is
+  contaminated (interrupt storm, SMM excursion): each affected latency
+  gains a large additive spike.
+* **Threshold drift** — the whole latency baseline creeps up over
+  simulated time (thermal throttling, power-management state changes),
+  silently invalidating a calibrated fast/slow cutoff.
+* **Refresh storms** — windows of simulated time in which the refresh
+  spike probability jumps by orders of magnitude (tRFC pile-ups on a
+  loaded machine); a calibration run inside a storm sees no clean
+  fast population at all.
+* **Transient mis-reads** — a conflict-free pair reads *slow* for a
+  while (prefetcher or row-policy interference). Mis-reads are sticky
+  per (pair, time-window): re-measuring the same pair inside the same
+  window repeats the lie, so min-of-repeats cannot filter it — only
+  waiting out the window can.
+* **Allocator pressure** — the OS grants less memory than requested,
+  shrinking the tool's address pool; pressure follows a per-allocation
+  schedule so it can ease over the lifetime of a run.
+
+Profiles compose with :meth:`FaultProfile.combine`. A registry of named
+profiles (:func:`get_profile`) backs the CLI's ``--noise-profile`` flag.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass, fields
+
+__all__ = ["FaultProfile", "PROFILES", "get_profile", "profile_names"]
+
+
+@dataclass(frozen=True)
+class FaultProfile:
+    """Declarative fault intensities; all default to "off".
+
+    Attributes:
+        name: label shown in diagnostics.
+        burst_start_probability: per-measurement chance that a spike
+            burst begins.
+        burst_length: measurements contaminated by one burst.
+        burst_extra_ns: spike magnitude added to burst measurements.
+        drift_ns_per_s: baseline latency creep per simulated second.
+        drift_start_s: simulated time the creep begins (thermal ramps
+            follow the workload, not the boot).
+        drift_period_s: thermal-cycle period; when positive the drift
+            follows a triangle wave (rising half-cycle, falling
+            half-cycle, peak ``drift_ns_per_s * drift_period_s / 2``)
+            instead of a monotonic ramp, so the baseline never stops
+            moving yet stays physically bounded.
+        drift_cap_ns: upper bound on accumulated drift (0 = unbounded).
+        storm_outlier_probability: per-measurement spike chance inside a
+            storm window.
+        storm_extra_ns: spike magnitude inside a storm window.
+        storm_start_s: simulated time the first storm begins.
+        storm_duration_s: length of each storm window.
+        storm_period_s: storm repetition period (0 = a single storm).
+        misread_probability: chance a conflict-free pair reads slow for
+            one stickiness window.
+        misread_extra_ns: latency added to a mis-read pair (should be
+            about the machine's fast/slow gap to be convincing).
+        misread_window_s: stickiness window; the same pair mis-reads
+            identically within one window and re-rolls in the next.
+        alloc_grant_fractions: fraction of each allocation request
+            actually granted, indexed by allocation count; allocations
+            beyond the schedule are granted in full.
+    """
+
+    name: str = "custom"
+    # Latency-spike bursts.
+    burst_start_probability: float = 0.0
+    burst_length: int = 0
+    burst_extra_ns: float = 0.0
+    # Threshold drift.
+    drift_ns_per_s: float = 0.0
+    drift_start_s: float = 0.0
+    drift_period_s: float = 0.0
+    drift_cap_ns: float = 0.0
+    # Refresh storms.
+    storm_outlier_probability: float = 0.0
+    storm_extra_ns: float = 0.0
+    storm_start_s: float = 0.0
+    storm_duration_s: float = 0.0
+    storm_period_s: float = 0.0
+    # Sticky transient mis-reads.
+    misread_probability: float = 0.0
+    misread_extra_ns: float = 30.0
+    misread_window_s: float = 0.25
+    # Allocator pressure.
+    alloc_grant_fractions: tuple[float, ...] = ()
+
+    def __post_init__(self) -> None:
+        for probability in (
+            "burst_start_probability",
+            "storm_outlier_probability",
+            "misread_probability",
+        ):
+            value = getattr(self, probability)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{probability} must be a probability, got {value}")
+        for non_negative in (
+            "burst_extra_ns",
+            "drift_ns_per_s",
+            "drift_start_s",
+            "drift_period_s",
+            "drift_cap_ns",
+            "misread_window_s",
+            "storm_extra_ns",
+            "storm_start_s",
+            "storm_duration_s",
+            "storm_period_s",
+            "misread_extra_ns",
+        ):
+            value = getattr(self, non_negative)
+            if value < 0:
+                raise ValueError(f"{non_negative} must be non-negative, got {value}")
+        if self.burst_length < 0:
+            raise ValueError("burst_length must be non-negative")
+        if self.burst_start_probability > 0 and self.burst_length == 0:
+            raise ValueError("bursts need a positive burst_length")
+        if self.misread_probability > 0 and self.misread_window_s <= 0:
+            raise ValueError("mis-reads need a positive misread_window_s")
+        if self.storm_period_s and self.storm_period_s < self.storm_duration_s:
+            raise ValueError("storm_period_s must cover storm_duration_s")
+        for fraction in self.alloc_grant_fractions:
+            if not 0.0 < fraction <= 1.0:
+                raise ValueError(
+                    f"alloc_grant_fractions entries must be in (0, 1], got {fraction}"
+                )
+
+    # ------------------------------------------------------------- composition
+
+    @property
+    def is_quiet(self) -> bool:
+        """True when the profile injects nothing at all."""
+        return (
+            self.burst_start_probability == 0.0
+            and self.drift_ns_per_s == 0.0
+            and self.storm_outlier_probability == 0.0
+            and self.misread_probability == 0.0
+            and not self.alloc_grant_fractions
+        )
+
+    def combine(self, other: "FaultProfile") -> "FaultProfile":
+        """Layer ``other`` on top of this profile.
+
+        Every field ``other`` sets away from its default overrides this
+        profile's value; untouched fields keep this profile's setting. The
+        combined profile is named ``"<self>+<other>"``.
+        """
+        changes: dict[str, object] = {}
+        for spec in fields(self):
+            if spec.name == "name":
+                continue
+            value = getattr(other, spec.name)
+            if value != spec.default:
+                changes[spec.name] = value
+        changes["name"] = f"{self.name}+{other.name}"
+        return dataclasses.replace(self, **changes)
+
+
+# --------------------------------------------------------------------- registry
+
+PROFILES: dict[str, FaultProfile] = {
+    # The null profile: attached injector, nothing injected. Useful to
+    # assert the injection path itself is bit-transparent.
+    "quiet": FaultProfile(name="quiet"),
+    # Interrupt-storm style bursts: rare, long, large.
+    "spike-bursts": FaultProfile(
+        name="spike-bursts",
+        burst_start_probability=0.002,
+        burst_length=64,
+        burst_extra_ns=90.0,
+    ),
+    # Thermal step: once the workload has been running a few seconds the
+    # baseline ramps up 40 ns/s and settles 35 ns higher for good (the
+    # machine reached its hot steady state). Invisible at calibration
+    # time; a threshold anchored to the cold baseline is permanently
+    # stale a second later.
+    "drift": FaultProfile(
+        name="drift", drift_ns_per_s=40.0, drift_start_s=3.6, drift_cap_ns=35.0
+    ),
+    # A heavy storm covering boot + calibration, then silence: the classic
+    # "first run of the day fails" machine.
+    "boot-storm": FaultProfile(
+        name="boot-storm",
+        storm_outlier_probability=0.9,
+        storm_extra_ns=400.0,
+        storm_start_s=0.0,
+        storm_duration_s=3.5,
+    ),
+    # Sticky mis-reads: a few percent of conflict-free pairs read slow for
+    # seconds at a time. Enough to push every Algorithm 2 pile past the
+    # size tolerance; immune to min-of-repeats and to immediate
+    # re-verification — only out-waiting the window helps.
+    "sticky-misreads": FaultProfile(
+        name="sticky-misreads",
+        misread_probability=0.04,
+        misread_extra_ns=30.0,
+        misread_window_s=5.0,
+    ),
+    # The OS grants only a fifth of each of the first three requests
+    # (pressure eases as other tenants release memory).
+    "alloc-pressure": FaultProfile(
+        name="alloc-pressure",
+        alloc_grant_fractions=(0.18, 0.18, 0.18),
+    ),
+    # Everything at once, at survivable intensities. The thermal cycle
+    # peaks at drift_ns_per_s * drift_period_s / 2 = 10 ns, inside the
+    # fast/slow classification margin, so a tracked threshold stays
+    # correct between heartbeat re-anchors.
+    "hostile": FaultProfile(
+        name="hostile",
+        burst_start_probability=0.0005,
+        burst_length=32,
+        burst_extra_ns=70.0,
+        drift_ns_per_s=2.5,
+        drift_period_s=8.0,
+        misread_probability=0.01,
+        misread_extra_ns=30.0,
+        misread_window_s=0.25,
+    ),
+}
+
+
+def profile_names() -> tuple[str, ...]:
+    """Registered profile names, CLI-choice order."""
+    return tuple(PROFILES)
+
+
+def get_profile(name: str) -> FaultProfile:
+    """Look up a registered profile by name.
+
+    Raises:
+        ValueError: for an unknown name, listing the known ones.
+    """
+    try:
+        return PROFILES[name]
+    except KeyError:
+        known = ", ".join(PROFILES)
+        raise ValueError(f"unknown noise profile {name!r} (known: {known})") from None

@@ -1,0 +1,79 @@
+"""Recovery policy and structured degradation reporting.
+
+When the pipeline survives injected (or real) noise it must say *how*:
+silent recovery is indistinguishable from a clean run and hides
+mis-calibration from the operator. Every recovery action — a step retry
+with backoff, a probe recalibration after drift, a partition escalation —
+is recorded as a :class:`DegradationEvent` and surfaced on the run
+result, so "converged" and "converged after fighting the machine" are
+distinguishable outcomes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DegradationEvent", "RecoveryPolicy"]
+
+
+@dataclass(frozen=True)
+class DegradationEvent:
+    """One recovery action taken during a run.
+
+    Attributes:
+        step: pipeline step that degraded ("calibrate", "partition",
+            "probe", "pipeline", ...).
+        action: what the recovery machinery did ("retry", "recalibrated",
+            "escalated", "restart", ...).
+        attempt: 1-based ordinal of the action within its step.
+        detail: human-readable cause (usually the stringified error).
+        backoff_s: simulated seconds slept before the action (0 when the
+            action was immediate).
+    """
+
+    step: str
+    action: str
+    attempt: int = 1
+    detail: str = ""
+    backoff_s: float = 0.0
+
+    def describe(self) -> str:
+        """One-line rendering for summaries and logs."""
+        suffix = f" after {self.backoff_s:.1f}s backoff" if self.backoff_s else ""
+        detail = f": {self.detail}" if self.detail else ""
+        return f"{self.step} {self.action} #{self.attempt}{suffix}{detail}"
+
+
+@dataclass(frozen=True)
+class RecoveryPolicy:
+    """Per-step retry policy for the pipeline.
+
+    A failed step (calibration, partition, function search, fine
+    detection) is retried in place — without restarting the phases before
+    it — up to ``step_retries`` times, sleeping simulated time between
+    attempts with exponential backoff so transient conditions (refresh
+    storms, sticky mis-read windows) can expire. The default policy
+    retries nothing, reproducing the seed pipeline's fail-fast behaviour.
+
+    Attributes:
+        step_retries: in-place retries allowed per step.
+        backoff_initial_s: simulated sleep before the first retry.
+        backoff_multiplier: backoff growth factor per retry.
+    """
+
+    step_retries: int = 0
+    backoff_initial_s: float = 1.0
+    backoff_multiplier: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.step_retries < 0:
+            raise ValueError("step_retries must be non-negative")
+        if self.backoff_initial_s < 0:
+            raise ValueError("backoff_initial_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+
+    @property
+    def enabled(self) -> bool:
+        """True when the policy retries at least once."""
+        return self.step_retries > 0

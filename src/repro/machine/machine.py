@@ -18,6 +18,7 @@ recovered mappings, never to recover them.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -28,6 +29,9 @@ from repro.machine.clock import MeasurementCost, SimClock
 from repro.machine.sysinfo import SystemInfo, render_decode_dimms, render_dmidecode
 from repro.memctrl.controller import MemoryController
 from repro.memctrl.timing import AccessClass, LatencyModel, NoiseParams
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.faults.injector import FaultInjector
 
 __all__ = ["SimulatedMachine", "MachineStats"]
 
@@ -60,8 +64,12 @@ class SimulatedMachine:
         noise: NoiseParams | None = None,
         measurement_cost: MeasurementCost | None = None,
         microarchitecture: str = "Unknown",
+        faults: FaultInjector | None = None,
     ):
         self.microarchitecture = microarchitecture
+        # Optional fault layer; it owns its own RNG stream, so attaching
+        # one never perturbs the machine-noise or tool RNG sequences.
+        self.faults = faults
         self._mapping = mapping
         self._controller = MemoryController(mapping=mapping)
         self._latency_model = LatencyModel.for_generation(
@@ -83,17 +91,20 @@ class SimulatedMachine:
         preset: MachinePreset,
         seed: int = 0,
         noise: NoiseParams | None = None,
+        faults: FaultInjector | None = None,
     ) -> "SimulatedMachine":
         """Build the simulated version of one of the paper's machines.
 
         The preset's own noise profile applies unless ``noise`` overrides it
-        (No.3 and No.7 are noisier than the rest; see presets).
+        (No.3 and No.7 are noisier than the rest; see presets). ``faults``
+        optionally layers a fault-injection profile on top.
         """
         return cls(
             mapping=preset.mapping,
             seed=seed,
             noise=noise if noise is not None else preset.noise_profile,
             microarchitecture=preset.microarchitecture,
+            faults=faults,
         )
 
     # ------------------------------------------------------------- allocation
@@ -110,6 +121,10 @@ class SimulatedMachine:
         ``fragmented`` (default userspace buddy allocation), ``sparse``
         (loaded machine), ``hugepages`` (2 MiB THP).
         """
+        if self.faults is not None:
+            request_bytes = self.faults.on_allocate(
+                request_bytes, self.stats.allocations
+            )
         self.stats.allocations += 1
         rng = self._rng
         if strategy == "contiguous":
@@ -135,6 +150,10 @@ class SimulatedMachine:
         access_class = self._controller.classify_pair(addr_a, addr_b)
         is_conflict = access_class is AccessClass.ROW_CONFLICT
         latency = float(self._latency_model.sample_pair_ns(is_conflict, self._rng))
+        if self.faults is not None:
+            latency = self.faults.perturb_one(
+                latency, is_conflict, addr_a, addr_b, self.clock.elapsed_ns
+            )
         self._charge_one(latency, rounds)
         return latency
 
@@ -147,6 +166,14 @@ class SimulatedMachine:
         the scalar loop, just computed in bulk here for simulator speed)."""
         conflicts = self._controller.classify_pairs(base, others)
         latencies = self._latency_model.sample_batch_ns(conflicts, self._rng)
+        if self.faults is not None:
+            latencies = self.faults.perturb(
+                latencies,
+                conflicts,
+                np.uint64(base),
+                np.asarray(others, dtype=np.uint64),
+                self.clock.elapsed_ns,
+            )
         self._charge_measurements(latencies, rounds)
         return latencies
 
@@ -171,8 +198,17 @@ class SimulatedMachine:
         latencies = np.empty(bases.shape, dtype=np.float64)
         model = self._latency_model
         rng = self._rng
+        faults = self.faults
         for index in range(bases.size):
             latency = float(model.sample_pair_ns(bool(conflicts[index]), rng))
+            if faults is not None:
+                latency = faults.perturb_one(
+                    latency,
+                    bool(conflicts[index]),
+                    int(bases[index]),
+                    int(partners[index]),
+                    self.clock.elapsed_ns,
+                )
             self._charge_one(latency, rounds)
             latencies[index] = latency
         return latencies

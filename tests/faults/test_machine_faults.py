@@ -1,0 +1,54 @@
+"""Tests for the injector's integration with the simulated machine."""
+
+import numpy as np
+
+from repro.dram.presets import preset
+from repro.faults import FaultInjector, get_profile
+from repro.machine.machine import SimulatedMachine
+
+
+def machine_with(profile_name, seed=1):
+    faults = None
+    if profile_name is not None:
+        faults = FaultInjector(get_profile(profile_name), seed=seed)
+    return SimulatedMachine.from_preset(preset("No.1"), seed=seed, faults=faults)
+
+
+def sample_latencies(machine, count=128):
+    pages = machine.allocate(1 << 22)
+    addrs = pages.addresses()[:count]
+    return machine.measure_latency_pairs(addrs, np.roll(addrs, 1), rounds=200)
+
+
+class TestTransparency:
+    def test_quiet_injector_matches_no_injector(self):
+        bare = sample_latencies(machine_with(None))
+        quiet = sample_latencies(machine_with("quiet"))
+        np.testing.assert_array_equal(bare, quiet)
+
+    def test_same_profile_same_seed_identical(self):
+        a = sample_latencies(machine_with("hostile"))
+        b = sample_latencies(machine_with("hostile"))
+        np.testing.assert_array_equal(a, b)
+
+    def test_profile_perturbs_measurements(self):
+        bare = sample_latencies(machine_with(None))
+        stormy = sample_latencies(machine_with("boot-storm"))
+        assert (stormy >= bare).all()
+        assert (stormy > bare).any()
+
+
+class TestAllocPressure:
+    def test_grants_shrink_then_recover(self):
+        machine = machine_with("alloc-pressure")
+        request = 1 << 24
+        fractions = get_profile("alloc-pressure").alloc_grant_fractions
+        for expected_fraction in fractions:
+            pages = machine.allocate(request)
+            assert pages.byte_count <= int(request * expected_fraction) + 4096
+        # Past the schedule the full request is granted again.
+        assert machine_with_full_grant(machine, request)
+
+
+def machine_with_full_grant(machine, request):
+    return machine.allocate(request).byte_count >= request - 4096

@@ -1,0 +1,177 @@
+"""Tests for Algorithm 2's edge-case fixes and escalated recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.partition import PartitionConfig, PartitionResult, partition_pool
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.errors import PartitionError
+from repro.dram.presets import preset
+from repro.faults import FaultInjector, FaultProfile
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+FAST = ProbeConfig(rounds=100, calibration_pairs=512, reference_pairs=16)
+
+# Aggressive stickiness: a third of conflict-free pairs lie for 0.3 s.
+HEAVY_MISREADS = FaultProfile(
+    name="heavy", misread_probability=0.3, misread_extra_ns=30.0, misread_window_s=0.3
+)
+
+
+def calibrated(profile=None, seed=0):
+    faults = FaultInjector(profile, seed=seed) if profile is not None else None
+    machine = SimulatedMachine.from_preset(
+        preset("No.1"), seed=seed, noise=NoiseParams.noiseless(), faults=faults
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(machine, FAST)
+    probe.calibrate(pages, np.random.default_rng(seed))
+    return machine, pages, probe
+
+
+def pool_by_banks(pages, mapping, per_bank):
+    """A pool with exactly ``per_bank[i]`` addresses of the i-th bank.
+
+    Samples cache-line-grained addresses (page bases alone cannot vary
+    in-page bank bits like bit 6) and keeps one address per (bank, row),
+    so every same-pile pair is a genuine row conflict.
+    """
+    addrs = np.unique(pages.sample_addresses(65536, np.random.default_rng(99)))
+    bank_ids = mapping.bank_of_array(addrs)
+    rows = mapping.row_of_array(addrs)
+    chunks = []
+    for bank, count in zip(sorted(np.unique(bank_ids)), per_bank):
+        candidates = addrs[bank_ids == bank]
+        candidate_rows = rows[bank_ids == bank]
+        _, first_of_row = np.unique(candidate_rows, return_index=True)
+        chunks.append(candidates[first_of_row][:count])
+        assert chunks[-1].size == count
+    return np.concatenate(chunks)
+
+
+class TestConfigValidation:
+    def test_new_knob_validation(self):
+        with pytest.raises(ValueError, match="max_verify_sweeps"):
+            PartitionConfig(max_verify_sweeps=0)
+        with pytest.raises(ValueError, match="verify_backoff_s"):
+            PartitionConfig(verify_backoff_s=-1.0)
+        with pytest.raises(ValueError, match="max_escalations"):
+            PartitionConfig(max_escalations=-1)
+        with pytest.raises(ValueError, match="escalation_backoff_s"):
+            PartitionConfig(escalation_backoff_s=-0.5)
+
+    def test_defaults_keep_seed_behaviour(self):
+        config = PartitionConfig()
+        assert config.max_verify_sweeps == 1
+        assert config.max_escalations == 0
+        assert config.blacklist_rejected is True
+
+
+class TestStopReasons:
+    def test_complete_partition_records_reason(self):
+        _, pages, probe = calibrated()
+        pool = pool_by_banks(pages, preset("No.1").mapping, [8] * 16)
+        result = partition_pool(
+            probe,
+            pool,
+            16,
+            np.random.default_rng(0),
+            PartitionConfig(per_threshold=1.0),
+        )
+        assert result.stop_reason == "complete"
+        assert not result.ran_dry
+        assert result.pile_count == 16
+
+    def test_ran_dry_warns_and_records_reason(self):
+        _, pages, probe = calibrated()
+        # One bank has too few addresses to ever form a tolerable pile.
+        per_bank = [8] * 15 + [3]
+        pool = pool_by_banks(pages, preset("No.1").mapping, per_bank)
+        with pytest.warns(RuntimeWarning, match="partition ran dry"):
+            result = partition_pool(
+                probe,
+                pool,
+                16,
+                np.random.default_rng(0),
+                PartitionConfig(per_threshold=1.0),
+            )
+        assert result.ran_dry
+        assert result.stop_reason == "pool-exhausted"
+        assert result.pile_count == 15
+
+
+class TestPivotBlacklist:
+    def test_rejected_pivots_not_redrawn(self):
+        _, pages, probe = calibrated()
+        # Four banks of 16 in a pool sized for 16 piles: every pile is 4x
+        # too big, so every pivot is rejected; the blacklist must run
+        # through all 64 candidates exactly once and then fail loudly
+        # instead of redrawing bad pivots until the round budget burns out.
+        pool = pool_by_banks(pages, preset("No.1").mapping, [16] * 4)
+        with pytest.raises(PartitionError, match="remaining pivot candidates rejected"):
+            partition_pool(probe, pool, 16, np.random.default_rng(0))
+
+    def test_blacklist_disabled_burns_budget(self):
+        _, pages, probe = calibrated()
+        pool = pool_by_banks(pages, preset("No.1").mapping, [32] * 4)
+        with pytest.raises(PartitionError, match="no convergence after 128 rounds"):
+            partition_pool(
+                probe,
+                pool,
+                16,
+                np.random.default_rng(0),
+                PartitionConfig(blacklist_rejected=False),
+            )
+
+
+class TestEscalation:
+    def test_budget_escalation_extends_rounds(self):
+        _, pages, probe = calibrated()
+        pool = pool_by_banks(pages, preset("No.1").mapping, [32] * 4)
+        config = PartitionConfig(blacklist_rejected=False, max_escalations=1)
+        with pytest.raises(PartitionError, match="no convergence after 256 rounds"):
+            partition_pool(probe, pool, 16, np.random.default_rng(0), config)
+
+    def test_escalation_sleeps_between_budgets(self):
+        machine, pages, probe = calibrated()
+        pool = pool_by_banks(pages, preset("No.1").mapping, [32] * 4)
+        config = PartitionConfig(
+            blacklist_rejected=False, max_escalations=2, escalation_backoff_s=2.0
+        )
+        before = machine.clock.elapsed_ns
+        with pytest.raises(PartitionError):
+            partition_pool(probe, pool, 16, np.random.default_rng(0), config)
+        # Backoffs double: 2 s + 4 s of simulated sleep at minimum.
+        assert machine.clock.elapsed_ns - before >= 6.0 * 1e9
+
+
+class TestEscalatedVerification:
+    def test_seed_config_cannot_survive_sticky_misreads(self):
+        _, pages, probe = calibrated(HEAVY_MISREADS)
+        pool = pool_by_banks(pages, preset("No.1").mapping, [8] * 16)
+        with pytest.raises(PartitionError):
+            partition_pool(
+                probe,
+                pool,
+                16,
+                np.random.default_rng(0),
+                PartitionConfig(per_threshold=1.0),
+            )
+
+    def test_backoff_ladder_outwaits_sticky_windows(self):
+        _, pages, probe = calibrated(HEAVY_MISREADS)
+        mapping = preset("No.1").mapping
+        pool = pool_by_banks(pages, mapping, [8] * 16)
+        result = partition_pool(
+            probe,
+            pool,
+            16,
+            np.random.default_rng(0),
+            PartitionConfig(per_threshold=1.0, max_verify_sweeps=6, max_escalations=3),
+        )
+        assert result.pile_count == 16
+        assert result.verify_resweeps > 0
+        # Every accepted pile is pure: all members share the pivot's bank.
+        for pivot, members in result.piles.items():
+            assert (mapping.bank_of_array(members) == mapping.bank_of(pivot)).all()

@@ -1,0 +1,88 @@
+"""End-to-end acceptance: the seed pipeline aborts, the resilient one recovers.
+
+For every noise profile below, the fail-fast seed configuration
+(``max_retries=0``, recovery off) deterministically aborts, while
+``DramDigConfig.resilient()`` completes and recovers the ground-truth
+mapping — across five machine seeds, deterministically.
+"""
+
+import warnings
+
+import pytest
+
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.dram.errors import (
+    CalibrationError,
+    FunctionSearchError,
+    PartitionError,
+    ReproError,
+    SelectionError,
+)
+from repro.dram.presets import preset
+from repro.faults import FaultInjector, get_profile
+from repro.machine.machine import SimulatedMachine
+
+SEED_CONFIG = DramDigConfig(max_retries=0)  # the fail-fast seed pipeline
+RESILIENT_CONFIG = DramDigConfig.resilient(SEED_CONFIG)
+SEEDS = (1, 2, 3, 4, 5)
+
+# Per profile: the abort signature of the seed pipeline. Wrapped aborts
+# surface as ReproError with the step error as __cause__.
+ABORTS = {
+    "boot-storm": (CalibrationError,),
+    "drift": (PartitionError,),
+    "sticky-misreads": (PartitionError, FunctionSearchError),
+    "alloc-pressure": (SelectionError,),
+}
+
+
+def run(profile_name, seed, config):
+    machine = SimulatedMachine.from_preset(
+        preset("No.1"),
+        seed=seed,
+        faults=FaultInjector(get_profile(profile_name), seed=seed),
+    )
+    with warnings.catch_warnings():
+        warnings.simplefilter("ignore", RuntimeWarning)
+        return DramDig(config).run(machine)
+
+
+@pytest.mark.parametrize("profile_name", sorted(ABORTS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_seed_pipeline_aborts(profile_name, seed):
+    with pytest.raises(ReproError) as exc_info:
+        run(profile_name, seed, SEED_CONFIG)
+    error = exc_info.value
+    expected = ABORTS[profile_name]
+    assert isinstance(error, expected) or isinstance(error.__cause__, expected)
+
+
+@pytest.mark.parametrize("profile_name", sorted(ABORTS))
+@pytest.mark.parametrize("seed", SEEDS)
+def test_resilient_pipeline_recovers(profile_name, seed):
+    result = run(profile_name, seed, RESILIENT_CONFIG)
+    assert result.mapping.equivalent_to(preset("No.1").mapping)
+
+
+def test_recovery_reports_degradation():
+    result = run("drift", 1, RESILIENT_CONFIG)
+    assert result.degraded
+    assert any(event.action == "recalibrated" for event in result.degradation)
+    assert "recovery actions" in result.summary()
+
+
+def test_restart_recovery_reports_attempts():
+    result = run("alloc-pressure", 1, RESILIENT_CONFIG)
+    assert result.retries > 0
+    assert any(event.action == "restart" for event in result.degradation)
+
+
+def test_recovery_is_deterministic():
+    first = run("sticky-misreads", 2, RESILIENT_CONFIG)
+    second = run("sticky-misreads", 2, RESILIENT_CONFIG)
+    assert first.mapping.bank_functions == second.mapping.bank_functions
+    assert first.mapping.row_bits == second.mapping.row_bits
+    assert first.mapping.column_bits == second.mapping.column_bits
+    assert first.retries == second.retries
+    assert len(first.degradation) == len(second.degradation)
+    assert first.total_seconds == second.total_seconds

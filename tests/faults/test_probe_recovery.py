@@ -1,0 +1,150 @@
+"""Tests for the probe's bounded recalibration-on-drift recovery."""
+
+import numpy as np
+import pytest
+
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.presets import preset
+from repro.faults import FaultInjector, FaultProfile
+from repro.machine.machine import SimulatedMachine
+from repro.memctrl.timing import NoiseParams
+
+# Baseline jumps 30 ns at t = 50 s (far past calibration), instantly at
+# full magnitude thanks to the steep ramp — a worst-case thermal step.
+STEP_DRIFT = FaultProfile(
+    name="step", drift_ns_per_s=1000.0, drift_start_s=50.0, drift_cap_ns=30.0
+)
+
+FAST = ProbeConfig(rounds=100, calibration_pairs=512, reference_pairs=16)
+
+
+def calibrated_probe(profile=None, *, seed=0, **config_overrides):
+    faults = FaultInjector(profile, seed=seed) if profile is not None else None
+    machine = SimulatedMachine.from_preset(
+        preset("No.1"), seed=seed, noise=NoiseParams.noiseless(), faults=faults
+    )
+    pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+    probe = LatencyProbe(
+        machine,
+        ProbeConfig(
+            rounds=FAST.rounds,
+            calibration_pairs=FAST.calibration_pairs,
+            reference_pairs=FAST.reference_pairs,
+            **config_overrides,
+        ),
+    )
+    probe.calibrate(pages, np.random.default_rng(seed))
+    return machine, pages, probe
+
+
+def same_page_pair(pages):
+    """A guaranteed conflict-free pair (same OS page, same row)."""
+    base = int(pages.addresses()[0])
+    return base, base ^ 0x80
+
+
+def conflict_pair(pages, mapping):
+    """A guaranteed same-bank different-row pair."""
+    addrs = pages.addresses()[:4096]
+    banks = mapping.bank_of_array(addrs)
+    rows = mapping.row_of_array(addrs)
+    for bank in np.unique(banks):
+        candidates = addrs[banks == bank]
+        candidate_rows = rows[banks == bank]
+        distinct = np.unique(candidate_rows)
+        if distinct.size >= 2:
+            a = candidates[candidate_rows == distinct[0]][0]
+            b = candidates[candidate_rows == distinct[1]][0]
+            return int(a), int(b)
+    raise AssertionError("no conflict pair found in sample")
+
+
+class TestProbeConfigValidation:
+    def test_too_few_reference_pairs_rejected(self):
+        with pytest.raises(ValueError, match="reference pairs"):
+            ProbeConfig(reference_pairs=4)
+
+    def test_non_positive_min_separation_rejected(self):
+        with pytest.raises(ValueError, match="min_separation"):
+            ProbeConfig(min_separation=0.0)
+        with pytest.raises(ValueError, match="min_separation"):
+            ProbeConfig(min_separation=-0.5)
+
+    def test_recovery_field_validation(self):
+        with pytest.raises(ValueError, match="max_recalibrations"):
+            ProbeConfig(max_recalibrations=-1)
+        with pytest.raises(ValueError, match="drift_tolerance"):
+            ProbeConfig(drift_tolerance=0.0)
+        with pytest.raises(ValueError, match="drift_check_backoff"):
+            ProbeConfig(drift_check_backoff=0.5)
+        with pytest.raises(ValueError, match="drift_check_max_interval_s"):
+            ProbeConfig(drift_check_interval_s=2.0, drift_check_max_interval_s=1.0)
+
+
+class TestDriftRecovery:
+    def test_stale_threshold_misclassifies_without_watch(self):
+        machine, pages, probe = calibrated_probe(STEP_DRIFT)
+        fast_a, fast_b = same_page_pair(pages)
+        assert not probe.is_conflict(fast_a, fast_b)  # clean before onset
+        machine.charge_analysis((60.0 - machine.clock.elapsed_ns / 1e9) * 1e9)
+        # The seed probe (watch disarmed) misreads the drifted baseline.
+        assert probe.is_conflict(fast_a, fast_b)
+        assert probe.recalibrations == 0
+        assert probe.events == []
+
+    def test_reanchor_restores_classification(self):
+        machine, pages, probe = calibrated_probe(STEP_DRIFT, max_recalibrations=8)
+        before = probe.threshold
+        fast_a, fast_b = same_page_pair(pages)
+        slow_a, slow_b = conflict_pair(pages, preset("No.1").mapping)
+        machine.charge_analysis((60.0 - machine.clock.elapsed_ns / 1e9) * 1e9)
+        assert not probe.is_conflict(fast_a, fast_b)  # re-anchored mid-call
+        assert probe.recalibrations == 1
+        assert probe.events and probe.events[0].action == "recalibrated"
+        # The threshold translated upward by about the injected 30 ns...
+        assert probe.threshold.cutoff == pytest.approx(before.cutoff + 30.0, abs=2.0)
+        # ...and still separates the two populations.
+        assert probe.is_conflict(slow_a, slow_b)
+        assert not probe.is_conflict(fast_a, fast_b)
+
+    def test_budget_is_bounded(self):
+        machine, pages, probe = calibrated_probe(STEP_DRIFT, max_recalibrations=1)
+        fast_a, fast_b = same_page_pair(pages)
+        machine.charge_analysis((60.0 - machine.clock.elapsed_ns / 1e9) * 1e9)
+        probe.is_conflict(fast_a, fast_b)
+        assert probe.recalibrations == 1
+        # Budget exhausted: the watch disarms instead of looping forever.
+        for _ in range(4):
+            machine.charge_analysis(1e9)
+            probe.is_conflict(fast_a, fast_b)
+        assert probe.recalibrations == 1
+
+    def test_heartbeat_backs_off_while_healthy(self):
+        machine, pages, probe = calibrated_probe(max_recalibrations=8)
+        fast_a, fast_b = same_page_pair(pages)
+        initial_interval = probe._check_interval_ns
+        for _ in range(6):
+            machine.charge_analysis(probe._check_interval_ns + 1e6)
+            probe.is_conflict(fast_a, fast_b)
+        assert probe.drift_checks >= 2
+        assert probe.recalibrations == 0  # no drift on a healthy machine
+        assert probe._check_interval_ns > initial_interval
+        assert probe._check_interval_ns <= probe.config.drift_check_max_interval_s * 1e9
+
+    def test_reanchor_reuses_frozen_references(self):
+        # Recovery never draws fresh addresses: the re-anchor re-measures
+        # the exact reference bases retained at calibration time, so the
+        # tool's RNG stream is untouched no matter how often it fires.
+        machine, pages, probe = calibrated_probe(STEP_DRIFT, max_recalibrations=8)
+        frozen = probe._reference_bases.copy()
+        fast_a, fast_b = same_page_pair(pages)
+        machine.charge_analysis((60.0 - machine.clock.elapsed_ns / 1e9) * 1e9)
+        probe.is_conflict(fast_a, fast_b)
+        assert probe.recalibrations == 1
+        np.testing.assert_array_equal(probe._reference_bases, frozen)
+
+    def test_defaults_match_seed_probe_exactly(self):
+        _, _, watched = calibrated_probe(STEP_DRIFT, max_recalibrations=0)
+        _, _, seed_probe = calibrated_probe(STEP_DRIFT)
+        assert watched.threshold == seed_probe.threshold
+        assert watched.events == [] and seed_probe.events == []

@@ -1,0 +1,94 @@
+"""Tests for the declarative fault profiles and their registry."""
+
+import dataclasses
+
+import pytest
+
+from repro.faults import FaultProfile, get_profile, profile_names
+from repro.faults.profiles import PROFILES
+
+
+class TestFaultProfileValidation:
+    def test_defaults_are_quiet(self):
+        assert FaultProfile().is_quiet
+
+    def test_probability_bounds(self):
+        with pytest.raises(ValueError, match="burst_start_probability"):
+            FaultProfile(burst_start_probability=1.5, burst_length=4)
+        with pytest.raises(ValueError, match="misread_probability"):
+            FaultProfile(misread_probability=-0.1)
+
+    def test_negative_magnitudes_rejected(self):
+        with pytest.raises(ValueError, match="drift_ns_per_s"):
+            FaultProfile(drift_ns_per_s=-1.0)
+        with pytest.raises(ValueError, match="storm_extra_ns"):
+            FaultProfile(storm_extra_ns=-5.0)
+
+    def test_bursts_need_length(self):
+        with pytest.raises(ValueError, match="burst_length"):
+            FaultProfile(burst_start_probability=0.1, burst_length=0)
+
+    def test_misreads_need_window(self):
+        with pytest.raises(ValueError, match="misread_window_s"):
+            FaultProfile(misread_probability=0.1, misread_window_s=0.0)
+
+    def test_storm_period_must_cover_duration(self):
+        with pytest.raises(ValueError, match="storm_period_s"):
+            FaultProfile(storm_duration_s=2.0, storm_period_s=1.0)
+
+    def test_alloc_fractions_in_unit_interval(self):
+        with pytest.raises(ValueError, match="alloc_grant_fractions"):
+            FaultProfile(alloc_grant_fractions=(0.5, 0.0))
+        with pytest.raises(ValueError, match="alloc_grant_fractions"):
+            FaultProfile(alloc_grant_fractions=(1.2,))
+
+    def test_frozen(self):
+        with pytest.raises(dataclasses.FrozenInstanceError):
+            get_profile("quiet").drift_ns_per_s = 1.0
+
+
+class TestCombine:
+    def test_overlay_overrides_only_set_fields(self):
+        base = get_profile("drift")
+        overlay = FaultProfile(name="noise", misread_probability=0.02)
+        combined = base.combine(overlay)
+        assert combined.drift_ns_per_s == base.drift_ns_per_s
+        assert combined.misread_probability == 0.02
+        assert combined.name == "drift+noise"
+
+    def test_quiet_overlay_changes_nothing_but_name(self):
+        base = get_profile("hostile")
+        combined = base.combine(FaultProfile(name="quiet"))
+        assert dataclasses.replace(combined, name=base.name) == base
+
+
+class TestRegistry:
+    def test_known_names(self):
+        for required in (
+            "quiet",
+            "spike-bursts",
+            "drift",
+            "boot-storm",
+            "sticky-misreads",
+            "alloc-pressure",
+            "hostile",
+        ):
+            assert required in profile_names()
+
+    def test_profiles_carry_their_registry_name(self):
+        for name, profile in PROFILES.items():
+            assert profile.name == name
+
+    def test_lookup_roundtrip(self):
+        for name in profile_names():
+            assert get_profile(name) is PROFILES[name]
+
+    def test_unknown_name_lists_known(self):
+        with pytest.raises(ValueError, match="unknown noise profile"):
+            get_profile("does-not-exist")
+
+    def test_only_quiet_is_quiet(self):
+        assert get_profile("quiet").is_quiet
+        for name in profile_names():
+            if name != "quiet":
+                assert not get_profile(name).is_quiet, name

@@ -59,3 +59,35 @@ def test_run_save(tmp_path, capsys):
     assert main(["run", "No.4", "--save", str(target)]) == 0
     assert "mapping saved" in capsys.readouterr().out
     assert load_mapping(target).equivalent_to(preset("No.4").mapping)
+
+
+def test_jobs_rejects_zero_and_negative(capsys):
+    for bad in ("0", "-8"):
+        with pytest.raises(SystemExit):
+            main(["table1", "--jobs", bad])
+    err = capsys.readouterr().err
+    assert "--jobs must be a positive integer or -1" in err
+
+
+def test_jobs_rejects_non_integer(capsys):
+    with pytest.raises(SystemExit):
+        main(["table1", "--jobs", "many"])
+    assert "--jobs" in capsys.readouterr().err
+
+
+def test_max_retries_rejects_negative(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "No.4", "--max-retries", "-1"])
+    assert "--max-retries must be non-negative" in capsys.readouterr().err
+
+
+def test_run_rejects_unknown_noise_profile(capsys):
+    with pytest.raises(SystemExit):
+        main(["run", "No.4", "--noise-profile", "imaginary"])
+
+
+def test_run_with_noise_profile_recovers(capsys):
+    assert main(["run", "No.1", "--noise-profile", "drift"]) == 0
+    out = capsys.readouterr().out
+    assert "noise profile: drift (adaptive recovery enabled)" in out
+    assert "matches ground truth: yes" in out
