@@ -1,0 +1,121 @@
+#!/usr/bin/env python
+"""CI smoke test: SIGKILL a grid run mid-flight, resume it, diff the output.
+
+The deterministic regression for resume lives in
+``tests/evalsuite/test_resume.py`` (it truncates a journal instead of
+racing a kill). This script is the end-to-end variant with a real
+``SIGKILL``:
+
+1. render Table I once, uninterrupted, as the reference;
+2. start the same run as a subprocess with ``--resume <journal>`` and
+   kill -9 it as soon as the journal holds at least one checkpoint but
+   before it can hold all of them;
+3. re-run the same command to completion over the same journal;
+4. the resumed output must be byte-identical to the reference, and the
+   journal must show the resumed run started from the survivors.
+
+Exit code 0 on success. The kill is inherently racy — if the victim
+finishes before the kill lands (tiny grids on a fast machine), the run
+still validates byte-identity and reports that the kill was skipped.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+CMD = [sys.executable, "-m", "repro", "table1"]
+POLL_SECONDS = 0.05
+KILL_AFTER_RECORDS = 1
+TIMEOUT_SECONDS = 600.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _run_to_completion(journal: Path | None) -> str:
+    cmd = list(CMD) + (["--resume", str(journal)] if journal is not None else [])
+    result = subprocess.run(
+        cmd, cwd=REPO, env=_env(), capture_output=True, text=True,
+        timeout=TIMEOUT_SECONDS, check=True,
+    )
+    return result.stdout
+
+
+def _journal_records(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "fingerprint" in record:
+            count += 1
+    return count
+
+
+def main() -> int:
+    with tempfile.TemporaryDirectory(prefix="kill-resume-") as scratch:
+        journal = Path(scratch) / "table1.journal"
+
+        print("== reference run (uninterrupted, no journal) ==", flush=True)
+        reference = _run_to_completion(None)
+
+        print("== victim run (will be SIGKILLed mid-flight) ==", flush=True)
+        victim = subprocess.Popen(
+            list(CMD) + ["--resume", str(journal)],
+            cwd=REPO, env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + TIMEOUT_SECONDS
+        killed = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if _journal_records(journal) >= KILL_AFTER_RECORDS:
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+                killed = True
+                break
+            time.sleep(POLL_SECONDS)
+        else:
+            victim.kill()
+            print("FAIL: victim neither checkpointed nor finished in time")
+            return 1
+
+        survivors = _journal_records(journal)
+        if killed:
+            print(f"killed victim with {survivors} checkpointed cell(s)")
+            if survivors == 0:
+                print("FAIL: kill landed before any checkpoint")
+                return 1
+        else:
+            print("victim finished before the kill landed; "
+                  "validating byte-identity only")
+
+        print("== resumed run ==", flush=True)
+        resumed = _run_to_completion(journal)
+
+        if resumed != reference:
+            print("FAIL: resumed output differs from the uninterrupted run")
+            sys.stdout.write(resumed)
+            return 1
+        print(f"OK: resumed output is byte-identical "
+              f"({survivors} cell(s) survived the kill)")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -73,6 +73,58 @@ def _retries_arg(text: str) -> int:
     return retries
 
 
+def _grid_retries_arg(text: str) -> int:
+    """Non-negative per-cell retry budget for supervised grid runs."""
+    try:
+        retries = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if retries < 0:
+        raise argparse.ArgumentTypeError(
+            f"--grid-retries must be non-negative (got {retries})"
+        )
+    return retries
+
+
+def _seconds_arg(text: str) -> float:
+    """Positive wall-clock budget in seconds."""
+    try:
+        seconds = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if seconds <= 0:
+        raise argparse.ArgumentTypeError(
+            f"timeout must be a positive number of seconds (got {text})"
+        )
+    return seconds
+
+
+def _grid_options(args):
+    """Fold the crash-safety flags into (supervision, journal).
+
+    Any of ``--cell-timeout``/``--run-deadline``/``--grid-retries``
+    switches the grid to the supervised engine; ``--resume`` alone does
+    too (a journal only makes sense with checkpointing on). With none of
+    the flags the seed fail-fast path runs, byte for byte.
+    """
+    from repro.parallel import GridPolicy
+
+    supervision = None
+    if (
+        args.cell_timeout is not None
+        or args.run_deadline is not None
+        or args.grid_retries is not None
+    ):
+        supervision = GridPolicy(
+            cell_timeout_s=args.cell_timeout,
+            run_deadline_s=args.run_deadline,
+            retries=args.grid_retries if args.grid_retries is not None else 0,
+        )
+    elif args.resume is not None:
+        supervision = GridPolicy()
+    return supervision, args.resume
+
+
 def _build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="dramdig",
@@ -146,6 +198,39 @@ def _build_parser() -> argparse.ArgumentParser:
             metavar="N",
             help="worker processes for the evaluation grid "
             "(default: serial; -1 = all CPUs; results are bit-identical)",
+        )
+        grid_cmd.add_argument(
+            "--resume",
+            metavar="JOURNAL",
+            default=None,
+            help="checkpoint journal path: completed cells are recorded "
+            "there and skipped when the run is restarted (results are "
+            "bit-identical to an uninterrupted run)",
+        )
+        grid_cmd.add_argument(
+            "--cell-timeout",
+            type=_seconds_arg,
+            default=None,
+            metavar="SECONDS",
+            help="kill and fail any grid cell running longer than this "
+            "(enables the supervised engine)",
+        )
+        grid_cmd.add_argument(
+            "--run-deadline",
+            type=_seconds_arg,
+            default=None,
+            metavar="SECONDS",
+            help="salvage whatever finished once the whole grid run "
+            "exceeds this budget (enables the supervised engine)",
+        )
+        grid_cmd.add_argument(
+            "--grid-retries",
+            type=_grid_retries_arg,
+            default=None,
+            metavar="N",
+            help="retry a failed grid cell up to N times with exponential "
+            "backoff before recording it as FAILED (enables the "
+            "supervised engine)",
         )
     return parser
 
@@ -254,26 +339,55 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "report":
         from repro.evalsuite.report import ReportConfig, generate_report
 
+        supervision, journal = _grid_options(args)
         report = generate_report(
-            ReportConfig(seed=args.seed, jobs=args.jobs), path=args.out
+            ReportConfig(
+                seed=args.seed,
+                jobs=args.jobs,
+                supervision=supervision,
+                journal=journal,
+            ),
+            path=args.out,
         )
         if args.out:
             print(f"report written to {args.out}")
         else:
             print(report)
-        return 0
+        # Supervised sections flag unrecovered cells with an explicit
+        # manifest; a partial report must not exit 0.
+        return 1 if "grid failures (" in report else 0
     if args.command == "table1":
-        print(render_table1(run_table1(seed=args.seed, jobs=args.jobs)))
-        return 0
+        supervision, journal = _grid_options(args)
+        verdicts = run_table1(
+            seed=args.seed, jobs=args.jobs, supervision=supervision, journal=journal
+        )
+        print(render_table1(verdicts))
+        return 1 if any(verdict.grid_failed for verdict in verdicts) else 0
     if args.command == "table2":
         print(render_table2(run_table2(seed=args.seed)))
         return 0
     if args.command == "figure2":
-        print(render_figure2(run_figure2(seed=args.seed, jobs=args.jobs)))
-        return 0
+        from repro.parallel import CellFailure
+
+        supervision, journal = _grid_options(args)
+        points = run_figure2(
+            seed=args.seed, jobs=args.jobs, supervision=supervision, journal=journal
+        )
+        print(render_figure2(points))
+        return 1 if any(isinstance(point, CellFailure) for point in points) else 0
     if args.command == "table3":
-        print(render_table3(run_table3(seed=args.seed, tests=args.tests, jobs=args.jobs)))
-        return 0
+        from repro.parallel import CellFailure
+
+        supervision, journal = _grid_options(args)
+        rows = run_table3(
+            seed=args.seed,
+            tests=args.tests,
+            jobs=args.jobs,
+            supervision=supervision,
+            journal=journal,
+        )
+        print(render_table3(rows))
+        return 1 if any(isinstance(row, CellFailure) for row in rows) else 0
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
 
 

@@ -58,6 +58,21 @@ class DramDigResult:
         return bool(self.degradation)
 
     @property
+    def degradation_summary(self) -> str:
+        """One line describing every recovery action, empty when clean.
+
+        The same sentence :meth:`summary` prints; exposed separately so
+        grid cells and supervisors can log it without re-deriving the
+        join from the raw event list.
+        """
+        if not self.degradation:
+            return ""
+        return (
+            f"{len(self.degradation)} recovery actions "
+            f"({'; '.join(event.describe() for event in self.degradation)})"
+        )
+
+    @property
     def bank_functions(self) -> tuple[int, ...]:
         """The recovered bank address functions."""
         return self.mapping.bank_functions
@@ -80,8 +95,5 @@ class DramDigResult:
         )
         lines.append(f"phases: {phases}")
         if self.degraded:
-            lines.append(
-                f"degraded: {len(self.degradation)} recovery actions "
-                f"({'; '.join(event.describe() for event in self.degradation)})"
-            )
+            lines.append(f"degraded: {self.degradation_summary}")
         return "\n".join(lines)

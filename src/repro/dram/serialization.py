@@ -26,6 +26,7 @@ from pathlib import Path
 
 from repro.analysis.bits import bits_of_mask, mask_of_bits
 from repro.dram.belief import BeliefMapping
+from repro.ioutil import atomic_write
 from repro.dram.errors import MappingError
 from repro.dram.geometry import DramGeometry
 from repro.dram.mapping import AddressMapping
@@ -97,8 +98,9 @@ def mapping_from_dict(data: dict) -> AddressMapping:
 
 
 def save_mapping(mapping: AddressMapping, path: str | Path) -> None:
-    """Write a mapping to ``path`` as pretty-printed JSON."""
-    Path(path).write_text(json.dumps(mapping_to_dict(mapping), indent=2) + "\n")
+    """Write a mapping to ``path`` as pretty-printed JSON (atomically:
+    a crash mid-write leaves no truncated artefact)."""
+    atomic_write(path, json.dumps(mapping_to_dict(mapping), indent=2) + "\n")
 
 
 def load_mapping(path: str | Path) -> AddressMapping:

@@ -22,9 +22,16 @@ from dataclasses import dataclass
 from repro.baselines.drama import DramaConfig, DramaTool
 from repro.core.dramdig import DramDig, DramDigConfig
 from repro.dram.presets import TABLE2_ORDER, preset
-from repro.evalsuite.reporting import format_seconds, render_table
+from repro.evalsuite.gridrun import execute_grid
+from repro.evalsuite.reporting import format_seconds, render_failure_manifest, render_table
 from repro.machine.machine import SimulatedMachine
-from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
+from repro.parallel import (
+    DEFAULT_START_METHOD,
+    CellFailure,
+    CheckpointJournal,
+    GridCell,
+    GridPolicy,
+)
 
 __all__ = ["Figure2Point", "run_figure2", "render_figure2"]
 
@@ -72,11 +79,16 @@ def run_figure2(
     drama_config: DramaConfig | None = None,
     jobs: int | None = None,
     start_method: str = DEFAULT_START_METHOD,
-) -> list[Figure2Point]:
+    supervision: GridPolicy | None = None,
+    journal: CheckpointJournal | str | None = None,
+) -> list[Figure2Point | CellFailure]:
     """Measure both tools' simulated time cost on every machine.
 
     One grid cell per machine; ``jobs`` > 1 fans the cells out to worker
-    processes with bit-identical results (ordered reassembly).
+    processes with bit-identical results (ordered reassembly). With
+    ``supervision``/``journal`` the cells run crash-safe: a failed
+    machine's slot holds its :class:`~repro.parallel.CellFailure` and
+    the renderer prints it as a ``FAILED(reason)`` row.
     """
     cells = [
         GridCell(
@@ -90,14 +102,30 @@ def run_figure2(
         )
         for name in machines
     ]
-    return run_cells(cells, jobs=jobs, start_method=start_method)
+    return execute_grid(
+        cells, jobs=jobs, start_method=start_method,
+        supervision=supervision, journal=journal,
+    )
 
 
-def render_figure2(points: list[Figure2Point]) -> str:
-    """Render the comparison as the paper's grouped bars, in text."""
+def render_figure2(points: list[Figure2Point | CellFailure]) -> str:
+    """Render the comparison as the paper's grouped bars, in text.
+
+    Supervised runs may hand over :class:`~repro.parallel.CellFailure`
+    markers in place of points; those render as explicit ``FAILED``
+    rows, the averages cover completed machines only, and a failure
+    manifest is appended.
+    """
     headers = ["Machine", "DRAMDig", "DRAMA", "DRAMA outcome", "DRAMDig pool"]
     rows = []
+    failures = []
+    completed = []
     for point in points:
+        if isinstance(point, CellFailure):
+            failures.append(point)
+            rows.append([point.label, f"FAILED({point.reason})", "-", "-", "-"])
+            continue
+        completed.append(point)
         rows.append(
             [
                 point.machine,
@@ -108,18 +136,20 @@ def render_figure2(points: list[Figure2Point]) -> str:
             ]
         )
     table = render_table(headers, rows)
-    finished = [p for p in points if not p.drama_timed_out]
-    average_dramdig = sum(p.dramdig_seconds for p in points) / len(points)
-    lines = [
-        table,
-        "",
-        f"DRAMDig average: {format_seconds(average_dramdig)} "
-        f"(paper: 7.8 min average, 69 s best, 17 min worst)",
-    ]
+    lines = [table, ""]
+    finished = [p for p in completed if not p.drama_timed_out]
+    if completed:
+        average_dramdig = sum(p.dramdig_seconds for p in completed) / len(completed)
+        lines.append(
+            f"DRAMDig average: {format_seconds(average_dramdig)} "
+            f"(paper: 7.8 min average, 69 s best, 17 min worst)"
+        )
     if finished:
         average_drama = sum(p.drama_seconds for p in finished) / len(finished)
         lines.append(
             f"DRAMA average over finished runs: {format_seconds(average_drama)} "
             f"(paper: ~500 s to 2 h; killed at ~2 h on No.3, No.7)"
         )
+    if failures:
+        lines += ["", render_failure_manifest(failures)]
     return "\n".join(lines)

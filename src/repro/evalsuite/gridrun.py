@@ -1,0 +1,55 @@
+"""Shared grid dispatch for the experiment modules.
+
+Every experiment (`table1`, `figure2`, `table3`, the determinism study)
+builds a list of :class:`~repro.parallel.GridCell` and hands it here.
+Without supervision options this is exactly the fail-fast
+:func:`~repro.parallel.run_cells` path — the seed behaviour, byte for
+byte. With a :class:`~repro.parallel.GridPolicy` and/or a checkpoint
+journal, the cells run under the supervised engine instead: completed
+cells are checkpointed as they finish, failed cells come back as
+:class:`~repro.parallel.CellFailure` markers *in their result slots*,
+and the experiment renderers print them as ``FAILED(reason)`` cells
+plus a failure manifest instead of crashing the whole artefact.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.parallel import (
+    DEFAULT_START_METHOD,
+    CheckpointJournal,
+    GridCell,
+    GridPolicy,
+    run_cells,
+    run_cells_supervised,
+)
+
+__all__ = ["execute_grid"]
+
+
+def execute_grid(
+    cells: Sequence[GridCell],
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
+    supervision: GridPolicy | None = None,
+    journal: CheckpointJournal | str | Path | None = None,
+) -> list:
+    """Run an experiment's cells, fail-fast or supervised.
+
+    Returns per-cell results in submission order. Under supervision a
+    failed cell's slot holds its :class:`~repro.parallel.CellFailure`
+    instead of a result; the fail-fast path raises on the first error,
+    exactly as the seed engine did.
+    """
+    if supervision is None and journal is None:
+        return run_cells(cells, jobs=jobs, start_method=start_method)
+    outcome = run_cells_supervised(
+        cells,
+        jobs=jobs,
+        start_method=start_method,
+        policy=supervision,
+        journal=journal,
+    )
+    return outcome.results

@@ -19,6 +19,8 @@ from repro.evalsuite.figure2 import render_figure2, run_figure2
 from repro.evalsuite.table1 import render_table1, run_table1
 from repro.evalsuite.table2 import render_table2, run_table2
 from repro.evalsuite.table3 import TABLE3_MACHINES, render_table3, run_table3
+from repro.ioutil import atomic_write
+from repro.parallel import CheckpointJournal, GridPolicy
 from repro.rowhammer.hammer import HammerConfig
 
 __all__ = ["ReportConfig", "generate_report"]
@@ -38,6 +40,11 @@ class ReportConfig:
         dramdig / drama / hammer: tool configs (None = defaults).
         jobs: worker processes for each experiment grid (None/1 = serial;
             results are bit-identical either way).
+        supervision: crash-safe grid policy for the experiment grids
+            (None = seed fail-fast behaviour). Failed cells render as
+            ``FAILED(reason)`` entries instead of aborting the report.
+        journal: checkpoint journal (instance or path) shared by the
+            experiment grids; completed cells are skipped on ``--resume``.
     """
 
     seed: int = 1
@@ -50,6 +57,8 @@ class ReportConfig:
     drama: DramaConfig | None = None
     hammer: HammerConfig | None = None
     jobs: int | None = None
+    supervision: GridPolicy | None = None
+    journal: CheckpointJournal | str | None = None
 
 
 def generate_report(
@@ -62,6 +71,12 @@ def generate_report(
         path: when given, the report is also written there.
     """
     config = config if config is not None else ReportConfig()
+    # One journal instance shared across the experiment grids: the runs
+    # are sequential and fingerprints are task-qualified, so a single
+    # file checkpoints the whole report.
+    journal = config.journal
+    if isinstance(journal, (str, Path)):
+        journal = CheckpointJournal(journal)
     sections = ["# DRAMDig reproduction — full evaluation report", ""]
 
     sections += [
@@ -74,6 +89,8 @@ def generate_report(
                 machines=config.machines,
                 drama_config=config.drama,
                 jobs=config.jobs,
+                supervision=config.supervision,
+                journal=journal,
             )
         ),
         "```",
@@ -104,6 +121,8 @@ def generate_report(
                 dramdig_config=config.dramdig,
                 drama_config=config.drama,
                 jobs=config.jobs,
+                supervision=config.supervision,
+                journal=journal,
             )
         ),
         "```",
@@ -123,6 +142,8 @@ def generate_report(
                 dramdig_config=config.dramdig,
                 drama_config=config.drama,
                 jobs=config.jobs,
+                supervision=config.supervision,
+                journal=journal,
             )
         ),
         "```",
@@ -149,5 +170,5 @@ def generate_report(
 
     report = "\n".join(sections)
     if path is not None:
-        Path(path).write_text(report)
+        atomic_write(path, report)
     return report

@@ -9,7 +9,12 @@ from __future__ import annotations
 
 from collections.abc import Sequence
 
-__all__ = ["render_table", "render_series", "format_seconds"]
+__all__ = [
+    "render_table",
+    "render_series",
+    "render_failure_manifest",
+    "format_seconds",
+]
 
 
 def render_table(headers: Sequence[str], rows: Sequence[Sequence[object]]) -> str:
@@ -37,6 +42,19 @@ def render_series(label: str, points: Sequence[tuple[str, float]], unit: str = "
     for name, value in points:
         bar = "#" * max(1, int(40 * value / peak)) if value > 0 else ""
         lines.append(f"  {name:>6}  {value:>9.1f}{unit}  {bar}")
+    return "\n".join(lines)
+
+
+def render_failure_manifest(failures: Sequence) -> str:
+    """Render a supervised grid's failed cells as an explicit manifest.
+
+    A partial artefact must say loudly *which* cells are missing and
+    why; a table with silently absent rows reads as a complete run.
+    Takes :class:`~repro.parallel.CellFailure` records (anything with a
+    ``describe()`` method works).
+    """
+    lines = [f"grid failures ({len(failures)} cell(s) unrecovered):"]
+    lines += [f"  {failure.describe()}" for failure in failures]
     return "\n".join(lines)
 
 

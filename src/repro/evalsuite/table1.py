@@ -29,9 +29,16 @@ from repro.baselines.xiao import XiaoTool
 from repro.core.dramdig import DramDig
 from repro.dram.errors import ReproError
 from repro.dram.presets import TABLE2_ORDER, preset
+from repro.evalsuite.gridrun import execute_grid
 from repro.evalsuite.reporting import render_table
 from repro.machine.machine import SimulatedMachine
-from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
+from repro.parallel import (
+    DEFAULT_START_METHOD,
+    CellFailure,
+    CheckpointJournal,
+    GridCell,
+    GridPolicy,
+)
 
 __all__ = ["ToolVerdict", "run_table1", "render_table1"]
 
@@ -62,6 +69,7 @@ class ToolVerdict:
     median_seconds: float
     notes: str = ""
     details: dict[str, str] = field(default_factory=dict)
+    grid_failed: tuple[str, ...] = ()
 
 
 def run_table1(
@@ -71,11 +79,17 @@ def run_table1(
     drama_config: DramaConfig | None = None,
     jobs: int | None = None,
     start_method: str = DEFAULT_START_METHOD,
+    supervision: GridPolicy | None = None,
+    journal: CheckpointJournal | str | None = None,
 ) -> list[ToolVerdict]:
     """Measure Table I's properties for all four tools.
 
     ``jobs`` > 1 distributes the (tool, machine) cells over worker
-    processes; output is bit-identical to the serial run.
+    processes; output is bit-identical to the serial run. With
+    ``supervision`` and/or ``journal`` the cells run under the
+    crash-safe engine: completed cells checkpoint to the journal,
+    failed cells fold into their verdicts as ``FAILED(reason)`` details
+    instead of aborting the table.
     """
     cells = []
     for name in machines:
@@ -104,7 +118,10 @@ def run_table1(
                 {"name": name, "seed": seed, "determinism_runs": determinism_runs},
             )
         )
-    results = run_cells(cells, jobs=jobs, start_method=start_method)
+    results = execute_grid(
+        cells, jobs=jobs, start_method=start_method,
+        supervision=supervision, journal=journal,
+    )
     panel = len(machines)
     xiao_records = results[:panel]
     drama_records = results[panel : 2 * panel]
@@ -202,11 +219,24 @@ def xiao_machine_cell(name: str, seed: int) -> dict:
 # ---------------------------------------------------------- verdict folding
 
 
+def _grid_failure_notes(grid_failed: list[str], notes: str) -> str:
+    """Append a partial-grid manifest to a verdict's notes line."""
+    if not grid_failed:
+        return notes
+    manifest = "grid FAILED: " + ", ".join(grid_failed)
+    return f"{notes}; {manifest}" if notes else manifest
+
+
 def _dramdig_verdict(machines, records) -> ToolVerdict:
     times, details = [], {}
     successes = 0
     deterministic = True
+    grid_failed = []
     for name, record in zip(machines, records):
+        if isinstance(record, CellFailure):
+            details[name] = f"FAILED({record.reason})"
+            grid_failed.append(name)
+            continue
         if record["time"] is not None:
             times.append(record["time"])
         if record["solved"]:
@@ -225,7 +255,9 @@ def _dramdig_verdict(machines, records) -> ToolVerdict:
         successes=successes,
         panel_size=len(machines),
         median_seconds=_median(times),
+        notes=_grid_failure_notes(grid_failed, ""),
         details=details,
+        grid_failed=tuple(grid_failed),
     )
 
 
@@ -234,7 +266,12 @@ def _drama_verdict(machines, records) -> ToolVerdict:
     successes = 0
     deterministic = True
     failures = []
+    grid_failed = []
     for name, record in zip(machines, records):
+        if isinstance(record, CellFailure):
+            details[name] = f"FAILED({record.reason})"
+            grid_failed.append(name)
+            continue
         if record["time"] is not None:
             times.append(record["time"])
         if record["solved"]:
@@ -253,8 +290,11 @@ def _drama_verdict(machines, records) -> ToolVerdict:
         successes=successes,
         panel_size=len(machines),
         median_seconds=_median(times),
-        notes=f"timed out on {', '.join(failures)}" if failures else "",
+        notes=_grid_failure_notes(
+            grid_failed, f"timed out on {', '.join(failures)}" if failures else ""
+        ),
         details=details,
+        grid_failed=tuple(grid_failed),
     )
 
 
@@ -262,7 +302,12 @@ def _xiao_verdict(machines, records) -> ToolVerdict:
     times, details = [], {}
     successes = 0
     failures = []
+    grid_failed = []
     for name, record in zip(machines, records):
+        if isinstance(record, CellFailure):
+            details[name] = f"FAILED({record.reason})"
+            grid_failed.append(name)
+            continue
         if record["solved"]:
             successes += 1
             times.append(record["time"])
@@ -278,8 +323,11 @@ def _xiao_verdict(machines, records) -> ToolVerdict:
         successes=successes,
         panel_size=len(machines),
         median_seconds=_median(times),
-        notes=f"stuck on {', '.join(failures)}" if failures else "",
+        notes=_grid_failure_notes(
+            grid_failed, f"stuck on {', '.join(failures)}" if failures else ""
+        ),
         details=details,
+        grid_failed=tuple(grid_failed),
     )
 
 

@@ -15,9 +15,16 @@ from repro.baselines.drama import DramaConfig, DramaTool
 from repro.core.dramdig import DramDig, DramDigConfig
 from repro.dram.belief import BeliefMapping
 from repro.dram.presets import preset
-from repro.evalsuite.reporting import render_table
+from repro.evalsuite.gridrun import execute_grid
+from repro.evalsuite.reporting import render_failure_manifest, render_table
 from repro.machine.machine import SimulatedMachine
-from repro.parallel import DEFAULT_START_METHOD, GridCell, run_cells
+from repro.parallel import (
+    DEFAULT_START_METHOD,
+    CellFailure,
+    CheckpointJournal,
+    GridCell,
+    GridPolicy,
+)
 from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
 
 __all__ = ["Table3Row", "run_table3", "render_table3", "TABLE3_MACHINES"]
@@ -102,11 +109,16 @@ def run_table3(
     drama_config: DramaConfig | None = None,
     jobs: int | None = None,
     start_method: str = DEFAULT_START_METHOD,
-) -> list[Table3Row]:
+    supervision: GridPolicy | None = None,
+    journal: CheckpointJournal | str | None = None,
+) -> list[Table3Row | CellFailure]:
     """Run the paper's rowhammer comparison.
 
     One grid cell per machine; ``jobs`` > 1 fans the cells out to worker
-    processes with bit-identical results (ordered reassembly).
+    processes with bit-identical results (ordered reassembly). With
+    ``supervision``/``journal`` the cells run crash-safe: a failed
+    machine's slot holds its :class:`~repro.parallel.CellFailure` and
+    the renderer prints it as a ``FAILED(reason)`` row.
     """
     cells = [
         GridCell(
@@ -122,15 +134,28 @@ def run_table3(
         )
         for name in machines
     ]
-    return run_cells(cells, jobs=jobs, start_method=start_method)
+    return execute_grid(
+        cells, jobs=jobs, start_method=start_method,
+        supervision=supervision, journal=journal,
+    )
 
 
-def render_table3(rows: list[Table3Row]) -> str:
-    """Render in the paper's T1-T5 DRAMDig/DRAMA layout."""
-    tests = max((len(row.dramdig_flips) for row in rows), default=0)
+def render_table3(rows: list[Table3Row | CellFailure]) -> str:
+    """Render in the paper's T1-T5 DRAMDig/DRAMA layout.
+
+    Supervised runs may substitute :class:`~repro.parallel.CellFailure`
+    markers for rows; those render as explicit ``FAILED`` lines and a
+    failure manifest is appended.
+    """
+    completed = [row for row in rows if not isinstance(row, CellFailure)]
+    failures = [row for row in rows if isinstance(row, CellFailure)]
+    tests = max((len(row.dramdig_flips) for row in completed), default=0)
     headers = ["Machine"] + [f"T{i + 1}" for i in range(tests)] + ["Total"]
     body = []
     for row in rows:
+        if isinstance(row, CellFailure):
+            body.append([row.label] + ["-"] * tests + [f"FAILED({row.reason})"])
+            continue
         cells = [row.machine]
         for index in range(tests):
             dramdig = row.dramdig_flips[index] if index < len(row.dramdig_flips) else 0
@@ -139,7 +164,10 @@ def render_table3(rows: list[Table3Row]) -> str:
         cells.append(f"{row.dramdig_total}/{row.drama_total}")
         body.append(cells)
     table = render_table(headers, body)
-    return table + (
+    table += (
         "\n\n(values are DRAMDig/DRAMA bit flips per 5-minute test; "
         "paper totals: No.1 2051/1098, No.2 4863/1875, No.5 57/7)"
     )
+    if failures:
+        table += "\n\n" + render_failure_manifest(failures)
+    return table

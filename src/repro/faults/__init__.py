@@ -12,8 +12,15 @@ draws from (:class:`FaultInjector`), and supplies the recovery policy
 Everything here is seeded-RNG deterministic: a machine with the same
 preset, seed and profile injects the identical fault sequence on every
 run, so the paper's determinism claims hold bit-for-bit with faults on.
+
+One level above the machine, :mod:`repro.faults.gridfaults` supplies
+fault *cells* for the evaluation grid itself — tasks that kill their
+worker process, hang past a deadline, or fail a scripted number of
+times — used to test the supervised grid runner against real process
+death.
 """
 
+from repro.faults.gridfaults import GridFaultError
 from repro.faults.injector import FaultInjector
 from repro.faults.profiles import FaultProfile, get_profile, profile_names
 from repro.faults.recovery import DegradationEvent, RecoveryPolicy
@@ -24,5 +31,6 @@ __all__ = [
     "get_profile",
     "profile_names",
     "DegradationEvent",
+    "GridFaultError",
     "RecoveryPolicy",
 ]

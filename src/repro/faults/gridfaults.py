@@ -1,0 +1,122 @@
+"""Grid-worker fault tasks: cells that kill, hang, or fail their worker.
+
+The timing pipeline's fault layer (:mod:`repro.faults.profiles`)
+injects noise *inside* a simulated machine; this module injects faults
+one level up, into the **evaluation grid itself**, so the supervised
+runner (:mod:`repro.parallel.supervisor`) can be tested against real
+process death rather than polite exceptions:
+
+* :func:`poison_cell` / :func:`poison_once_cell` — terminate the worker
+  process with ``os._exit`` (no exception, no cleanup: the closest a
+  pure-python cell gets to a segfault or an OOM kill). The executor
+  sees a dead worker and raises ``BrokenProcessPool`` — exactly the
+  failure the supervisor must absorb.
+* :func:`hang_cell` — sleep past any reasonable deadline, simulating a
+  wedged measurement loop; only a per-cell timeout recovers the slot.
+* :func:`flaky_cell` — raise for the first N attempts then succeed,
+  exercising per-cell retry with backoff.
+* :func:`counting_cell` — a benign cell that records each invocation,
+  for asserting that resumed runs *skip* journalled cells.
+
+Cross-process attempt counting uses one file per ``(scratch, key)``
+pair — a byte is appended per invocation — because the attempts of a
+cell that kills its process cannot be counted in that process's memory.
+
+These are grid *cells* (addressable as ``"repro.faults.gridfaults:<fn>"``
+payloads), deliberately inside the ``repro`` package so `GridCell`'s
+task allow-list admits them.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from pathlib import Path
+
+__all__ = [
+    "GridFaultError",
+    "counting_cell",
+    "echo_cell",
+    "flaky_cell",
+    "hang_cell",
+    "invocations",
+    "poison_cell",
+    "poison_once_cell",
+]
+
+# Exit code mirroring a SIGSEGV-terminated process (128 + 11), purely
+# cosmetic: any _exit kills the worker the same way.
+_SEGFAULT_EXIT_CODE = 139
+
+
+class GridFaultError(RuntimeError):
+    """The error :func:`flaky_cell` raises on its scripted failures."""
+
+
+def _counter_path(scratch: str, key: str) -> Path:
+    return Path(scratch) / f"gridfault-{key}.count"
+
+
+def _bump(scratch: str, key: str) -> int:
+    """Append one byte to the counter file; return the new count."""
+    path = _counter_path(scratch, key)
+    with open(path, "ab") as handle:
+        handle.write(b".")
+        handle.flush()
+        os.fsync(handle.fileno())
+    return path.stat().st_size
+
+
+def invocations(scratch: str, key: str) -> int:
+    """How many times a counted cell has executed (0 if never)."""
+    path = _counter_path(scratch, key)
+    return path.stat().st_size if path.exists() else 0
+
+
+def echo_cell(value=None):
+    """The benign cell: returns its payload value."""
+    return value
+
+
+def counting_cell(scratch: str, key: str, value=None):
+    """Benign cell that durably records each invocation, then echoes."""
+    _bump(scratch, key)
+    return value
+
+
+def poison_cell(exit_code: int = _SEGFAULT_EXIT_CODE):
+    """Kill the worker process outright (simulated segfault / OOM kill).
+
+    ``os._exit`` skips exception propagation and interpreter cleanup, so
+    the parent's executor observes a silently dead worker. Never call on
+    the serial path — it would kill the evaluating process itself.
+    """
+    os._exit(exit_code)
+
+
+def poison_once_cell(scratch: str, key: str, value=None,
+                     exit_code: int = _SEGFAULT_EXIT_CODE):
+    """Kill the worker on the first attempt, succeed on any later one.
+
+    Models the transient worker death (OOM on a briefly-loaded host)
+    that per-cell retry exists for.
+    """
+    if _bump(scratch, key) == 1:
+        os._exit(exit_code)
+    return value
+
+
+def hang_cell(seconds: float = 3600.0, value=None):
+    """Sleep well past any deadline (wedged measurement loop)."""
+    time.sleep(seconds)
+    return value
+
+
+def flaky_cell(scratch: str, key: str, fail_times: int = 1, value=None):
+    """Raise :class:`GridFaultError` for the first ``fail_times`` attempts."""
+    attempt = _bump(scratch, key)
+    if attempt <= fail_times:
+        raise GridFaultError(
+            f"scripted failure {attempt}/{fail_times} for grid cell {key!r}"
+        )
+    return value

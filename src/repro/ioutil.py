@@ -1,0 +1,56 @@
+"""Durable file I/O shared by every artefact writer.
+
+Every file this repo persists — evaluation reports, recovered-mapping
+JSON, the perf record, the grid checkpoint journal — goes through
+:func:`atomic_write`: the bytes land in a temporary file in the target
+directory, are flushed and fsync'd, and then :func:`os.replace` swaps
+the file into place. A reader (or a run resuming from a checkpoint)
+therefore sees either the previous complete file or the new complete
+file, never a truncated hybrid, even if the writing process is
+SIGKILLed mid-write.
+"""
+
+from __future__ import annotations
+
+import os
+import tempfile
+from pathlib import Path
+
+__all__ = ["atomic_write"]
+
+
+def atomic_write(path: str | Path, data: str | bytes, encoding: str = "utf-8") -> None:
+    """Write ``data`` to ``path`` atomically (temp file + ``os.replace``).
+
+    The temporary file is created next to the target so the final
+    replace stays on one filesystem (cross-device renames are not
+    atomic). The file's bytes are fsync'd before the swap, and the
+    containing directory is fsync'd after it where the platform allows,
+    so the rename itself survives a crash.
+    """
+    target = Path(path)
+    directory = target.parent if str(target.parent) else Path(".")
+    payload = data.encode(encoding) if isinstance(data, str) else data
+    fd, temp_name = tempfile.mkstemp(
+        dir=directory, prefix=f".{target.name}.", suffix=".tmp"
+    )
+    try:
+        with os.fdopen(fd, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(temp_name, target)
+    except BaseException:
+        try:
+            os.unlink(temp_name)
+        except OSError:
+            pass
+        raise
+    try:  # directory fsync is best-effort: not supported everywhere
+        directory_fd = os.open(directory, os.O_RDONLY)
+        try:
+            os.fsync(directory_fd)
+        finally:
+            os.close(directory_fd)
+    except OSError:  # pragma: no cover - platform-dependent
+        pass

@@ -8,20 +8,49 @@ out to worker processes and reassembles the results in submission
 order, so the parallel path is bit-identical to the serial one; the
 ``--jobs N`` flag of ``dramdig table1/figure2/table3/report`` is wired
 through here.
+
+Two runners share the cell model:
+
+* :func:`run_cells` — fail-fast: the first cell error aborts the run
+  (the seed behaviour, and still the default);
+* :func:`run_cells_supervised` — crash-safe: per-cell retry with
+  backoff, worker-death detection with pool respawn, per-cell timeouts,
+  a whole-run deadline, and an atomic checkpoint journal that lets an
+  interrupted run resume without re-executing finished cells
+  (``--resume``/``--cell-timeout``/``--run-deadline``/``--grid-retries``
+  on the CLI).
 """
 
 from repro.parallel.grid import (
     DEFAULT_START_METHOD,
+    CellExecutionError,
     GridCell,
     execute_cell,
+    fingerprint_cell,
     resolve_jobs,
     run_cells,
+)
+from repro.parallel.journal import CheckpointJournal
+from repro.parallel.supervisor import (
+    CellFailure,
+    GridError,
+    GridOutcome,
+    GridPolicy,
+    run_cells_supervised,
 )
 
 __all__ = [
     "DEFAULT_START_METHOD",
+    "CellExecutionError",
+    "CellFailure",
+    "CheckpointJournal",
     "GridCell",
+    "GridError",
+    "GridOutcome",
+    "GridPolicy",
     "execute_cell",
+    "fingerprint_cell",
     "resolve_jobs",
     "run_cells",
+    "run_cells_supervised",
 ]

@@ -13,25 +13,36 @@ Design constraints, in order of importance:
    about the parent's state needs to survive pickling — the default start
    method is ``spawn`` (fork-safety of numpy's threadpools is not worth
    trusting), and payloads must contain only picklable values (ints,
-   strings, tuples, frozen config dataclasses).
+   strings, tuples, frozen config dataclasses). Picklability is validated
+   when the cell is *built*, in the parent, so a bad payload fails with
+   the offending key named instead of an opaque traceback from inside the
+   pool.
 3. **Serial fallback.** ``jobs=None``/``0``/``1`` executes the cells in
    the calling process with no pool, no context, no pickling — the
    pre-existing behaviour and cost profile, byte for byte.
+
+``run_cells`` here is the fail-fast path: the first cell error aborts the
+run. The supervised, checkpointed runner that survives worker death and
+resumes interrupted runs lives in :mod:`repro.parallel.supervisor`.
 """
 
 from __future__ import annotations
 
+import hashlib
 import os
+import pickle
 from collections.abc import Sequence
 from concurrent.futures import ProcessPoolExecutor
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, fields, is_dataclass
 from importlib import import_module
 from multiprocessing import get_context
 
 __all__ = [
     "DEFAULT_START_METHOD",
+    "CellExecutionError",
     "GridCell",
     "execute_cell",
+    "fingerprint_cell",
     "resolve_jobs",
     "run_cells",
 ]
@@ -42,6 +53,16 @@ DEFAULT_START_METHOD = "spawn"
 # named an arbitrary module would turn pickled payloads into an import
 # gadget, and there is no legitimate grid work outside the repro tree.
 _ALLOWED_PREFIX = "repro."
+
+
+class CellExecutionError(RuntimeError):
+    """A grid cell's worker function raised.
+
+    The message names the cell's task and content fingerprint so a
+    failure deep inside a pooled run can be mapped back to the exact
+    cell (and its checkpoint-journal entry) that produced it; the
+    original exception rides along as ``__cause__``.
+    """
 
 
 @dataclass(frozen=True)
@@ -65,22 +86,100 @@ class GridCell:
             raise ValueError(
                 f"task must be 'repro.<module>:<function>', got {self.task!r}"
             )
+        try:
+            pickle.dumps(self.payload)
+        except Exception:
+            # Find and name the offending key: "payload isn't picklable"
+            # without a key name still means a debugging session.
+            for key, value in self.payload.items():
+                try:
+                    pickle.dumps(value)
+                except Exception as error:
+                    raise ValueError(
+                        f"payload key {key!r} of cell {self.task} is not "
+                        f"picklable ({type(value).__name__}): {error}"
+                    ) from error
+            raise ValueError(
+                f"payload of cell {self.task} is not picklable"
+            ) from None
+
+
+def _canonical(value: object) -> str:
+    """Deterministic, content-based rendering for fingerprinting.
+
+    Dict entries are sorted so two payloads with the same items in
+    different insertion order fingerprint identically; dataclasses render
+    by qualified type name and field values, so frozen config objects
+    participate by content.
+    """
+    if isinstance(value, dict):
+        entries = sorted(
+            (_canonical(key), _canonical(item)) for key, item in value.items()
+        )
+        return "{" + ",".join(f"{key}:{item}" for key, item in entries) + "}"
+    if isinstance(value, (list, tuple)):
+        open_, close = ("[", "]") if isinstance(value, list) else ("(", ")")
+        return open_ + ",".join(_canonical(item) for item in value) + close
+    if is_dataclass(value) and not isinstance(value, type):
+        parts = ",".join(
+            f"{spec.name}={_canonical(getattr(value, spec.name))}"
+            for spec in fields(value)
+        )
+        return f"{type(value).__qualname__}({parts})"
+    return repr(value)
+
+
+def fingerprint_cell(cell: GridCell) -> str:
+    """Content fingerprint of ``(task, payload)``.
+
+    Two cells fingerprint identically exactly when they would compute the
+    same result (cells are pure functions of their payloads), which is
+    what lets the checkpoint journal key completed work by fingerprint
+    and lets ``--resume`` skip finished cells across process lifetimes.
+    """
+    digest = hashlib.sha256()
+    digest.update(cell.task.encode())
+    digest.update(b"\x00")
+    digest.update(_canonical(cell.payload).encode())
+    return digest.hexdigest()
 
 
 def resolve_jobs(jobs: int | None) -> int:
-    """Normalise a ``--jobs`` value: None/0/1 = serial, negative = #CPUs."""
+    """Normalise a ``--jobs`` value.
+
+    ``None``/``0``/``1`` mean serial, ``-1`` means all CPUs, positive
+    values pass through. Other negatives are rejected — the CLI layer
+    already refuses them, and silently treating ``-8`` as "all CPUs"
+    hid typos.
+    """
     if jobs is None or jobs == 0:
         return 1
-    if jobs < 0:
+    if jobs == -1:
         return max(os.cpu_count() or 1, 1)
+    if jobs < 0:
+        raise ValueError(
+            f"jobs must be positive, -1 (all CPUs) or None/0 (serial); got {jobs}"
+        )
     return jobs
 
 
 def execute_cell(cell: GridCell):
-    """Run one cell in the current process (the worker entry point)."""
+    """Run one cell in the current process (the worker entry point).
+
+    Errors raised while *resolving* the task (bad module, missing
+    function) propagate unchanged; errors raised by the worker function
+    itself are wrapped in :class:`CellExecutionError` naming the cell's
+    task and fingerprint, with the original exception as ``__cause__``.
+    """
     module_name, _, function_name = cell.task.partition(":")
     function = getattr(import_module(module_name), function_name)
-    return function(**cell.payload)
+    try:
+        return function(**cell.payload)
+    except Exception as error:
+        raise CellExecutionError(
+            f"grid cell {cell.task} (fingerprint {fingerprint_cell(cell)[:12]}) "
+            f"failed: {type(error).__name__}: {error}"
+        ) from error
 
 
 def run_cells(
@@ -95,6 +194,10 @@ def run_cells(
     (``spawn`` by default); ``Executor.map`` guarantees result order matches
     cell order regardless of completion order, which is what keeps rendered
     artefacts bit-identical to the serial path.
+
+    This is the fail-fast runner: the first cell exception propagates and
+    aborts the run. Use :func:`repro.parallel.run_cells_supervised` when a
+    run must survive worker death, hangs, or interruption.
     """
     cells = list(cells)
     workers = min(resolve_jobs(jobs), len(cells)) if cells else 1

@@ -1,0 +1,110 @@
+"""Checkpoint journal: crash-safe record of completed grid cells.
+
+A journal is a JSONL file with one header line followed by one record
+per completed cell, keyed by the cell's content fingerprint
+(:func:`repro.parallel.grid.fingerprint_cell`). Results are pickled and
+base64-encoded so arbitrary cell return values (dataclasses, tuples,
+floats) round-trip *exactly* — the resume guarantee is byte-identical
+artefacts, not approximately-equal ones.
+
+Durability model: the journal is logically append-only (records are
+never mutated or removed), but every flush rewrites the whole file
+through :func:`repro.ioutil.atomic_write` (temp file + fsync +
+``os.replace``). The file on disk is therefore always a *complete*
+JSONL document: a run SIGKILLed mid-write leaves either the previous
+journal or the new one, never a torn line. Journals are small — one
+line per grid cell, and the paper's largest grid is a few dozen cells —
+so the rewrite costs microseconds. Loading still tolerates corrupt
+lines defensively (a journal hand-edited or produced by a crashed
+pre-atomic writer): bad lines are skipped, not fatal, because dropping
+a checkpoint only costs re-computing one cell.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import pickle
+from pathlib import Path
+
+from repro.ioutil import atomic_write
+
+__all__ = ["CheckpointJournal", "JOURNAL_FORMAT", "JOURNAL_VERSION"]
+
+JOURNAL_FORMAT = "dramdig-grid-journal"
+JOURNAL_VERSION = 1
+
+
+class CheckpointJournal:
+    """Fingerprint-keyed store of completed cell results.
+
+    Args:
+        path: journal file location. A missing file is an empty journal;
+            the file is created on the first recorded cell.
+    """
+
+    def __init__(self, path: str | Path):
+        self.path = Path(path)
+        self._records: dict[str, dict] = {}
+        if self.path.exists():
+            self._load()
+
+    def _load(self) -> None:
+        for line in self.path.read_text().splitlines():
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError:
+                continue  # torn/corrupt line: skip, re-compute that cell
+            if not isinstance(record, dict):
+                continue
+            if record.get("format") == JOURNAL_FORMAT:
+                continue  # header line
+            fingerprint = record.get("fingerprint")
+            if isinstance(fingerprint, str) and "result" in record:
+                self._records[fingerprint] = record
+
+    def __len__(self) -> int:
+        return len(self._records)
+
+    def __contains__(self, fingerprint: str) -> bool:
+        return fingerprint in self._records
+
+    def lookup(self, fingerprint: str) -> tuple[bool, object]:
+        """Return ``(hit, result)`` for a fingerprint.
+
+        A record whose payload fails to unpickle (e.g. the codebase
+        changed the result dataclass between runs) counts as a miss —
+        the cell simply re-runs.
+        """
+        record = self._records.get(fingerprint)
+        if record is None:
+            return False, None
+        try:
+            result = pickle.loads(base64.b64decode(record["result"]))
+        except Exception:
+            return False, None
+        return True, result
+
+    def record(self, fingerprint: str, task: str, result: object) -> None:
+        """Checkpoint one completed cell and flush the journal to disk."""
+        if fingerprint in self._records:
+            return
+        self._records[fingerprint] = {
+            "fingerprint": fingerprint,
+            "task": task,
+            "result": base64.b64encode(pickle.dumps(result)).decode("ascii"),
+        }
+        self._flush()
+
+    def _flush(self) -> None:
+        header = json.dumps(
+            {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION}, sort_keys=True
+        )
+        lines = [header]
+        lines += [
+            json.dumps(record, sort_keys=True) for record in self._records.values()
+        ]
+        atomic_write(self.path, "\n".join(lines) + "\n")

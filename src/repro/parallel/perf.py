@@ -31,6 +31,7 @@ from repro.analysis.bits import parity_array
 from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.figure2 import run_figure2
 from repro.evalsuite.table1 import run_table1
+from repro.ioutil import atomic_write
 from repro.parallel.grid import resolve_jobs
 
 __all__ = ["SEED_BASELINES", "run_perf", "main"]
@@ -136,7 +137,7 @@ def run_perf(
         "grid": _grid_benches(workers, machines),
     }
     if out is not None:
-        Path(out).write_text(json.dumps(record, indent=2) + "\n")
+        atomic_write(out, json.dumps(record, indent=2) + "\n")
     return record
 
 

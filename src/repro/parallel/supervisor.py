@@ -1,0 +1,607 @@
+"""Supervised grid runner: worker death, hangs and interrupts degrade, not abort.
+
+:func:`repro.parallel.grid.run_cells` is fail-fast by design — the first
+cell error aborts the run and a dead worker raises
+``BrokenProcessPool``, discarding every already-completed cell. This
+module is the crash-safe alternative for long evaluation sweeps:
+
+* **per-cell futures** instead of ``pool.map``, so one cell's fate never
+  decides its neighbours';
+* **worker-death detection** — a worker killed by the OS (OOM, segfault,
+  ``kill -9``) breaks the pool; the supervisor harvests every result that
+  completed before the death, respawns the pool, and resubmits the
+  survivors. ``BrokenProcessPool`` never reaches the caller;
+* **per-cell timeout and whole-run deadline** — a hung worker cannot be
+  killed individually through ``ProcessPoolExecutor``, so a timeout
+  tears the pool down, refunds the attempt of every *innocent* in-flight
+  cell, and charges only the hung one;
+* **per-cell retry with exponential backoff**, reusing the
+  :class:`~repro.faults.recovery.DegradationEvent` vocabulary from the
+  timing pipeline's recovery stack so a salvaged sweep documents its
+  scars the same way a salvaged run does;
+* **checkpoint journal** — every completed cell is recorded in an
+  atomic JSONL journal (:class:`~repro.parallel.journal.CheckpointJournal`)
+  keyed by content fingerprint; a later run over the same journal skips
+  finished cells, which is what backs the CLI's ``--resume``.
+
+The result is a :class:`GridOutcome` carrying results *and* failures:
+partial success is a first-class outcome, and the evaluation renderers
+print ``FAILED(reason)`` cells plus a failure manifest instead of
+crashing. Determinism is preserved because cells are pure functions of
+their payloads and results still reassemble in submission order — a
+supervised run (cold or resumed) renders byte-identical artefacts to
+the fail-fast serial run whenever every cell ultimately completes.
+"""
+
+from __future__ import annotations
+
+import time
+from collections.abc import Sequence
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    CancelledError,
+    ProcessPoolExecutor,
+    wait,
+)
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from multiprocessing import get_context
+from pathlib import Path
+
+from repro.faults.recovery import DegradationEvent
+from repro.parallel.grid import (
+    DEFAULT_START_METHOD,
+    GridCell,
+    execute_cell,
+    fingerprint_cell,
+    resolve_jobs,
+)
+from repro.parallel.journal import CheckpointJournal
+
+__all__ = [
+    "CellFailure",
+    "GridError",
+    "GridOutcome",
+    "GridPolicy",
+    "run_cells_supervised",
+]
+
+# Supervisor poll interval: how often in-flight futures are checked for
+# completion, start-of-execution, timeout and deadline expiry.
+_TICK_SECONDS = 0.05
+
+# Benign cell each fresh worker executes before real work is dispatched:
+# it forces the worker to import the repro package, so per-cell timeouts
+# measure cell execution rather than spawn + import cost.
+_WARMUP_CELL = GridCell("repro.faults.gridfaults:echo_cell", {})
+_WARMUP_TIMEOUT_SECONDS = 60.0
+
+
+def _spawn_pool(workers: int, context) -> ProcessPoolExecutor:
+    """Create a pool and warm every worker (spawn + package import)."""
+    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+    warmups = [pool.submit(execute_cell, _WARMUP_CELL) for _ in range(workers)]
+    for future in warmups:
+        try:
+            future.result(timeout=_WARMUP_TIMEOUT_SECONDS)
+        except Exception:  # pragma: no cover - the real submit re-detects
+            break
+    return pool
+
+
+class GridError(RuntimeError):
+    """Raised by :meth:`GridOutcome.require` when any cell failed."""
+
+
+@dataclass(frozen=True)
+class GridPolicy:
+    """Supervision knobs for one grid run.
+
+    Attributes:
+        cell_timeout_s: wall-clock seconds a cell may *execute* before it
+            is declared hung and its pool is torn down (None = no limit).
+            Enforced on pooled runs only — a serial run cannot pre-empt
+            its own cell.
+        run_deadline_s: wall-clock budget for the whole run; on expiry
+            every unfinished cell fails with reason ``"run-deadline"``
+            and whatever completed is returned as salvage.
+        retries: extra attempts per cell after its first failure
+            (error, worker death, or timeout).
+        backoff_initial_s: real-time sleep before a cell's first retry.
+        backoff_multiplier: backoff growth factor per further retry.
+        backoff_max_s: backoff ceiling.
+    """
+
+    cell_timeout_s: float | None = None
+    run_deadline_s: float | None = None
+    retries: int = 0
+    backoff_initial_s: float = 0.05
+    backoff_multiplier: float = 2.0
+    backoff_max_s: float = 2.0
+
+    def __post_init__(self) -> None:
+        if self.cell_timeout_s is not None and self.cell_timeout_s <= 0:
+            raise ValueError("cell_timeout_s must be positive")
+        if self.run_deadline_s is not None and self.run_deadline_s <= 0:
+            raise ValueError("run_deadline_s must be positive")
+        if self.retries < 0:
+            raise ValueError("retries must be non-negative")
+        if self.backoff_initial_s < 0:
+            raise ValueError("backoff_initial_s must be non-negative")
+        if self.backoff_multiplier < 1.0:
+            raise ValueError("backoff_multiplier must be at least 1")
+
+    def backoff(self, failures: int) -> float:
+        """Backoff before the retry that follows the ``failures``-th failure."""
+        exponent = max(failures - 1, 0)
+        return min(
+            self.backoff_initial_s * self.backoff_multiplier**exponent,
+            self.backoff_max_s,
+        )
+
+
+@dataclass(frozen=True)
+class CellFailure:
+    """One cell that exhausted its attempts (or its run's deadline).
+
+    Attributes:
+        index: the cell's position in the submitted sequence.
+        cell: the cell itself (task + payload), for diagnosis and re-runs.
+        fingerprint: content fingerprint (the checkpoint-journal key).
+        reason: ``"error"``, ``"worker-death"``, ``"timeout"`` or
+            ``"run-deadline"``.
+        detail: stringified underlying error, when there was one.
+        attempts: executions consumed before giving up.
+    """
+
+    index: int
+    cell: GridCell
+    fingerprint: str
+    reason: str
+    detail: str = ""
+    attempts: int = 0
+
+    @property
+    def label(self) -> str:
+        """Short display label: the payload's ``name`` when it has one."""
+        name = self.cell.payload.get("name")
+        return str(name) if name is not None else f"cell#{self.index}"
+
+    def describe(self) -> str:
+        """One-line rendering for failure manifests."""
+        detail = f" — {self.detail}" if self.detail else ""
+        return (
+            f"{self.label}: {self.cell.task} FAILED({self.reason}) "
+            f"after {self.attempts} attempt(s){detail}"
+        )
+
+
+@dataclass
+class GridOutcome:
+    """Everything a supervised grid run produced.
+
+    Attributes:
+        results: per-cell results in submission order; a failed cell's
+            slot holds its :class:`CellFailure` instead of a result.
+        failures: the failed cells, in submission order.
+        events: recovery actions taken (retries, pool respawns,
+            timeouts), in occurrence order.
+        resumed: cells restored from the checkpoint journal instead of
+            executed.
+    """
+
+    results: list
+    failures: list[CellFailure] = field(default_factory=list)
+    events: list[DegradationEvent] = field(default_factory=list)
+    resumed: int = 0
+
+    @property
+    def complete(self) -> bool:
+        """True when every cell produced a result."""
+        return not self.failures
+
+    @property
+    def degraded(self) -> bool:
+        """True when any recovery machinery fired (even if all cells won)."""
+        return bool(self.events) or bool(self.failures)
+
+    def require(self) -> list:
+        """Return results, raising :class:`GridError` if any cell failed."""
+        if self.failures:
+            manifest = "; ".join(failure.describe() for failure in self.failures)
+            raise GridError(
+                f"{len(self.failures)} grid cell(s) failed: {manifest}"
+            )
+        return self.results
+
+
+def run_cells_supervised(
+    cells: Sequence[GridCell],
+    jobs: int | None = None,
+    start_method: str = DEFAULT_START_METHOD,
+    policy: GridPolicy | None = None,
+    journal: CheckpointJournal | str | Path | None = None,
+) -> GridOutcome:
+    """Execute ``cells`` under supervision and return a :class:`GridOutcome`.
+
+    Unlike :func:`repro.parallel.grid.run_cells`, this never raises for a
+    cell failure, a dead worker, or an expired deadline — it returns
+    whatever completed plus structured failure records. With a
+    ``journal``, completed cells are checkpointed as they finish and
+    cells already present in the journal are skipped, so an interrupted
+    run resumed over the same journal re-executes only the missing cells
+    and still produces byte-identical artefacts.
+    """
+    policy = policy if policy is not None else GridPolicy()
+    if journal is not None and not isinstance(journal, CheckpointJournal):
+        journal = CheckpointJournal(journal)
+    cells = list(cells)
+    fingerprints = [fingerprint_cell(cell) for cell in cells]
+    results: list = [None] * len(cells)
+    failures: dict[int, CellFailure] = {}
+    events: list[DegradationEvent] = []
+    resumed = 0
+
+    pending: list[int] = []
+    for index, fingerprint in enumerate(fingerprints):
+        if journal is not None:
+            hit, value = journal.lookup(fingerprint)
+            if hit:
+                results[index] = value
+                resumed += 1
+                continue
+        pending.append(index)
+
+    def checkpoint(index: int, value: object) -> None:
+        results[index] = value
+        if journal is not None:
+            journal.record(fingerprints[index], cells[index].task, value)
+
+    if pending:
+        # jobs > 1 selects the pooled path even for a single pending cell:
+        # under supervision the pool is not just a speedup but an isolation
+        # boundary (a cell that kills its process must not kill the run).
+        requested = resolve_jobs(jobs)
+        workers = min(requested, len(pending))
+        runner = _run_pooled if requested > 1 else _run_serial
+        runner(
+            cells,
+            fingerprints,
+            pending,
+            workers,
+            start_method,
+            policy,
+            checkpoint,
+            failures,
+            events,
+        )
+
+    ordered_failures = [failures[index] for index in sorted(failures)]
+    for failure in ordered_failures:
+        results[failure.index] = failure
+    return GridOutcome(
+        results=results,
+        failures=ordered_failures,
+        events=events,
+        resumed=resumed,
+    )
+
+
+def _failure(
+    cells, fingerprints, index, reason, detail, attempts
+) -> CellFailure:
+    return CellFailure(
+        index=index,
+        cell=cells[index],
+        fingerprint=fingerprints[index],
+        reason=reason,
+        detail=detail,
+        attempts=attempts,
+    )
+
+
+def _run_serial(
+    cells, fingerprints, pending, workers, start_method, policy, checkpoint,
+    failures, events,
+) -> None:
+    """In-process supervised execution (no pool, no pickling).
+
+    Cell timeouts cannot be enforced here — a process cannot pre-empt
+    its own synchronous call — but per-cell retry, backoff and the
+    whole-run deadline all apply.
+    """
+    deadline = (
+        time.monotonic() + policy.run_deadline_s
+        if policy.run_deadline_s is not None
+        else None
+    )
+    for index in pending:
+        if deadline is not None and time.monotonic() > deadline:
+            failures[index] = _failure(
+                cells, fingerprints, index, "run-deadline",
+                "run deadline expired before the cell started", 0,
+            )
+            continue
+        attempts = 0
+        while True:
+            attempts += 1
+            try:
+                value = execute_cell(cells[index])
+            except Exception as error:  # noqa: BLE001 - supervision boundary
+                out_of_time = deadline is not None and time.monotonic() > deadline
+                if attempts <= policy.retries and not out_of_time:
+                    backoff = policy.backoff(attempts)
+                    events.append(
+                        DegradationEvent(
+                            step="grid",
+                            action="retry",
+                            attempt=attempts,
+                            detail=str(error),
+                            backoff_s=backoff,
+                        )
+                    )
+                    time.sleep(backoff)
+                    continue
+                failures[index] = _failure(
+                    cells, fingerprints, index, "error", str(error), attempts
+                )
+                break
+            checkpoint(index, value)
+            break
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Tear a pool down hard, including hung or wedged workers.
+
+    ``shutdown`` alone never kills a worker stuck in a cell, so the
+    worker processes are terminated directly first (via the executor's
+    process table — a private attribute, accessed defensively).
+    """
+    for process in list((getattr(pool, "_processes", None) or {}).values()):
+        try:
+            process.terminate()
+        except Exception:  # pragma: no cover - already-dead workers
+            pass
+    try:
+        pool.shutdown(wait=False, cancel_futures=True)
+    except Exception:  # pragma: no cover - broken executors mid-shutdown
+        pass
+
+
+def _run_pooled(
+    cells, fingerprints, pending, workers, start_method, policy, checkpoint,
+    failures, events,
+) -> None:
+    """Pooled supervised execution with respawn-on-death and timeouts.
+
+    Worker death is handled with **quarantine attribution**: the executor
+    cannot say which in-flight cell crashed the dead worker, so nobody is
+    charged at crash time — every in-flight cell becomes a *suspect* and
+    is re-run solo (one cell in an otherwise empty pool). A solo crash is
+    then a definitive attribution (charged against the cell's retry
+    budget); a solo success clears the suspect. This costs a brief
+    serialization after each crash but guarantees one poison cell cannot
+    burn its innocent neighbours' retry budgets — with ``retries=0`` the
+    poison cell alone fails and every other cell still completes.
+    """
+    context = get_context(start_method)
+    deadline = (
+        time.monotonic() + policy.run_deadline_s
+        if policy.run_deadline_s is not None
+        else None
+    )
+    attempts: dict[int, int] = {index: 0 for index in pending}
+    to_submit: list[int] = list(pending)
+    waiting: dict[int, float] = {}  # index -> monotonic time it may resubmit
+    quarantine: list[int] = []  # suspects re-run solo for crash attribution
+    solo_index: int | None = None  # quarantined cell currently in flight
+    inflight: dict = {}  # future -> index
+    started: dict = {}  # future -> monotonic time first observed running
+    pool = _spawn_pool(workers, context)
+
+    def fail(index: int, reason: str, detail: str) -> None:
+        failures[index] = _failure(
+            cells, fingerprints, index, reason, detail, attempts[index]
+        )
+
+    def retry_or_fail(index: int, reason: str, detail: str) -> None:
+        out_of_time = deadline is not None and time.monotonic() > deadline
+        if attempts[index] <= policy.retries and not out_of_time:
+            backoff = policy.backoff(attempts[index])
+            events.append(
+                DegradationEvent(
+                    step="grid",
+                    action="retry",
+                    attempt=attempts[index],
+                    detail=f"{reason}: {detail}" if detail else reason,
+                    backoff_s=backoff,
+                )
+            )
+            waiting[index] = time.monotonic() + backoff
+        else:
+            fail(index, reason, detail)
+
+    def respawn(cause: str) -> None:
+        nonlocal pool
+        _kill_pool(pool)
+        pool = _spawn_pool(workers, context)
+        events.append(
+            DegradationEvent(step="grid", action="respawn", detail=cause)
+        )
+
+    def harvest_or_crash(future, crashed: list[int]) -> None:
+        """Resolve one finished future: result, cell error, or casualty."""
+        nonlocal solo_index
+        index = inflight.pop(future)
+        started.pop(future, None)
+        if index == solo_index:
+            solo_index = None
+        try:
+            value = future.result(timeout=0)
+        except BrokenProcessPool:
+            crashed.append(index)
+        except CancelledError:
+            crashed.append(index)
+        except Exception as error:  # noqa: BLE001 - supervision boundary
+            retry_or_fail(index, "error", str(error))
+        else:
+            checkpoint(index, value)
+
+    try:
+        while to_submit or inflight or waiting or quarantine:
+            now = time.monotonic()
+
+            if deadline is not None and now > deadline:
+                for index in to_submit + quarantine + list(waiting):
+                    fail(index, "run-deadline", "run deadline expired")
+                late_crashes: list[int] = []
+                for future, index in list(inflight.items()):
+                    if future.done():
+                        harvest_or_crash(future, late_crashes)
+                    else:
+                        inflight.pop(future)
+                        started.pop(future, None)
+                        fail(index, "run-deadline", "run deadline expired")
+                for index in late_crashes:
+                    fail(index, "run-deadline", "worker died at run deadline")
+                to_submit.clear()
+                waiting.clear()
+                quarantine.clear()
+                break
+
+            for index, eligible_at in list(waiting.items()):
+                if now >= eligible_at:
+                    del waiting[index]
+                    to_submit.append(index)
+
+            def submit(index: int) -> bool:
+                """Submit one cell; respawn and report False on a dead pool."""
+                attempts[index] += 1
+                try:
+                    inflight[pool.submit(execute_cell, cells[index])] = index
+                except BrokenProcessPool:
+                    attempts[index] -= 1
+                    respawn("pool broken at submission")
+                    return False
+                return True
+
+            # Submission: quarantine runs solo (and blocks normal work so
+            # a crash is attributable); otherwise fan out everything ready.
+            if quarantine:
+                if not inflight:
+                    index = quarantine.pop(0)
+                    if submit(index):
+                        solo_index = index
+                    else:
+                        quarantine.insert(0, index)
+            else:
+                while to_submit:
+                    index = to_submit.pop(0)
+                    if not submit(index):
+                        to_submit.insert(0, index)
+                        break
+
+            if not inflight:
+                if waiting:
+                    time.sleep(
+                        min(
+                            max(min(waiting.values()) - time.monotonic(), 0.0),
+                            _TICK_SECONDS,
+                        )
+                    )
+                continue
+
+            done, _ = wait(
+                set(inflight), timeout=_TICK_SECONDS, return_when=FIRST_COMPLETED
+            )
+
+            was_solo = solo_index
+            crashed: list[int] = []
+            for future in done:
+                harvest_or_crash(future, crashed)
+
+            if crashed:
+                # A worker died. Give the executor a moment to settle the
+                # remaining futures and harvest whatever completed before
+                # the death; everything else is a casualty of the crash.
+                if inflight:
+                    wait(set(inflight), timeout=1.0)
+                for future in list(inflight):
+                    if future.done():
+                        harvest_or_crash(future, crashed)
+                    else:
+                        index = inflight.pop(future)
+                        started.pop(future, None)
+                        if index == solo_index:
+                            solo_index = None
+                        crashed.append(index)
+                respawn("worker death (BrokenProcessPool)")
+                if crashed == [was_solo]:
+                    # The suspect crashed alone in the pool: definitive
+                    # attribution, charged against its retry budget.
+                    retry_or_fail(
+                        was_solo, "worker-death", "worker process died mid-cell"
+                    )
+                else:
+                    # Ambiguous: the dead worker was running *one* of these
+                    # cells, but the executor cannot say which. Refund the
+                    # attempt and quarantine them all for solo re-runs.
+                    for index in crashed:
+                        attempts[index] -= 1
+                        quarantine.append(index)
+                    quarantine.sort()
+                continue
+
+            # Track execution starts and enforce the per-cell timeout. A
+            # hung worker can only be killed by tearing the pool down, so
+            # on expiry the innocents in flight are refunded their attempt
+            # and resubmitted while the hung cell is charged.
+            now = time.monotonic()
+            for future in list(inflight):
+                if future not in started and future.running():
+                    started[future] = now
+            if policy.cell_timeout_s is not None:
+                hung = [
+                    future
+                    for future, began in started.items()
+                    if future in inflight
+                    and now - began > policy.cell_timeout_s
+                ]
+                if hung:
+                    hung_indices = [inflight[future] for future in hung]
+                    for future in hung:
+                        inflight.pop(future)
+                        started.pop(future, None)
+                    innocents: list[int] = []
+                    for future, index in list(inflight.items()):
+                        if future.done():
+                            harvest_or_crash(future, crashed=[])
+                        else:
+                            inflight.pop(future)
+                            started.pop(future, None)
+                            attempts[index] -= 1  # refund: not their fault
+                            innocents.append(index)
+                    respawn(
+                        "cell timeout: "
+                        + ", ".join(cells[i].task for i in hung_indices)
+                    )
+                    for index in hung_indices:
+                        events.append(
+                            DegradationEvent(
+                                step="grid",
+                                action="timeout",
+                                attempt=attempts[index],
+                                detail=(
+                                    f"{cells[index].task} exceeded "
+                                    f"{policy.cell_timeout_s:g}s"
+                                ),
+                            )
+                        )
+                        retry_or_fail(
+                            index,
+                            "timeout",
+                            f"exceeded cell timeout of {policy.cell_timeout_s:g}s",
+                        )
+                    to_submit.extend(innocents)
+    finally:
+        _kill_pool(pool)

@@ -11,7 +11,14 @@ import pytest
 
 from repro.evalsuite.figure2 import run_figure2
 from repro.evalsuite.table1 import render_table1, run_table1
-from repro.parallel import GridCell, execute_cell, resolve_jobs, run_cells
+from repro.parallel import (
+    CellExecutionError,
+    GridCell,
+    execute_cell,
+    fingerprint_cell,
+    resolve_jobs,
+    run_cells,
+)
 
 
 class TestGridCell:
@@ -31,6 +38,13 @@ class TestGridCell:
         with pytest.raises(ValueError):
             GridCell("")
 
+    def test_unpicklable_payload_names_the_offending_key(self):
+        with pytest.raises(ValueError, match="payload key 'fn'"):
+            GridCell(
+                "repro.analysis.bits:parity",
+                {"value": 6, "fn": lambda: None},
+            )
+
 
 class TestResolveJobs:
     def test_none_is_serial(self):
@@ -45,6 +59,11 @@ class TestResolveJobs:
     def test_negative_means_all_cpus(self):
         assert resolve_jobs(-1) >= 1
 
+    def test_other_negatives_rejected(self):
+        for bad in (-2, -8):
+            with pytest.raises(ValueError, match="jobs must be positive"):
+                resolve_jobs(bad)
+
 
 class TestExecuteCell:
     def test_runs_named_function_with_payload(self):
@@ -53,6 +72,31 @@ class TestExecuteCell:
     def test_unknown_function_raises(self):
         with pytest.raises(AttributeError):
             execute_cell(GridCell("repro.analysis.bits:no_such_function"))
+
+    def _raising_cell(self, tmp_path):
+        return GridCell(
+            "repro.faults.gridfaults:flaky_cell",
+            {"scratch": str(tmp_path), "key": "boom", "fail_times": 99},
+        )
+
+    def test_cell_error_names_task_and_fingerprint(self, tmp_path):
+        cell = self._raising_cell(tmp_path)
+        with pytest.raises(CellExecutionError) as excinfo:
+            execute_cell(cell)
+        message = str(excinfo.value)
+        assert cell.task in message
+        assert fingerprint_cell(cell)[:12] in message
+        assert "GridFaultError" in message
+
+    def test_cell_error_surfaces_through_pool(self, tmp_path):
+        cell = self._raising_cell(tmp_path)
+        cells = [
+            GridCell("repro.analysis.bits:parity", {"value": 1}),
+            cell,
+        ]
+        with pytest.raises(CellExecutionError) as excinfo:
+            run_cells(cells, jobs=2)
+        assert cell.task in str(excinfo.value)
 
 
 class TestRunCells:

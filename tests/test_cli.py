@@ -81,6 +81,119 @@ def test_max_retries_rejects_negative(capsys):
     assert "--max-retries must be non-negative" in capsys.readouterr().err
 
 
+def test_cell_timeout_rejects_non_positive(capsys):
+    for bad in ("0", "-3", "abc"):
+        with pytest.raises(SystemExit):
+            main(["table1", "--cell-timeout", bad])
+    assert "--cell-timeout" in capsys.readouterr().err
+
+
+def test_run_deadline_rejects_non_positive(capsys):
+    with pytest.raises(SystemExit):
+        main(["figure2", "--run-deadline", "0"])
+    assert "positive number of seconds" in capsys.readouterr().err
+
+
+def test_grid_retries_rejects_negative(capsys):
+    with pytest.raises(SystemExit):
+        main(["table3", "--grid-retries", "-1"])
+    assert "--grid-retries must be non-negative" in capsys.readouterr().err
+
+
+def test_grid_flags_build_supervision(monkeypatch, capsys):
+    """The crash-safety flags reach run_table1 as a GridPolicy + journal."""
+    import repro.cli as cli
+    from repro.evalsuite.table1 import ToolVerdict
+
+    seen = {}
+
+    def fake_run_table1(seed, jobs, supervision, journal):
+        seen.update(
+            seed=seed, jobs=jobs, supervision=supervision, journal=journal
+        )
+        return [
+            ToolVerdict(
+                tool="DRAMDig", generic=True, efficient=True,
+                deterministic=True, successes=1, panel_size=1,
+                median_seconds=1.0,
+            )
+        ]
+
+    monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+    assert main(
+        ["table1", "--resume", "j.jsonl", "--cell-timeout", "30",
+         "--grid-retries", "2"]
+    ) == 0
+    assert seen["journal"] == "j.jsonl"
+    assert seen["supervision"].cell_timeout_s == 30.0
+    assert seen["supervision"].retries == 2
+    assert seen["supervision"].run_deadline_s is None
+
+
+def test_resume_alone_enables_supervision(monkeypatch, capsys):
+    import repro.cli as cli
+    from repro.evalsuite.table1 import ToolVerdict
+
+    seen = {}
+
+    def fake_run_table1(seed, jobs, supervision, journal):
+        seen.update(supervision=supervision, journal=journal)
+        return [
+            ToolVerdict(
+                tool="DRAMDig", generic=True, efficient=True,
+                deterministic=True, successes=1, panel_size=1,
+                median_seconds=1.0,
+            )
+        ]
+
+    monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+    assert main(["table1", "--resume", "j.jsonl"]) == 0
+    assert seen["journal"] == "j.jsonl"
+    assert seen["supervision"] is not None
+
+
+def test_default_grid_flags_keep_fail_fast_path(monkeypatch, capsys):
+    import repro.cli as cli
+    from repro.evalsuite.table1 import ToolVerdict
+
+    seen = {}
+
+    def fake_run_table1(seed, jobs, supervision, journal):
+        seen.update(supervision=supervision, journal=journal)
+        return [
+            ToolVerdict(
+                tool="DRAMDig", generic=True, efficient=True,
+                deterministic=True, successes=1, panel_size=1,
+                median_seconds=1.0,
+            )
+        ]
+
+    monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+    assert main(["table1"]) == 0
+    assert seen["supervision"] is None
+    assert seen["journal"] is None
+
+
+def test_partial_table1_exits_nonzero(monkeypatch, capsys):
+    import repro.cli as cli
+    from repro.evalsuite.table1 import ToolVerdict
+
+    def fake_run_table1(seed, jobs, supervision, journal):
+        return [
+            ToolVerdict(
+                tool="DRAMDig", generic=False, efficient=True,
+                deterministic=True, successes=0, panel_size=1,
+                median_seconds=float("nan"),
+                notes="grid FAILED: No.1",
+                grid_failed=("No.1",),
+            )
+        ]
+
+    monkeypatch.setattr(cli, "run_table1", fake_run_table1)
+    assert main(["table1", "--grid-retries", "1"]) == 1
+    assert "grid FAILED: No.1" in capsys.readouterr().out
+
+
 def test_run_rejects_unknown_noise_profile(capsys):
     with pytest.raises(SystemExit):
         main(["run", "No.4", "--noise-profile", "imaginary"])
