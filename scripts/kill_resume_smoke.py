@@ -10,17 +10,25 @@ racing a kill). This script is the end-to-end variant with a real
 2. start the same run as a subprocess with ``--resume <journal>`` and
    kill -9 it as soon as the journal holds at least one checkpoint but
    before it can hold all of them;
-3. re-run the same command to completion over the same journal;
-4. the resumed output must be byte-identical to the reference, and the
-   journal must show the resumed run started from the survivors.
+3. re-run the same command to completion over the same journal, with
+   ``--trace`` capturing the resumed run's merged span trace;
+4. the resumed output must be byte-identical to the reference, the
+   journal must show the resumed run started from the survivors, and
+   ``dramdig trace summary`` must parse the trace and find it
+   internally consistent (the CI gate for the trace format).
 
 Exit code 0 on success. The kill is inherently racy — if the victim
 finishes before the kill lands (tiny grids on a fast machine), the run
 still validates byte-identity and reports that the kill was skipped.
+
+``--artifacts DIR`` keeps the trace (and the rendered summary) in DIR
+instead of the throwaway scratch directory, so CI can upload them as a
+workflow artifact.
 """
 
 from __future__ import annotations
 
+import argparse
 import json
 import os
 import signal
@@ -43,8 +51,10 @@ def _env() -> dict:
     return env
 
 
-def _run_to_completion(journal: Path | None) -> str:
+def _run_to_completion(journal: Path | None, trace: Path | None = None) -> str:
     cmd = list(CMD) + (["--resume", str(journal)] if journal is not None else [])
+    if trace is not None:
+        cmd += ["--trace", str(trace)]
     result = subprocess.run(
         cmd, cwd=REPO, env=_env(), capture_output=True, text=True,
         timeout=TIMEOUT_SECONDS, check=True,
@@ -66,9 +76,18 @@ def _journal_records(journal: Path) -> int:
     return count
 
 
-def main() -> int:
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="keep the resumed run's trace and summary here (for CI upload)",
+    )
+    args = parser.parse_args(argv)
     with tempfile.TemporaryDirectory(prefix="kill-resume-") as scratch:
         journal = Path(scratch) / "table1.journal"
+        artifacts = Path(args.artifacts) if args.artifacts else Path(scratch)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        trace_path = artifacts / "resumed-table1-trace.jsonl"
 
         print("== reference run (uninterrupted, no journal) ==", flush=True)
         reference = _run_to_completion(None)
@@ -105,8 +124,8 @@ def main() -> int:
             print("victim finished before the kill landed; "
                   "validating byte-identity only")
 
-        print("== resumed run ==", flush=True)
-        resumed = _run_to_completion(journal)
+        print("== resumed run (traced) ==", flush=True)
+        resumed = _run_to_completion(journal, trace=trace_path)
 
         if resumed != reference:
             print("FAIL: resumed output differs from the uninterrupted run")
@@ -114,6 +133,27 @@ def main() -> int:
             return 1
         print(f"OK: resumed output is byte-identical "
               f"({survivors} cell(s) survived the kill)")
+
+        print("== trace summary gate ==", flush=True)
+        if not trace_path.exists():
+            print("FAIL: resumed run wrote no trace file")
+            return 1
+        summary = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "summary", str(trace_path)],
+            cwd=REPO, env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+        (artifacts / "resumed-table1-trace-summary.txt").write_text(
+            summary.stdout
+        )
+        if summary.returncode != 0:
+            print("FAIL: trace summary gate rejected the trace")
+            sys.stdout.write(summary.stdout)
+            sys.stderr.write(summary.stderr)
+            return 1
+        cached = summary.stdout.count("CACHED")
+        print(f"OK: trace parsed and consistent "
+              f"({cached} cell(s) reported as cached from the journal)")
         return 0
 
 

@@ -35,11 +35,14 @@ from repro.evalsuite import (
     run_table3,
 )
 from repro.faults import FaultInjector, get_profile, profile_names
+from repro.logutil import get_logger, setup_logging
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.assess import assess_vulnerability
 from repro.rowhammer.hammer import HammerConfig
 
 __all__ = ["main"]
+
+_LOG = get_logger("repro.cli")
 
 
 def _jobs_arg(text: str) -> int:
@@ -131,6 +134,18 @@ def _build_parser() -> argparse.ArgumentParser:
         description="DRAMDig reproduction (DAC 2020) on a simulated memory substrate",
     )
     parser.add_argument("--seed", type=int, default=1, help="machine seed (default 1)")
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default="info",
+        help="threshold for status/diagnostic lines on stderr (default info)",
+    )
+    parser.add_argument(
+        "--quiet",
+        action="store_true",
+        help="suppress status lines (log only warnings and errors); "
+        "artefact output on stdout is unaffected",
+    )
     commands = parser.add_subparsers(dest="command", required=True)
 
     run_cmd = commands.add_parser("run", help="run DRAMDig on one machine preset")
@@ -153,6 +168,12 @@ def _build_parser() -> argparse.ArgumentParser:
         default=None,
         metavar="N",
         help="override the whole-pipeline restart budget",
+    )
+    run_cmd.add_argument(
+        "--trace",
+        metavar="PATH",
+        default=None,
+        help="write a JSONL trace (spans + metrics) of the run here",
     )
 
     compare_cmd = commands.add_parser(
@@ -232,6 +253,25 @@ def _build_parser() -> argparse.ArgumentParser:
             "backoff before recording it as FAILED (enables the "
             "supervised engine)",
         )
+        grid_cmd.add_argument(
+            "--trace",
+            metavar="PATH",
+            default=None,
+            help="write one merged JSONL trace of the whole grid run here "
+            "(per-cell span files are stitched across worker processes; "
+            "journal-resumed cells appear as 'cached' spans)",
+        )
+
+    trace_cmd = commands.add_parser(
+        "trace", help="inspect a JSONL trace written with --trace"
+    )
+    trace_sub = trace_cmd.add_subparsers(dest="trace_command", required=True)
+    trace_summary_cmd = trace_sub.add_parser(
+        "summary",
+        help="render the span tree (text flamegraph) and metrics table, "
+        "and verify the trace's accounting consistency",
+    )
+    trace_summary_cmd.add_argument("path", metavar="TRACE")
     return parser
 
 
@@ -247,10 +287,16 @@ def _command_run(args) -> int:
     machine = SimulatedMachine.from_preset(
         machine_preset, seed=args.seed, faults=faults
     )
-    print(f"Reverse-engineering {args.machine} "
-          f"({machine_preset.microarchitecture}, {machine_preset.geometry.describe()})")
+    _LOG.info(
+        "Reverse-engineering %s (%s, %s)",
+        args.machine,
+        machine_preset.microarchitecture,
+        machine_preset.geometry.describe(),
+    )
     if args.noise_profile is not None:
-        print(f"noise profile: {args.noise_profile} (adaptive recovery enabled)")
+        _LOG.info(
+            "noise profile: %s (adaptive recovery enabled)", args.noise_profile
+        )
     result = DramDig(config).run(machine)
     print(result.summary())
     verdict = result.mapping.equivalent_to(machine_preset.mapping)
@@ -300,7 +346,7 @@ def _command_explain(args) -> int:
 def _command_hammer(args) -> int:
     machine_preset = preset(args.machine)
     machine = SimulatedMachine.from_preset(machine_preset, seed=args.seed)
-    print(f"Reverse-engineering {args.machine} with DRAMDig ...")
+    _LOG.info("Reverse-engineering %s with DRAMDig ...", args.machine)
     result = DramDig().run(machine)
     print(f"mapping recovered in {result.total_seconds:.0f} simulated seconds")
     report = assess_vulnerability(
@@ -323,9 +369,23 @@ def _command_list(_args) -> int:
     return 0
 
 
-def main(argv: list[str] | None = None) -> int:
-    """CLI entry point; returns the process exit code."""
-    args = _build_parser().parse_args(argv)
+def _command_trace(args) -> int:
+    from repro.obs.export import load_trace
+    from repro.obs.summary import render_summary, validate_trace
+
+    try:
+        trace = load_trace(args.path)
+    except (OSError, ValueError) as error:
+        _LOG.error("cannot read trace %s: %s", args.path, error)
+        return 1
+    print(render_summary(trace))
+    problems = validate_trace(trace)
+    for problem in problems:
+        _LOG.error("trace inconsistency: %s", problem)
+    return 1 if problems else 0
+
+
+def _dispatch_command(args) -> int:
     if args.command == "run":
         return _command_run(args)
     if args.command == "compare":
@@ -388,7 +448,38 @@ def main(argv: list[str] | None = None) -> int:
         )
         print(render_table3(rows))
         return 1 if any(isinstance(row, CellFailure) for row in rows) else 0
+    if args.command == "trace":
+        return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def main(argv: list[str] | None = None) -> int:
+    """CLI entry point; returns the process exit code.
+
+    With ``--trace PATH`` the whole command runs under an activated
+    tracer, and the collected spans and metrics are exported as one
+    JSONL file afterwards — grid commands stitch their workers' span
+    files into the same trace. Without the flag the tracer globals stay
+    ``None`` and every instrumented hot path reduces to a single
+    is-None test.
+    """
+    args = _build_parser().parse_args(argv)
+    setup_logging(args.log_level, quiet=args.quiet)
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _dispatch_command(args)
+
+    from repro.obs import tracing as obs
+    from repro.obs.export import export_trace
+
+    tracer = obs.Tracer()
+    with obs.activate(tracer):
+        code = _dispatch_command(args)
+    export_trace(
+        trace_path, tracer, meta={"command": args.command, "seed": args.seed}
+    )
+    _LOG.info("trace written to %s", trace_path)
+    return code
 
 
 if __name__ == "__main__":  # pragma: no cover

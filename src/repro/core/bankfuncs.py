@@ -31,6 +31,7 @@ import numpy as np
 from repro.analysis import gf2
 from repro.analysis.bits import deposit_bits, parity
 from repro.dram.errors import FunctionSearchError
+from repro.obs import tracing as obs
 
 __all__ = ["FunctionSearchResult", "detect_bank_functions", "bank_number"]
 
@@ -111,9 +112,14 @@ def detect_bank_functions(
 
     # check_numbering over combinations in priority order.
     pivots = list(piles)
+    combos_tried = 0
     for combo in itertools.combinations(independent, expected_count):
+        combos_tried += 1
         numbering = {pivot: bank_number(pivot, combo) for pivot in pivots}
         if _numbering_valid(numbering, num_banks):
+            obs.inc("functions.candidates", len(candidates))
+            obs.inc("functions.selected", len(combo))
+            obs.inc("functions.numbering_combos", combos_tried)
             return FunctionSearchResult(
                 functions=tuple(combo),
                 candidates=tuple(candidates),

@@ -38,6 +38,7 @@ escalation.
 from __future__ import annotations
 
 import dataclasses
+from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Callable, TypeVar
 
@@ -64,6 +65,7 @@ from repro.dram.mapping import AddressMapping
 from repro.faults.recovery import DegradationEvent, RecoveryPolicy
 from repro.machine.machine import SimulatedMachine
 from repro.machine.sysinfo import gather_system_info
+from repro.obs import tracing as obs
 
 __all__ = ["DramDig", "DramDigConfig"]
 
@@ -157,48 +159,69 @@ class DramDig:
         config = self.config
         degradation: list[DegradationEvent] = []
         last_error: ReproError | None = None
-        for attempt in range(config.max_retries + 1):
+        run_start = machine.stats.measurements
+        with obs.span("dramdig", clock=machine.clock) as run_span:
             try:
-                result = self._run_once(machine, config, degradation)
-                result.retries = attempt
-                result.degradation = degradation
-                return result
-            except (
-                CalibrationError,
-                SelectionError,
-                PartitionError,
-                FunctionSearchError,
-                FineDetectionError,
-                MappingError,
-            ) as error:
-                # CalibrationError and SelectionError join the restart set
-                # only once the step-retry policy is active; the seed
-                # pipeline's fail-fast contract for a broken timing loop
-                # or an unusable allocation is kept.
-                if not config.recovery.enabled and isinstance(
-                    error, (CalibrationError, SelectionError)
-                ):
-                    raise
-                last_error = error
-                degradation.append(
-                    DegradationEvent(
-                        step="pipeline",
-                        action="restart",
-                        attempt=attempt + 1,
-                        detail=str(error),
-                    )
+                for attempt in range(config.max_retries + 1):
+                    attempt_start = machine.stats.measurements
+                    with obs.span(
+                        f"attempt-{attempt + 1}", clock=machine.clock
+                    ) as attempt_span:
+                        try:
+                            result = self._run_once(machine, config, degradation)
+                            result.retries = attempt
+                            result.degradation = degradation
+                            return result
+                        except (
+                            CalibrationError,
+                            SelectionError,
+                            PartitionError,
+                            FunctionSearchError,
+                            FineDetectionError,
+                            MappingError,
+                        ) as error:
+                            # CalibrationError and SelectionError join the
+                            # restart set only once the step-retry policy is
+                            # active; the seed pipeline's fail-fast contract
+                            # for a broken timing loop or an unusable
+                            # allocation is kept.
+                            if not config.recovery.enabled and isinstance(
+                                error, (CalibrationError, SelectionError)
+                            ):
+                                raise
+                            last_error = error
+                            degradation.append(
+                                obs.note_event(
+                                    DegradationEvent(
+                                        step="pipeline",
+                                        action="restart",
+                                        attempt=attempt + 1,
+                                        detail=str(error),
+                                        span=obs.current_path(),
+                                    )
+                                )
+                            )
+                            attempt_span.set("restarted", type(error).__name__)
+                            # Escalate noise suppression and try again.
+                            config = dataclasses.replace(
+                                config,
+                                probe=dataclasses.replace(
+                                    config.probe, repeats=config.probe.repeats + 1
+                                ),
+                            )
+                        finally:
+                            attempt_span.set(
+                                "measurements",
+                                machine.stats.measurements - attempt_start,
+                            )
+                raise ReproError(
+                    f"DRAMDig failed after {self.config.max_retries + 1} attempts: "
+                    f"{last_error}"
+                ) from last_error
+            finally:
+                run_span.set(
+                    "measurements", machine.stats.measurements - run_start
                 )
-                # Escalate noise suppression and try again.
-                config = dataclasses.replace(
-                    config,
-                    probe=dataclasses.replace(
-                        config.probe, repeats=config.probe.repeats + 1
-                    ),
-                )
-        raise ReproError(
-            f"DRAMDig failed after {self.config.max_retries + 1} attempts: "
-            f"{last_error}"
-        ) from last_error
 
     # ----------------------------------------------------------- single pass
 
@@ -213,43 +236,62 @@ class DramDig:
         phase_seconds: dict[str, float] = {}
         start_ns = clock.checkpoint()
 
+        @contextmanager
+        def phase(name: str):
+            """One pipeline phase: clock mark + tracing span + accounting.
+
+            The measurement delta attached to the span is what makes the
+            trace's accounting telescopic: phase deltas sum to their
+            attempt's delta, attempt deltas to the run's.
+            """
+            mark = clock.checkpoint()
+            before = machine.stats.measurements
+            with obs.span(name, clock=clock) as span_scope:
+                try:
+                    yield span_scope
+                finally:
+                    span_scope.set(
+                        "measurements", machine.stats.measurements - before
+                    )
+                    phase_seconds[name] = clock.since(mark) / 1e9
+
         def step(name: str, errors: tuple[type[ReproError], ...], fn: Callable[[], _T]) -> _T:
             return _run_step(
                 name, fn, errors, machine, config.recovery, degradation
             )
 
         # Knowledge + allocation.
-        mark = clock.checkpoint()
-        knowledge = DomainKnowledge.gather(
-            gather_system_info(machine.dmidecode_text(), machine.decode_dimms_text())
-        )
-        pages = machine.allocate(
-            int(machine.total_bytes * config.alloc_fraction), config.alloc_strategy
-        )
-        machine.charge_analysis(pages.byte_count * _ALLOC_NS_PER_BYTE)
-        phase_seconds["allocate"] = clock.since(mark) / 1e9
+        with phase("allocate"):
+            knowledge = DomainKnowledge.gather(
+                gather_system_info(
+                    machine.dmidecode_text(), machine.decode_dimms_text()
+                )
+            )
+            pages = machine.allocate(
+                int(machine.total_bytes * config.alloc_fraction),
+                config.alloc_strategy,
+            )
+            machine.charge_analysis(pages.byte_count * _ALLOC_NS_PER_BYTE)
 
         # Probe calibration.
-        mark = clock.checkpoint()
-        probe = LatencyProbe(machine, config.probe)
-        step("calibrate", (CalibrationError,), lambda: probe.calibrate(pages, rng))
-        phase_seconds["calibrate"] = clock.since(mark) / 1e9
+        with phase("calibrate"):
+            probe = LatencyProbe(machine, config.probe)
+            step("calibrate", (CalibrationError,), lambda: probe.calibrate(pages, rng))
 
         # Step 1 — coarse detection.
-        mark = clock.checkpoint()
-        coarse = step(
-            "coarse",
-            (SelectionError,),
-            lambda: CoarseDetector(
-                probe,
-                pages,
-                knowledge.address_bits,
-                rng,
-                votes=config.coarse_votes,
-                recheck_sweeps=config.conflict_recheck_sweeps,
-            ).detect(),
-        )
-        phase_seconds["coarse"] = clock.since(mark) / 1e9
+        with phase("coarse"):
+            coarse = step(
+                "coarse",
+                (SelectionError,),
+                lambda: CoarseDetector(
+                    probe,
+                    pages,
+                    knowledge.address_bits,
+                    rng,
+                    votes=config.coarse_votes,
+                    recheck_sweeps=config.conflict_recheck_sweeps,
+                ).detect(),
+            )
 
         # Step 2 — Algorithm 1: selection. Degenerate pools (fewer than
         # two addresses per bank — machines whose functions are single
@@ -257,80 +299,87 @@ class DramDig:
         # the lowest row bits into the selection range: their variation
         # adds same-bank partners to every pile without enlarging the
         # candidate function space.
-        mark = clock.checkpoint()
-        selection_bits = coarse.bank_bits
-        selection = select_addresses(pages, selection_bits)
-        for row_bit in coarse.row_bits:
-            if len(selection) >= 2 * knowledge.total_banks:
-                break
-            selection_bits = tuple(sorted(selection_bits + (row_bit,)))
+        with phase("select") as select_span:
+            selection_bits = coarse.bank_bits
             selection = select_addresses(pages, selection_bits)
-        phase_seconds["select"] = clock.since(mark) / 1e9
+            for row_bit in coarse.row_bits:
+                if len(selection) >= 2 * knowledge.total_banks:
+                    break
+                selection_bits = tuple(sorted(selection_bits + (row_bit,)))
+                selection = select_addresses(pages, selection_bits)
+            select_span.set("pool", len(selection))
 
         # Step 2 — Algorithm 2: partition.
-        mark = clock.checkpoint()
-        partition = step(
-            "partition",
-            (PartitionError,),
-            lambda: partition_pool(
-                probe, selection.pool, knowledge.total_banks, rng, config.partition
-            ),
-        )
-        phase_seconds["partition"] = clock.since(mark) / 1e9
-        if partition.ran_dry:
-            degradation.append(
-                DegradationEvent(
-                    step="partition",
-                    action="ran-dry",
-                    detail=(
-                        f"{partition.pile_count}/{knowledge.total_banks} piles "
-                        f"before the pool ran out"
-                    ),
-                )
+        with phase("partition") as partition_span:
+            partition = step(
+                "partition",
+                (PartitionError,),
+                lambda: partition_pool(
+                    probe, selection.pool, knowledge.total_banks, rng, config.partition
+                ),
             )
-        if partition.escalations:
-            degradation.append(
-                DegradationEvent(
-                    step="partition",
-                    action="escalated",
-                    attempt=partition.escalations,
-                    detail=(
-                        f"{partition.escalations} extra round budgets, "
-                        f"{partition.verify_resweeps} re-verification sweeps"
-                    ),
+            partition_span.set("piles", partition.pile_count)
+            partition_span.set("rounds", partition.rounds)
+            if partition.ran_dry:
+                degradation.append(
+                    obs.note_event(
+                        DegradationEvent(
+                            step="partition",
+                            action="ran-dry",
+                            detail=(
+                                f"{partition.pile_count}/{knowledge.total_banks} "
+                                f"piles before the pool ran out"
+                            ),
+                            span=obs.current_path(),
+                        )
+                    )
                 )
-            )
+            if partition.escalations:
+                degradation.append(
+                    obs.note_event(
+                        DegradationEvent(
+                            step="partition",
+                            action="escalated",
+                            attempt=partition.escalations,
+                            detail=(
+                                f"{partition.escalations} extra round budgets, "
+                                f"{partition.verify_resweeps} re-verification sweeps"
+                            ),
+                            span=obs.current_path(),
+                        )
+                    )
+                )
 
         # Step 2 — Algorithm 3: bank address functions.
-        mark = clock.checkpoint()
-        search = step(
-            "functions",
-            (FunctionSearchError,),
-            lambda: detect_bank_functions(
-                partition.piles,
-                selection_bits,
-                knowledge.num_bank_functions,
-                knowledge.total_banks,
-                strategy=config.function_strategy,
-            ),
-        )
-        phase_seconds["functions"] = clock.since(mark) / 1e9
+        with phase("functions") as functions_span:
+            search = step(
+                "functions",
+                (FunctionSearchError,),
+                lambda: detect_bank_functions(
+                    partition.piles,
+                    selection_bits,
+                    knowledge.num_bank_functions,
+                    knowledge.total_banks,
+                    strategy=config.function_strategy,
+                ),
+            )
+            functions_span.set("candidates", len(search.candidates))
+            functions_span.set("functions", len(search.functions))
 
         # Step 3 — fine-grained detection.
-        mark = clock.checkpoint()
-        fine = step(
-            "fine",
-            (FineDetectionError,),
-            lambda: FineDetector(
-                probe,
-                knowledge,
-                pages,
-                rng,
-                votes=config.coarse_votes,
-                recheck_sweeps=config.conflict_recheck_sweeps,
-            ).detect(coarse, search.functions),
-        )
-        phase_seconds["fine"] = clock.since(mark) / 1e9
+        with phase("fine"):
+            fine = step(
+                "fine",
+                (FineDetectionError,),
+                lambda: FineDetector(
+                    probe,
+                    knowledge,
+                    pages,
+                    rng,
+                    votes=config.coarse_votes,
+                    recheck_sweeps=config.conflict_recheck_sweeps,
+                ).detect(coarse, search.functions),
+            )
 
         degradation.extend(probe.events)
 
@@ -381,14 +430,18 @@ def _run_step(
             if attempt >= policy.step_retries:
                 raise
             degradation.append(
-                DegradationEvent(
-                    step=name,
-                    action="retry",
-                    attempt=attempt + 1,
-                    detail=str(error),
-                    backoff_s=backoff_s,
+                obs.note_event(
+                    DegradationEvent(
+                        step=name,
+                        action="retry",
+                        attempt=attempt + 1,
+                        detail=str(error),
+                        backoff_s=backoff_s,
+                        span=obs.current_path(),
+                    )
                 )
             )
+            obs.inc(f"pipeline.step_retries.{name}")
             machine.charge_analysis(backoff_s * 1e9)
             backoff_s *= policy.backoff_multiplier
     raise AssertionError("unreachable")  # pragma: no cover

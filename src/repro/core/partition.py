@@ -59,6 +59,7 @@ import numpy as np
 from repro.analysis.arrays import sorted_unique
 from repro.core.probe import LatencyProbe
 from repro.dram.errors import PartitionError
+from repro.obs import tracing as obs
 
 __all__ = ["PartitionConfig", "PartitionResult", "partition_pool"]
 
@@ -196,6 +197,7 @@ def partition_pool(
                 # old rejections may have been the noise's fault — and go
                 # around again.
                 result.escalations += 1
+                obs.inc("partition.escalations")
                 blacklist.clear()
                 backoff_s = config.escalation_backoff_s * 2 ** (result.escalations - 1)
                 probe.machine.charge_analysis(backoff_s * 1e9)
@@ -238,13 +240,16 @@ def partition_pool(
                 probe, pivot, members, high, config, result
             )
         pile_size = members.size + 1  # pivot belongs to its own pile
+        obs.inc("partition.pivots")
         if low <= pile_size <= high:
             result.piles[pivot] = members
+            obs.observe("partition.pile_size", pile_size)
             keep = ~np.isin(remaining, members)
             keep[pivot_index] = False
             remaining = remaining[keep]
         else:
             result.rejected_piles += 1
+            obs.inc("partition.pivot_retries")
             if config.blacklist_rejected:
                 blacklist.add(pivot)
     else:
@@ -302,6 +307,7 @@ def _escalate_verification(
         probe.machine.charge_analysis(backoff_s * 1e9)
         members = members[probe.conflict_mask(pivot, members)]
         result.verify_resweeps += 1
+        obs.inc("partition.verify_resweeps")
         sweeps += 1
         backoff_s *= 2.0
     return members

@@ -29,6 +29,7 @@ from repro.dram.errors import CalibrationError
 from repro.faults.recovery import DegradationEvent
 from repro.machine.allocator import PhysPages
 from repro.machine.machine import SimulatedMachine
+from repro.obs import tracing as obs
 
 __all__ = ["LatencyProbe", "ProbeConfig"]
 
@@ -147,6 +148,7 @@ class LatencyProbe:
         of (machine, profile, seed).
         """
         self._fit_threshold(pages, rng)
+        obs.inc("probe.calibrations")
         if self.config.max_recalibrations > 0:
             self._check_interval_ns = self.config.drift_check_interval_s * 1e9
             self._last_check_ns = self.machine.clock.elapsed_ns
@@ -216,6 +218,7 @@ class LatencyProbe:
         no drift is found and reset once drift is confirmed.
         """
         self.drift_checks += 1
+        obs.inc("probe.drift_checks")
         threshold = self.threshold
         assert self._reference_bases is not None
         references = self._measure_min_pairs(
@@ -244,15 +247,19 @@ class LatencyProbe:
             slow_mode=slow_now,
             separation=(slow_now - fast_now) / fast_now,
         )
+        obs.inc("probe.recalibrations")
         self.events.append(
-            DegradationEvent(
-                step="probe",
-                action="recalibrated",
-                attempt=self.recalibrations,
-                detail=(
-                    f"fast mode {threshold.fast_mode:.1f} -> "
-                    f"{fast_now:.1f} ns ({moved:.0%} drift)"
-                ),
+            obs.note_event(
+                DegradationEvent(
+                    step="probe",
+                    action="recalibrated",
+                    attempt=self.recalibrations,
+                    detail=(
+                        f"fast mode {threshold.fast_mode:.1f} -> "
+                        f"{fast_now:.1f} ns ({moved:.0%} drift)"
+                    ),
+                    span=obs.current_path(),
+                )
             )
         )
         self._check_interval_ns = self.config.drift_check_interval_s * 1e9
@@ -284,12 +291,22 @@ class LatencyProbe:
         latencies = self.machine.measure_latency_pairs(
             rep_bases, rep_partners, self.config.rounds
         )
+        tracer = obs._ACTIVE
+        if tracer is not None:
+            tracer.metrics.inc("probe.pair_measurements", int(rep_bases.size))
         return latencies.reshape(-1, repeats).min(axis=1)
 
     def is_conflict(self, addr_a: int, addr_b: int) -> bool:
         """Classify one pair: True = same bank, different row (slow)."""
         latency = self._measure_min(addr_a, addr_b)
         slow = self.require_threshold().is_slow(latency)
+        # Hot path: one global load + is-None test when tracing is off.
+        tracer = obs._ACTIVE
+        if tracer is not None:
+            tracer.metrics.inc("probe.pair_measurements", self.config.repeats)
+            tracer.metrics.inc(
+                "probe.verdicts.conflict" if slow else "probe.verdicts.clear"
+            )
         if self._watching_drift():
             self._slow_run = self._slow_run + 1 if slow else 0
             suspect = self._slow_run >= self.config.suspect_run_length
@@ -314,6 +331,14 @@ class LatencyProbe:
                 self.machine.measure_latency_batch(base, others, self.config.rounds),
             )
         mask = self.require_threshold().classify(latencies)
+        tracer = obs._ACTIVE
+        if tracer is not None:
+            conflicts = int(mask.sum())
+            tracer.metrics.inc(
+                "probe.pair_measurements", int(others.size) * self.config.repeats
+            )
+            tracer.metrics.inc("probe.verdicts.conflict", conflicts)
+            tracer.metrics.inc("probe.verdicts.clear", int(others.size) - conflicts)
         if self._watching_drift():
             suspect = (
                 others.size >= 8

@@ -10,13 +10,24 @@ cells are checkpointed as they finish, failed cells come back as
 :class:`~repro.parallel.CellFailure` markers *in their result slots*,
 and the experiment renderers print them as ``FAILED(reason)`` cells
 plus a failure manifest instead of crashing the whole artefact.
+
+When a tracer is active (``--trace``), this is also the seam where
+cross-process tracing happens: each cell gets a private span-file
+destination injected into its payload, the grid runs under a
+``grid:<experiment>`` span, and afterwards the per-cell files are
+stitched into the parent trace in submission order — including
+``cached`` spans for journal-resumed cells and ``failed`` spans for
+cells that exhausted their attempts. Untraced runs take the exact
+pre-existing code path.
 """
 
 from __future__ import annotations
 
 from collections.abc import Sequence
 from pathlib import Path
+from tempfile import TemporaryDirectory
 
+from repro.obs import tracing as obs
 from repro.parallel import (
     DEFAULT_START_METHOD,
     CheckpointJournal,
@@ -27,6 +38,34 @@ from repro.parallel import (
 )
 
 __all__ = ["execute_grid"]
+
+
+def _experiment_name(cells: Sequence[GridCell]) -> str:
+    """Short experiment label from the first cell's task module."""
+    if not cells:
+        return "empty"
+    module = cells[0].task.partition(":")[0]
+    return module.rsplit(".", 1)[-1]
+
+
+def _dispatch(
+    cells: Sequence[GridCell],
+    jobs: int | None,
+    start_method: str,
+    supervision: GridPolicy | None,
+    journal,
+):
+    """Run the cells; returns (results, outcome-or-None)."""
+    if supervision is None and journal is None:
+        return run_cells(cells, jobs=jobs, start_method=start_method), None
+    outcome = run_cells_supervised(
+        cells,
+        jobs=jobs,
+        start_method=start_method,
+        policy=supervision,
+        journal=journal,
+    )
+    return outcome.results, outcome
 
 
 def execute_grid(
@@ -43,13 +82,25 @@ def execute_grid(
     instead of a result; the fail-fast path raises on the first error,
     exactly as the seed engine did.
     """
-    if supervision is None and journal is None:
-        return run_cells(cells, jobs=jobs, start_method=start_method)
-    outcome = run_cells_supervised(
-        cells,
-        jobs=jobs,
-        start_method=start_method,
-        policy=supervision,
-        journal=journal,
-    )
-    return outcome.results
+    tracer = obs.current_tracer()
+    if tracer is None or not cells:
+        results, _ = _dispatch(cells, jobs, start_method, supervision, journal)
+        return results
+
+    from repro.obs.gridtrace import stitch_cell_traces, traced_cells
+
+    cells = list(cells)
+    with TemporaryDirectory(prefix="dramdig-trace-") as trace_dir:
+        traced = traced_cells(cells, trace_dir)
+        with tracer.span(f"grid:{_experiment_name(cells)}") as grid_scope:
+            results, outcome = _dispatch(
+                traced, jobs, start_method, supervision, journal
+            )
+            tally = stitch_cell_traces(
+                tracer, grid_scope.record, cells, results, trace_dir
+            )
+            grid_scope.set("cells", len(cells))
+            grid_scope.set("cached", tally["cached"])
+            if outcome is not None:
+                grid_scope.set("failed", len(outcome.failures))
+        return results

@@ -18,6 +18,7 @@ from __future__ import annotations
 import numpy as np
 
 from repro.faults.profiles import FaultProfile
+from repro.obs import tracing as obs
 
 __all__ = ["FaultInjector"]
 
@@ -96,26 +97,38 @@ class FaultInjector:
         if count == 0 or profile.is_quiet:
             return latencies
         now_s = now_ns / 1e9
+        # One global load + is-None test when tracing is off (perturb sits
+        # on the measurement path). With a tracer, the applied-fault
+        # counts correlate recovery actions with the injected cause.
+        tracer = obs._ACTIVE
 
         drift = self._drift_ns(now_s)
         if drift:
             latencies += drift
+            if tracer is not None:
+                tracer.metrics.inc("faults.drift_measurements", count)
 
         if profile.storm_outlier_probability and self._storm_active(now_s):
             hits = self._rng.random(count) < profile.storm_outlier_probability
             latencies += hits * profile.storm_extra_ns * self._rng.random(count)
+            if tracer is not None:
+                tracer.metrics.inc("faults.storm_outliers", int(hits.sum()))
 
         if profile.burst_start_probability:
             affected = self._burst_mask(count)
             latencies += (
                 affected * profile.burst_extra_ns * (0.5 + 0.5 * self._rng.random(count))
             )
+            if tracer is not None:
+                tracer.metrics.inc("faults.burst_measurements", int(affected.sum()))
 
         if profile.misread_probability:
             flips = self._misread_mask(
                 np.asarray(conflict_flags, dtype=bool), bases, partners, now_ns
             )
             latencies += flips * profile.misread_extra_ns
+            if tracer is not None:
+                tracer.metrics.inc("faults.misreads", int(flips.sum()))
 
         return latencies
 

@@ -29,6 +29,10 @@ class DegradationEvent:
         detail: human-readable cause (usually the stringified error).
         backoff_s: simulated seconds slept before the action (0 when the
             action was immediate).
+        span: slash-joined span path active when the event fired (from
+            :func:`repro.obs.tracing.current_path` — maintained even in
+            untraced runs), e.g. ``"dramdig/attempt-2/partition"``.
+            Empty when the event fired outside any tracked span.
     """
 
     step: str
@@ -36,12 +40,14 @@ class DegradationEvent:
     attempt: int = 1
     detail: str = ""
     backoff_s: float = 0.0
+    span: str = ""
 
     def describe(self) -> str:
         """One-line rendering for summaries and logs."""
         suffix = f" after {self.backoff_s:.1f}s backoff" if self.backoff_s else ""
         detail = f": {self.detail}" if self.detail else ""
-        return f"{self.step} {self.action} #{self.attempt}{suffix}{detail}"
+        where = f" @{self.span}" if self.span else ""
+        return f"{self.step} {self.action} #{self.attempt}{where}{suffix}{detail}"
 
 
 @dataclass(frozen=True)

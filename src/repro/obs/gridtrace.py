@@ -1,0 +1,164 @@
+"""Cross-process trace capture and merge for the evaluation grid.
+
+A traced grid run has two halves:
+
+* **cell side** — :func:`repro.parallel.grid.execute_cell` finds the
+  reserved ``_trace_*`` payload keys this module injected, runs the cell
+  under its own fresh :class:`~repro.obs.tracing.Tracer` (one root span
+  per cell), and writes the cell's spans + metrics to a private JSONL
+  file via :func:`~repro.ioutil.atomic_write`. This works identically
+  in-process (``--jobs 1``) and in a spawned worker, because
+  :func:`~repro.obs.tracing.activate` isolates the cell's span stack
+  either way — the merged trace cannot depend on where a cell ran.
+* **parent side** — after the grid completes, :func:`stitch_cell_traces`
+  walks the cells *in submission order*, grafting each cell file under
+  the grid span (ids re-allocated, paths re-prefixed, metrics folded
+  in). A cell with no file is either a journal hit (``--resume``) —
+  recorded as a ``cached`` span, zero re-execution — or a
+  :class:`~repro.parallel.supervisor.CellFailure`, recorded as a
+  ``failed`` span carrying the failure's reason and attempt count.
+
+The reserved keys start with ``_`` and are therefore excluded from
+:func:`~repro.parallel.grid.fingerprint_cell`: a traced run and an
+untraced run share checkpoint-journal fingerprints, so tracing can be
+turned on for a resumed run (or off for a fresh one) without
+invalidating the journal.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from collections.abc import Sequence
+from pathlib import Path
+
+from repro.obs.export import export_trace, load_trace
+from repro.obs.tracing import SpanRecord, Tracer, activate
+
+__all__ = [
+    "TRACE_DIR_KEY",
+    "TRACE_LABEL_KEY",
+    "TRACE_NAME_KEY",
+    "cell_label",
+    "run_cell_traced",
+    "stitch_cell_traces",
+    "traced_cells",
+]
+
+TRACE_DIR_KEY = "_trace_dir"
+TRACE_NAME_KEY = "_trace_name"
+TRACE_LABEL_KEY = "_trace_label"
+
+
+def cell_label(payload: dict, index: int) -> str:
+    """Display label for one cell: its payload ``name``, or its index."""
+    name = payload.get("name")
+    return str(name) if name is not None else f"cell#{index}"
+
+
+def traced_cells(cells: Sequence, trace_dir: str | Path) -> list:
+    """Copies of ``cells`` with per-cell trace destinations injected.
+
+    The injected keys are reserved (``_``-prefixed): stripped before the
+    worker function is called and ignored by cell fingerprinting.
+    """
+    directory = str(trace_dir)
+    out = []
+    for index, cell in enumerate(cells):
+        payload = dict(cell.payload)
+        payload[TRACE_DIR_KEY] = directory
+        payload[TRACE_NAME_KEY] = f"cell-{index:04d}"
+        payload[TRACE_LABEL_KEY] = cell_label(cell.payload, index)
+        out.append(dataclasses.replace(cell, payload=payload))
+    return out
+
+
+def run_cell_traced(function, kwargs: dict, payload: dict):
+    """Execute one cell under its own tracer; write its trace on success.
+
+    The file is written only when the cell completes: a failed attempt
+    leaves no partial trace behind (a supervised retry that later
+    succeeds writes the successful attempt; a cell that never succeeds
+    is represented by the parent as a ``failed`` span instead).
+    """
+    tracer = Tracer()
+    label = payload.get(TRACE_LABEL_KEY, kwargs.get("name", "cell"))
+    with activate(tracer):
+        with tracer.span(f"cell:{label}") as scope:
+            value = function(**kwargs)
+            scope.set("task_ok", True)
+    destination = Path(payload[TRACE_DIR_KEY]) / f"{payload[TRACE_NAME_KEY]}.jsonl"
+    export_trace(destination, tracer, meta={"cell": label})
+    return value
+
+
+def _graft(tracer: Tracer, parent: SpanRecord, spans: list[SpanRecord]) -> None:
+    """Re-id and re-parent a cell's spans under the parent grid span."""
+    id_map: dict[int, int] = {}
+    for span in sorted(spans, key=lambda record: record.span_id):
+        id_map[span.span_id] = tracer.next_id()
+    for span in sorted(spans, key=lambda record: record.span_id):
+        tracer.adopt(
+            dataclasses.replace(
+                span,
+                span_id=id_map[span.span_id],
+                parent_id=(
+                    id_map[span.parent_id]
+                    if span.parent_id is not None
+                    else parent.span_id
+                ),
+                path=f"{parent.path}/{span.path}",
+                attrs=dict(span.attrs),
+            )
+        )
+
+
+def stitch_cell_traces(
+    tracer: Tracer,
+    grid_span: SpanRecord,
+    cells: Sequence,
+    results: Sequence,
+    trace_dir: str | Path,
+) -> dict:
+    """Merge per-cell trace files into the parent tracer, in cell order.
+
+    Returns ``{"executed": n, "cached": n, "failed": n}``. Cells are
+    classified by evidence: a trace file means the cell executed (at
+    least once) to completion; no file plus a
+    :class:`~repro.parallel.supervisor.CellFailure` result slot means it
+    failed; no file plus a real result means the checkpoint journal
+    supplied the value without re-execution (``cached``).
+    """
+    from repro.parallel.supervisor import CellFailure
+
+    tally = {"executed": 0, "cached": 0, "failed": 0}
+    for index, cell in enumerate(cells):
+        label = cell_label(cell.payload, index)
+        source = Path(trace_dir) / f"cell-{index:04d}.jsonl"
+        if source.exists():
+            cell_trace = load_trace(source)
+            _graft(tracer, grid_span, cell_trace.spans)
+            tracer.metrics.merge_snapshot(cell_trace.metrics)
+            tally["executed"] += 1
+            continue
+        result = results[index] if index < len(results) else None
+        if isinstance(result, CellFailure):
+            status = "failed"
+            attrs = {"reason": result.reason, "attempts": result.attempts}
+            if result.detail:
+                attrs["detail"] = result.detail
+        else:
+            status = "cached"
+            attrs = {}
+        name = f"cell:{label}"
+        tracer.adopt(
+            SpanRecord(
+                span_id=tracer.next_id(),
+                parent_id=grid_span.span_id,
+                name=name,
+                path=f"{grid_span.path}/{name}",
+                status=status,
+                attrs=attrs,
+            )
+        )
+        tally[status] += 1
+    return tally

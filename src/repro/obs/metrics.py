@@ -1,0 +1,115 @@
+"""Metrics registry: named counters and summary histograms.
+
+Deliberately small: the registry exists to make the paper's measurement
+accounting inspectable (pair measurements, conflict verdicts, probe
+recalibrations, pivot retries, pile sizes, grid attempts), not to be a
+general telemetry system. Histograms store summary statistics
+(count/total/min/max) rather than raw samples so a trace file stays a
+few KB and cross-process merging is a pure fold.
+
+Everything here is deterministic given a deterministic run: counters and
+histogram statistics depend only on what the instrumented code did, never
+on wall-clock time, so two bit-identical runs produce bit-identical
+metric snapshots — the property the trace-determinism tests pin.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+__all__ = ["HistogramStats", "MetricsRegistry"]
+
+
+@dataclass
+class HistogramStats:
+    """Summary statistics of one observed value stream."""
+
+    count: int = 0
+    total: float = 0.0
+    min: float = math.inf
+    max: float = -math.inf
+
+    def observe(self, value: float) -> None:
+        value = float(value)
+        self.count += 1
+        self.total += value
+        if value < self.min:
+            self.min = value
+        if value > self.max:
+            self.max = value
+
+    @property
+    def mean(self) -> float:
+        return self.total / self.count if self.count else float("nan")
+
+    def as_dict(self) -> dict:
+        return {
+            "count": self.count,
+            "total": self.total,
+            "min": self.min if self.count else None,
+            "max": self.max if self.count else None,
+        }
+
+    def merge(self, other: "HistogramStats | dict") -> None:
+        """Fold another histogram (or its ``as_dict`` form) into this one."""
+        if isinstance(other, dict):
+            count = int(other.get("count", 0))
+            if not count:
+                return
+            self.count += count
+            self.total += float(other.get("total", 0.0))
+            other_min, other_max = other.get("min"), other.get("max")
+            if other_min is not None and other_min < self.min:
+                self.min = float(other_min)
+            if other_max is not None and other_max > self.max:
+                self.max = float(other_max)
+            return
+        if not other.count:
+            return
+        self.count += other.count
+        self.total += other.total
+        self.min = min(self.min, other.min)
+        self.max = max(self.max, other.max)
+
+
+class MetricsRegistry:
+    """Counters and histograms accumulated during one traced run."""
+
+    def __init__(self) -> None:
+        self.counters: dict[str, int] = {}
+        self.histograms: dict[str, HistogramStats] = {}
+
+    def inc(self, name: str, value: int = 1) -> None:
+        """Add ``value`` to the counter ``name`` (created at zero)."""
+        self.counters[name] = self.counters.get(name, 0) + int(value)
+
+    def observe(self, name: str, value: float) -> None:
+        """Record one sample into the histogram ``name``."""
+        histogram = self.histograms.get(name)
+        if histogram is None:
+            histogram = self.histograms[name] = HistogramStats()
+        histogram.observe(value)
+
+    def snapshot(self) -> dict:
+        """JSON-ready dump with deterministically sorted keys."""
+        return {
+            "counters": {name: self.counters[name] for name in sorted(self.counters)},
+            "histograms": {
+                name: self.histograms[name].as_dict()
+                for name in sorted(self.histograms)
+            },
+        }
+
+    def merge_snapshot(self, snapshot: dict) -> None:
+        """Fold a :meth:`snapshot` (e.g. from a grid worker) into this
+        registry. Counters add; histograms merge their summary stats. The
+        fold is commutative and associative, so merge order — worker
+        completion order, cell index order — cannot change the result."""
+        for name, value in (snapshot.get("counters") or {}).items():
+            self.inc(name, int(value))
+        for name, stats in (snapshot.get("histograms") or {}).items():
+            histogram = self.histograms.get(name)
+            if histogram is None:
+                histogram = self.histograms[name] = HistogramStats()
+            histogram.merge(stats)

@@ -1,0 +1,299 @@
+"""Hierarchical tracing spans over simulated and wall clocks.
+
+A **span** covers one named unit of work — a pipeline phase, a retry
+attempt, a grid cell — and records both clocks: the *simulated* clock
+(:class:`~repro.machine.clock.SimClock`, the paper's cost accounting)
+when the instrumented code has one, and host wall-clock seconds always.
+Spans nest: the active span is tracked on a process-wide stack, so a
+probe recalibration that fires during Algorithm 2 lands under
+``dramdig/attempt-1/partition`` without the probe knowing anything about
+the pipeline above it.
+
+Activation model (process-wide, matching the one-run-per-process grid
+workers):
+
+* :func:`activate` installs a :class:`Tracer` and *resets the span-path
+  stack*, so a grid cell traced in-process nests identically to the same
+  cell traced in a worker process — a requirement for the jobs=1 vs
+  jobs=N trace-determinism guarantee;
+* :func:`span` opens a span under the active tracer; with no tracer it
+  returns a shared null span that only maintains the name stack (a list
+  append/pop — the "zero-cost when off" budget);
+* :func:`inc` / :func:`observe` / :func:`note_event` are no-ops without
+  an active tracer, and instrumented hot paths are expected to guard any
+  *computation* of a metric value behind :func:`current_tracer`.
+"""
+
+from __future__ import annotations
+
+import time
+from contextlib import contextmanager
+from dataclasses import dataclass, field
+
+from repro.obs.metrics import MetricsRegistry
+
+__all__ = [
+    "NULL_SPAN",
+    "SpanRecord",
+    "Tracer",
+    "activate",
+    "current_path",
+    "current_tracer",
+    "inc",
+    "note_event",
+    "observe",
+    "span",
+]
+
+
+@dataclass
+class SpanRecord:
+    """One completed (or open) span.
+
+    Attributes:
+        span_id: unique id within its trace (1-based, creation order).
+        parent_id: enclosing span's id, or None for a root span.
+        name: the unit of work ("calibrate", "attempt-1", "cell:...").
+        path: slash-joined names from the root ("dramdig/attempt-1/fine").
+        status: "ok", "error" (an exception escaped the span), "cached"
+            (a grid cell restored from the checkpoint journal instead of
+            executed) or "failed" (a grid cell that exhausted its
+            attempts).
+        sim_start_ns / sim_end_ns: simulated-clock bounds, when the span
+            had a :class:`~repro.machine.clock.SimClock`; None otherwise.
+        wall_s: host wall-clock duration. Nondeterministic by nature —
+            excluded from trace-determinism comparisons.
+        attrs: free-form JSON-safe details ("measurements", "piles", ...).
+    """
+
+    span_id: int
+    parent_id: int | None
+    name: str
+    path: str
+    status: str = "ok"
+    sim_start_ns: float | None = None
+    sim_end_ns: float | None = None
+    wall_s: float = 0.0
+    attrs: dict = field(default_factory=dict)
+
+    @property
+    def sim_ns(self) -> float | None:
+        """Simulated duration, or None when the span had no sim clock."""
+        if self.sim_start_ns is None or self.sim_end_ns is None:
+            return None
+        return self.sim_end_ns - self.sim_start_ns
+
+    def to_json(self) -> dict:
+        return {
+            "type": "span",
+            "id": self.span_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "path": self.path,
+            "status": self.status,
+            "sim_start_ns": self.sim_start_ns,
+            "sim_end_ns": self.sim_end_ns,
+            "sim_ns": self.sim_ns,
+            "wall_s": self.wall_s,
+            "attrs": self.attrs,
+        }
+
+    @classmethod
+    def from_json(cls, record: dict) -> "SpanRecord":
+        return cls(
+            span_id=int(record["id"]),
+            parent_id=(None if record.get("parent") is None else int(record["parent"])),
+            name=str(record.get("name", "")),
+            path=str(record.get("path", "")),
+            status=str(record.get("status", "ok")),
+            sim_start_ns=record.get("sim_start_ns"),
+            sim_end_ns=record.get("sim_end_ns"),
+            wall_s=float(record.get("wall_s") or 0.0),
+            attrs=dict(record.get("attrs") or {}),
+        )
+
+
+class _SpanScope:
+    """Context manager for one live span under a tracer."""
+
+    __slots__ = ("_tracer", "_record", "_clock", "_wall_start")
+
+    def __init__(self, tracer: "Tracer", record: SpanRecord, clock) -> None:
+        self._tracer = tracer
+        self._record = record
+        self._clock = clock
+        self._wall_start = 0.0
+
+    def set(self, key: str, value) -> None:
+        """Attach one attribute to the span (JSON-safe values only)."""
+        self._record.attrs[key] = value
+
+    @property
+    def record(self) -> SpanRecord:
+        return self._record
+
+    def __enter__(self) -> "_SpanScope":
+        self._wall_start = time.perf_counter()
+        if self._clock is not None:
+            self._record.sim_start_ns = self._clock.elapsed_ns
+        _PATH.append(self._record.name)
+        self._tracer._stack.append(self._record)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._record.wall_s = time.perf_counter() - self._wall_start
+        if self._clock is not None:
+            self._record.sim_end_ns = self._clock.elapsed_ns
+        if exc_type is not None:
+            self._record.status = "error"
+            self._record.attrs.setdefault("error", exc_type.__name__)
+        self._tracer._stack.pop()
+        _PATH.pop()
+        return False
+
+
+class _NullSpan:
+    """Stand-in span when no tracer is active.
+
+    Keeps the name stack current (so :func:`current_path` — and through
+    it :class:`~repro.faults.recovery.DegradationEvent` attribution —
+    works in untraced runs too) but records nothing. ``set`` is a no-op.
+    Re-entrant: each ``span()`` call constructs a fresh instance, so
+    nesting is safe.
+    """
+
+    __slots__ = ("_name",)
+
+    def __init__(self, name: str) -> None:
+        self._name = name
+
+    def set(self, key: str, value) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        _PATH.append(self._name)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        _PATH.pop()
+        return False
+
+
+NULL_SPAN = _NullSpan("")
+
+
+class Tracer:
+    """Collects spans and metrics for one traced run."""
+
+    def __init__(self) -> None:
+        self.spans: list[SpanRecord] = []
+        self.metrics = MetricsRegistry()
+        self._stack: list[SpanRecord] = []
+        self._next_id = 1
+
+    def span(self, name: str, clock=None, **attrs) -> _SpanScope:
+        """Open a child span of the currently active span.
+
+        ``clock`` is a :class:`~repro.machine.clock.SimClock` (or any
+        object with ``elapsed_ns``) used to stamp simulated-time bounds;
+        omit it for spans with no simulated cost (grid orchestration).
+        """
+        parent = self._stack[-1] if self._stack else None
+        record = SpanRecord(
+            span_id=self._next_id,
+            parent_id=parent.span_id if parent is not None else None,
+            name=name,
+            path=f"{parent.path}/{name}" if parent is not None else name,
+            attrs=dict(attrs),
+        )
+        self._next_id += 1
+        self.spans.append(record)
+        return _SpanScope(self, record, clock)
+
+    def adopt(self, record: SpanRecord) -> None:
+        """Attach an externally built span record (trace merging)."""
+        self.spans.append(record)
+        if record.span_id >= self._next_id:
+            self._next_id = record.span_id + 1
+
+    def next_id(self) -> int:
+        """Allocate one span id (for adopted/merged records)."""
+        allocated = self._next_id
+        self._next_id += 1
+        return allocated
+
+    @property
+    def current_span(self) -> SpanRecord | None:
+        return self._stack[-1] if self._stack else None
+
+
+# Process-wide activation state. Deliberately plain module globals, not
+# contextvars: the grid model is one traced run per process (workers) or
+# strictly nested activations in one thread (in-process serial cells),
+# and a global read is what keeps the tracing-off cost of a hot-path
+# guard to a single load+is-None test.
+_ACTIVE: Tracer | None = None
+_PATH: list[str] = []
+
+
+def current_tracer() -> Tracer | None:
+    """The active tracer, or None when tracing is off."""
+    return _ACTIVE
+
+
+def current_path() -> str:
+    """Slash-joined names of the open spans (empty outside any span)."""
+    return "/".join(_PATH)
+
+
+@contextmanager
+def activate(tracer: Tracer):
+    """Install ``tracer`` as the active tracer for the dynamic extent.
+
+    The span-path stack is swapped for a fresh one and restored on exit,
+    so a nested activation (an in-process grid cell under a traced
+    parent) starts from a clean root exactly like a worker process
+    would — span paths must not depend on where the cell ran.
+    """
+    global _ACTIVE, _PATH
+    previous_tracer, previous_path = _ACTIVE, _PATH
+    _ACTIVE, _PATH = tracer, []
+    try:
+        yield tracer
+    finally:
+        _ACTIVE, _PATH = previous_tracer, previous_path
+
+
+def span(name: str, clock=None, **attrs):
+    """Open a span under the active tracer, or a null span without one."""
+    tracer = _ACTIVE
+    if tracer is None:
+        return _NullSpan(name)
+    return tracer.span(name, clock=clock, **attrs)
+
+
+def inc(name: str, value: int = 1) -> None:
+    """Increment a counter on the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.metrics.inc(name, value)
+
+
+def observe(name: str, value: float) -> None:
+    """Record a histogram sample on the active tracer (no-op when off)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.metrics.observe(name, value)
+
+
+def note_event(event):
+    """Feed a :class:`~repro.faults.recovery.DegradationEvent` into the
+    metrics registry and return it unchanged, so creation sites can wrap
+    construction in place. Counted as ``degradation.<step>.<action>`` —
+    the correlation between recovery actions and the span they fired in
+    comes from the event's ``span`` field (set by the creation site from
+    :func:`current_path`)."""
+    tracer = _ACTIVE
+    if tracer is not None:
+        tracer.metrics.inc(f"degradation.{event.step}.{event.action}")
+    return event

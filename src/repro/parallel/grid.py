@@ -136,11 +136,22 @@ def fingerprint_cell(cell: GridCell) -> str:
     same result (cells are pure functions of their payloads), which is
     what lets the checkpoint journal key completed work by fingerprint
     and lets ``--resume`` skip finished cells across process lifetimes.
+
+    Payload keys starting with ``_`` are *reserved for the harness*
+    (per-cell trace destinations injected by
+    :mod:`repro.obs.gridtrace`) and excluded: they never reach the
+    worker function, so they cannot change the result — a traced run
+    and an untraced run share journal entries.
     """
     digest = hashlib.sha256()
     digest.update(cell.task.encode())
     digest.update(b"\x00")
-    digest.update(_canonical(cell.payload).encode())
+    payload = {
+        key: value
+        for key, value in cell.payload.items()
+        if not (isinstance(key, str) and key.startswith("_"))
+    }
+    digest.update(_canonical(payload).encode())
     return digest.hexdigest()
 
 
@@ -170,11 +181,27 @@ def execute_cell(cell: GridCell):
     function) propagate unchanged; errors raised by the worker function
     itself are wrapped in :class:`CellExecutionError` naming the cell's
     task and fingerprint, with the original exception as ``__cause__``.
+
+    Reserved ``_``-prefixed payload keys are stripped before the worker
+    function is called; when :mod:`repro.obs.gridtrace` injected a trace
+    destination, the cell runs under its own tracer and writes a per-cell
+    span file for the parent to stitch.
     """
     module_name, _, function_name = cell.task.partition(":")
     function = getattr(import_module(module_name), function_name)
+    payload = cell.payload
+    kwargs = payload
+    reserved = None
+    if any(isinstance(key, str) and key.startswith("_") for key in payload):
+        kwargs, reserved = {}, {}
+        for key, value in payload.items():
+            (reserved if key.startswith("_") else kwargs)[key] = value
     try:
-        return function(**cell.payload)
+        if reserved and "_trace_dir" in reserved:
+            from repro.obs.gridtrace import run_cell_traced
+
+            return run_cell_traced(function, kwargs, reserved)
+        return function(**kwargs)
     except Exception as error:
         raise CellExecutionError(
             f"grid cell {cell.task} (fingerprint {fingerprint_cell(cell)[:12]}) "

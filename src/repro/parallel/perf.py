@@ -1,6 +1,6 @@
 """Perf harness: wall-clock evidence for the optimisation work.
 
-Writes ``BENCH_perf.json`` with three families of numbers:
+Writes ``BENCH_perf.json`` with four families of numbers:
 
 * **grid** — wall-clock seconds of the Table I and Figure 2 evaluation
   grids, serial and parallel, next to the recorded pre-optimisation
@@ -9,6 +9,10 @@ Writes ``BENCH_perf.json`` with three families of numbers:
   next to both the retained reference implementations
   (``bank_of_array_popcount`` / ``row_of_array_shift``) and the recorded
   seed numbers;
+* **tracing** — one DRAMDig run with and without an active tracer
+  (the zero-cost-when-off claim, measured), plus the traced run's
+  per-phase breakdown (simulated seconds, wall seconds and pair
+  measurements per pipeline step) lifted from its spans;
 * **environment** — CPU count and worker count, because a parallel
   speedup claim without the CPU count is meaningless (on a single-CPU
   container the process pool cannot beat serial; the vectorised kernels
@@ -32,9 +36,13 @@ from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.figure2 import run_figure2
 from repro.evalsuite.table1 import run_table1
 from repro.ioutil import atomic_write
+from repro.logutil import get_logger, setup_logging
+from repro.obs import tracing as obs
 from repro.parallel.grid import resolve_jobs
 
 __all__ = ["SEED_BASELINES", "run_perf", "main"]
+
+_LOG = get_logger("repro.perf")
 
 # Pre-optimisation numbers, measured on the reference container at the
 # commit this harness was introduced (seed code, serial, same workloads
@@ -92,6 +100,52 @@ def _micro_benches() -> dict:
     }
 
 
+def _tracing_benches(machine_name: str = "No.1", repeats: int = 3) -> dict:
+    """Tracing overhead on one full DRAMDig run, plus the phase breakdown.
+
+    Same (preset, seed) run measured best-of-N twice: once with the
+    tracer globals left ``None`` (the production default — instrumented
+    hot paths reduce to a single is-None test) and once under an active
+    tracer. The last traced run's spans supply the per-phase table: a
+    phase span sits at path depth 2 (``dramdig/attempt-N/<phase>``).
+    """
+    from repro.core.dramdig import DramDig
+    from repro.machine.machine import SimulatedMachine
+
+    def run_once():
+        machine = SimulatedMachine.from_preset(preset(machine_name), seed=1)
+        DramDig().run(machine)
+
+    untraced = _best_of(run_once, repeats=repeats)
+
+    tracer = obs.Tracer()
+
+    def run_traced():
+        nonlocal tracer
+        tracer = obs.Tracer()
+        with obs.activate(tracer):
+            run_once()
+
+    traced = _best_of(run_traced, repeats=repeats)
+    phases: dict[str, dict] = {}
+    for span in tracer.spans:
+        if span.path.count("/") != 2:
+            continue
+        entry = phases.setdefault(
+            span.name, {"sim_seconds": 0.0, "wall_seconds": 0.0, "measurements": 0}
+        )
+        entry["sim_seconds"] += (span.sim_ns or 0.0) / 1e9
+        entry["wall_seconds"] += span.wall_s or 0.0
+        entry["measurements"] += int(span.attrs.get("measurements", 0))
+    return {
+        "machine": machine_name,
+        "untraced_seconds": untraced,
+        "traced_seconds": traced,
+        "overhead_ratio": traced / untraced if untraced else float("nan"),
+        "phases": phases,
+    }
+
+
 def _grid_benches(jobs: int, machines: tuple[str, ...]) -> dict:
     def timed(callable_) -> float:
         start = time.perf_counter()
@@ -134,6 +188,7 @@ def run_perf(
         },
         "seed_baselines": SEED_BASELINES,
         "micro": _micro_benches(),
+        "tracing": _tracing_benches(),
         "grid": _grid_benches(workers, machines),
     }
     if out is not None:
@@ -159,21 +214,42 @@ def main(argv: list[str] | None = None) -> int:
         help="machine panel for the grid runs (default: all nine presets)",
     )
     args = parser.parse_args(argv)
+    setup_logging("info")
     record = run_perf(jobs=args.jobs, machines=tuple(args.machines), out=args.out)
     grid = record["grid"]
     micro = record["micro"]
-    print(f"table1: serial {grid['table1_serial_seconds']:.1f}s "
-          f"(seed {SEED_BASELINES['table1_seconds']:.1f}s, "
-          f"{grid['table1_speedup_vs_seed']:.1f}x), "
-          f"parallel x{grid['jobs']} {grid['table1_parallel_seconds']:.1f}s")
-    print(f"figure2: serial {grid['figure2_serial_seconds']:.1f}s "
-          f"(seed {SEED_BASELINES['figure2_seconds']:.1f}s, "
-          f"{grid['figure2_speedup_vs_seed']:.1f}x), "
-          f"parallel x{grid['jobs']} {grid['figure2_parallel_seconds']:.1f}s")
+    tracing = record["tracing"]
+    _LOG.info(
+        "table1: serial %.1fs (seed %.1fs, %.1fx), parallel x%d %.1fs",
+        grid["table1_serial_seconds"],
+        SEED_BASELINES["table1_seconds"],
+        grid["table1_speedup_vs_seed"],
+        grid["jobs"],
+        grid["table1_parallel_seconds"],
+    )
+    _LOG.info(
+        "figure2: serial %.1fs (seed %.1fs, %.1fx), parallel x%d %.1fs",
+        grid["figure2_serial_seconds"],
+        SEED_BASELINES["figure2_seconds"],
+        grid["figure2_speedup_vs_seed"],
+        grid["jobs"],
+        grid["figure2_parallel_seconds"],
+    )
     for key, speedup in micro["speedup_vs_seed"].items():
-        print(f"{key.removesuffix('_us')}: {micro['current'][key]:.1f}us "
-              f"({speedup:.1f}x vs seed)")
-    print(f"written {args.out}")
+        _LOG.info(
+            "%s: %.1fus (%.1fx vs seed)",
+            key.removesuffix("_us"),
+            micro["current"][key],
+            speedup,
+        )
+    _LOG.info(
+        "tracing overhead on %s: untraced %.2fs, traced %.2fs (%.1f%%)",
+        tracing["machine"],
+        tracing["untraced_seconds"],
+        tracing["traced_seconds"],
+        (tracing["overhead_ratio"] - 1.0) * 100.0,
+    )
+    _LOG.info("written %s", args.out)
     return 0
 
 

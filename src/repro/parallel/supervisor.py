@@ -49,6 +49,7 @@ from multiprocessing import get_context
 from pathlib import Path
 
 from repro.faults.recovery import DegradationEvent
+from repro.obs import tracing as obs
 from repro.parallel.grid import (
     DEFAULT_START_METHOD,
     GridCell,
@@ -251,6 +252,8 @@ def run_cells_supervised(
                 resumed += 1
                 continue
         pending.append(index)
+    if resumed:
+        obs.inc("grid.cells_resumed", resumed)
 
     def checkpoint(index: int, value: object) -> None:
         results[index] = value
@@ -332,12 +335,15 @@ def _run_serial(
                 if attempts <= policy.retries and not out_of_time:
                     backoff = policy.backoff(attempts)
                     events.append(
-                        DegradationEvent(
-                            step="grid",
-                            action="retry",
-                            attempt=attempts,
-                            detail=str(error),
-                            backoff_s=backoff,
+                        obs.note_event(
+                            DegradationEvent(
+                                step="grid",
+                                action="retry",
+                                attempt=attempts,
+                                detail=str(error),
+                                backoff_s=backoff,
+                                span=obs.current_path(),
+                            )
                         )
                     )
                     time.sleep(backoff)
@@ -347,6 +353,7 @@ def _run_serial(
                 )
                 break
             checkpoint(index, value)
+            obs.observe("grid.cell_attempts", attempts)
             break
 
 
@@ -409,12 +416,15 @@ def _run_pooled(
         if attempts[index] <= policy.retries and not out_of_time:
             backoff = policy.backoff(attempts[index])
             events.append(
-                DegradationEvent(
-                    step="grid",
-                    action="retry",
-                    attempt=attempts[index],
-                    detail=f"{reason}: {detail}" if detail else reason,
-                    backoff_s=backoff,
+                obs.note_event(
+                    DegradationEvent(
+                        step="grid",
+                        action="retry",
+                        attempt=attempts[index],
+                        detail=f"{reason}: {detail}" if detail else reason,
+                        backoff_s=backoff,
+                        span=obs.current_path(),
+                    )
                 )
             )
             waiting[index] = time.monotonic() + backoff
@@ -426,7 +436,14 @@ def _run_pooled(
         _kill_pool(pool)
         pool = _spawn_pool(workers, context)
         events.append(
-            DegradationEvent(step="grid", action="respawn", detail=cause)
+            obs.note_event(
+                DegradationEvent(
+                    step="grid",
+                    action="respawn",
+                    detail=cause,
+                    span=obs.current_path(),
+                )
+            )
         )
 
     def harvest_or_crash(future, crashed: list[int]) -> None:
@@ -446,6 +463,7 @@ def _run_pooled(
             retry_or_fail(index, "error", str(error))
         else:
             checkpoint(index, value)
+            obs.observe("grid.cell_attempts", attempts[index])
 
     try:
         while to_submit or inflight or waiting or quarantine:
@@ -587,14 +605,17 @@ def _run_pooled(
                     )
                     for index in hung_indices:
                         events.append(
-                            DegradationEvent(
-                                step="grid",
-                                action="timeout",
-                                attempt=attempts[index],
-                                detail=(
-                                    f"{cells[index].task} exceeded "
-                                    f"{policy.cell_timeout_s:g}s"
-                                ),
+                            obs.note_event(
+                                DegradationEvent(
+                                    step="grid",
+                                    action="timeout",
+                                    attempt=attempts[index],
+                                    detail=(
+                                        f"{cells[index].task} exceeded "
+                                        f"{policy.cell_timeout_s:g}s"
+                                    ),
+                                    span=obs.current_path(),
+                                )
                             )
                         )
                         retry_or_fail(

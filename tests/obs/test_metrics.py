@@ -1,0 +1,84 @@
+"""Metrics registry: counters, histogram stats, commutative merging."""
+
+import math
+
+from repro.obs.metrics import HistogramStats, MetricsRegistry
+
+
+class TestHistogramStats:
+    def test_observe_tracks_summary(self):
+        stats = HistogramStats()
+        for value in (4.0, 8.0, 6.0):
+            stats.observe(value)
+        assert stats.count == 3
+        assert stats.total == 18.0
+        assert stats.min == 4.0
+        assert stats.max == 8.0
+        assert stats.mean == 6.0
+
+    def test_empty_as_dict_has_null_bounds(self):
+        empty = HistogramStats().as_dict()
+        assert empty == {"count": 0, "total": 0.0, "min": None, "max": None}
+        assert math.isnan(HistogramStats().mean)
+
+    def test_merge_accepts_dict_and_object(self):
+        left = HistogramStats()
+        left.observe(2.0)
+        right = HistogramStats()
+        right.observe(10.0)
+        left.merge(right)
+        left.merge(right.as_dict())
+        assert left.count == 3
+        assert left.min == 2.0
+        assert left.max == 10.0
+
+    def test_merging_empty_is_identity(self):
+        stats = HistogramStats()
+        stats.observe(5.0)
+        stats.merge(HistogramStats())
+        stats.merge(HistogramStats().as_dict())
+        assert stats.as_dict() == {"count": 1, "total": 5.0, "min": 5.0, "max": 5.0}
+
+
+class TestMetricsRegistry:
+    def test_counters_accumulate(self):
+        registry = MetricsRegistry()
+        registry.inc("a")
+        registry.inc("a", 4)
+        registry.inc("b", 0)
+        assert registry.counters == {"a": 5, "b": 0}
+
+    def test_snapshot_is_sorted_and_json_ready(self):
+        registry = MetricsRegistry()
+        registry.inc("zeta")
+        registry.inc("alpha")
+        registry.observe("pile", 8.0)
+        snapshot = registry.snapshot()
+        assert list(snapshot["counters"]) == ["alpha", "zeta"]
+        assert snapshot["histograms"]["pile"]["count"] == 1
+        import json
+
+        json.dumps(snapshot)  # must be serialisable as-is
+
+    def test_merge_snapshot_is_commutative(self):
+        def worker(values, counter):
+            registry = MetricsRegistry()
+            registry.inc("measurements", counter)
+            for value in values:
+                registry.observe("pile", value)
+            return registry.snapshot()
+
+        one = worker([3.0, 9.0], 100)
+        two = worker([5.0], 42)
+
+        ab = MetricsRegistry()
+        ab.merge_snapshot(one)
+        ab.merge_snapshot(two)
+        ba = MetricsRegistry()
+        ba.merge_snapshot(two)
+        ba.merge_snapshot(one)
+        assert ab.snapshot() == ba.snapshot()
+        assert ab.counters["measurements"] == 142
+        assert ab.histograms["pile"].count == 3
+        assert ab.histograms["pile"].min == 3.0
+        assert ab.histograms["pile"].max == 9.0

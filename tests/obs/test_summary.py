@@ -1,0 +1,96 @@
+"""Trace summary rendering and the consistency checks CI gates on."""
+
+from repro.obs.export import TraceFile
+from repro.obs.tracing import SpanRecord
+from repro.obs.summary import render_summary, validate_trace
+
+
+def _span(span_id, parent, name, path, **kwargs):
+    return SpanRecord(
+        span_id=span_id, parent_id=parent, name=name, path=path, **kwargs
+    )
+
+
+def _telescoped_trace():
+    return TraceFile(
+        header={"format": "dramdig-trace", "version": 1, "command": "run"},
+        spans=[
+            _span(1, None, "dramdig", "dramdig", attrs={"measurements": 30},
+                  sim_start_ns=0.0, sim_end_ns=5e9),
+            _span(2, 1, "attempt-1", "dramdig/attempt-1",
+                  attrs={"measurements": 30}),
+            _span(3, 2, "calibrate", "dramdig/attempt-1/calibrate",
+                  attrs={"measurements": 12}),
+            _span(4, 2, "partition", "dramdig/attempt-1/partition",
+                  attrs={"measurements": 18, "piles": 4}),
+        ],
+        metrics={
+            "counters": {"probe.pair_measurements": 30},
+            "histograms": {
+                "partition.pile_size": {"count": 4, "total": 32.0,
+                                        "min": 8.0, "max": 8.0}
+            },
+        },
+    )
+
+
+class TestValidateTrace:
+    def test_consistent_trace_passes(self):
+        assert validate_trace(_telescoped_trace()) == []
+
+    def test_duplicate_ids_flagged(self):
+        trace = _telescoped_trace()
+        trace.spans.append(_span(3, 2, "extra", "dramdig/attempt-1/extra"))
+        assert any("duplicate span id 3" in p for p in validate_trace(trace))
+
+    def test_unknown_parent_flagged(self):
+        trace = _telescoped_trace()
+        trace.spans.append(_span(9, 99, "orphan", "orphan"))
+        assert any("unknown parent 99" in p for p in validate_trace(trace))
+
+    def test_negative_sim_duration_flagged(self):
+        trace = _telescoped_trace()
+        trace.spans.append(
+            _span(9, 1, "warp", "dramdig/warp", sim_start_ns=10.0, sim_end_ns=5.0)
+        )
+        assert any("negative simulated duration" in p for p in validate_trace(trace))
+
+    def test_measurement_telescoping_violation_flagged(self):
+        trace = _telescoped_trace()
+        trace.spans[3].attrs["measurements"] = 17  # 12 + 17 != 30
+        problems = validate_trace(trace)
+        assert any("claims 30 measurements" in p for p in problems)
+        assert any("sum to 29" in p for p in problems)
+
+    def test_children_without_measurements_are_not_telescoped(self):
+        trace = TraceFile(
+            spans=[
+                _span(1, None, "grid:table1", "grid:table1",
+                      attrs={"measurements": 5}),
+                _span(2, 1, "cell:No.1", "grid:table1/cell:No.1"),
+            ]
+        )
+        assert validate_trace(trace) == []
+
+
+class TestRenderSummary:
+    def test_tree_metrics_and_statuses_render(self):
+        trace = _telescoped_trace()
+        trace.spans.append(
+            _span(5, 1, "cell:No.4", "dramdig/cell:No.4", status="cached")
+        )
+        text = render_summary(trace)
+        assert "trace: dramdig-trace v1 (command=run)" in text
+        assert "dramdig" in text
+        # children indent beneath the root
+        assert "\n  attempt-1" in text
+        assert "    calibrate" in text
+        assert "measurements=18 piles=4" in text
+        assert "CACHED" in text
+        assert "probe.pair_measurements" in text
+        assert "mean=8.0" in text
+
+    def test_empty_trace_renders(self):
+        text = render_summary(TraceFile(header={"format": "dramdig-trace",
+                                                "version": 1}))
+        assert "(no spans)" in text

@@ -1,0 +1,148 @@
+"""Span/tracer semantics: nesting, activation isolation, zero-cost-off."""
+
+import pytest
+
+from repro.obs import tracing
+
+
+class FakeClock:
+    def __init__(self):
+        self.elapsed_ns = 0.0
+
+    def advance(self, ns):
+        self.elapsed_ns += ns
+
+
+class TestSpans:
+    def test_nesting_records_parent_and_path(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            with tracer.span("outer"):
+                with tracer.span("inner") as inner:
+                    inner.set("detail", 7)
+        outer, inner = tracer.spans
+        assert outer.parent_id is None
+        assert outer.path == "outer"
+        assert inner.parent_id == outer.span_id
+        assert inner.path == "outer/inner"
+        assert inner.attrs == {"detail": 7}
+
+    def test_sim_clock_bounds(self):
+        tracer = tracing.Tracer()
+        clock = FakeClock()
+        with tracing.activate(tracer):
+            with tracer.span("work", clock=clock):
+                clock.advance(250.0)
+        (span,) = tracer.spans
+        assert span.sim_start_ns == 0.0
+        assert span.sim_end_ns == 250.0
+        assert span.sim_ns == 250.0
+        assert span.wall_s >= 0.0
+
+    def test_no_clock_means_no_sim_duration(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            with tracer.span("orchestration"):
+                pass
+        assert tracer.spans[0].sim_ns is None
+
+    def test_exception_marks_span_error_and_propagates(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            with pytest.raises(RuntimeError):
+                with tracer.span("doomed"):
+                    raise RuntimeError("boom")
+        (span,) = tracer.spans
+        assert span.status == "error"
+        assert span.attrs["error"] == "RuntimeError"
+        # The stack unwound: a follow-up span is a fresh root.
+        with tracing.activate(tracer):
+            with tracer.span("after"):
+                pass
+        assert tracer.spans[-1].parent_id is None
+
+    def test_ids_are_creation_ordered_and_unique(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            for name in ("a", "b", "c"):
+                with tracer.span(name):
+                    pass
+        ids = [span.span_id for span in tracer.spans]
+        assert ids == sorted(ids)
+        assert len(set(ids)) == len(ids)
+
+
+class TestActivation:
+    def test_inactive_by_default(self):
+        assert tracing.current_tracer() is None
+        assert tracing.current_path() == ""
+
+    def test_activate_installs_and_restores(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            assert tracing.current_tracer() is tracer
+        assert tracing.current_tracer() is None
+
+    def test_nested_activation_starts_fresh_path(self):
+        """An in-process grid cell must produce the same span paths as a
+        worker process: activation resets the name stack."""
+        outer = tracing.Tracer()
+        inner = tracing.Tracer()
+        with tracing.activate(outer):
+            with outer.span("grid:table1"):
+                assert tracing.current_path() == "grid:table1"
+                with tracing.activate(inner):
+                    assert tracing.current_path() == ""
+                    with inner.span("cell:No.1"):
+                        assert tracing.current_path() == "cell:No.1"
+                assert tracing.current_path() == "grid:table1"
+        assert inner.spans[0].path == "cell:No.1"
+        assert inner.spans[0].parent_id is None
+
+    def test_null_span_maintains_path_when_off(self):
+        """Untraced runs still track the step name for DegradationEvent
+        attribution — the only work the off path does."""
+        scope = tracing.span("partition")
+        assert not isinstance(scope, tracing._SpanScope)
+        with scope as span_scope:
+            span_scope.set("ignored", 1)  # no-op, must not raise
+            assert tracing.current_path() == "partition"
+            with tracing.span("retry"):
+                assert tracing.current_path() == "partition/retry"
+        assert tracing.current_path() == ""
+
+
+class TestModuleHelpers:
+    def test_inc_and_observe_are_noops_when_off(self):
+        tracing.inc("some.counter")
+        tracing.observe("some.histogram", 3.0)  # must not raise
+
+    def test_inc_and_observe_record_when_on(self):
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            tracing.inc("pipeline.retries", 2)
+            tracing.inc("pipeline.retries")
+            tracing.observe("pile", 8.0)
+        assert tracer.metrics.counters["pipeline.retries"] == 3
+        assert tracer.metrics.histograms["pile"].count == 1
+
+    def test_note_event_counts_and_returns_event(self):
+        from repro.faults.recovery import DegradationEvent
+
+        event = DegradationEvent(
+            step="partition", action="escalated", attempt=1, span="dramdig/x"
+        )
+        assert tracing.note_event(event) is event  # off: passthrough
+        tracer = tracing.Tracer()
+        with tracing.activate(tracer):
+            assert tracing.note_event(event) is event
+        assert tracer.metrics.counters["degradation.partition.escalated"] == 1
+
+    def test_degradation_event_describe_names_span(self):
+        from repro.faults.recovery import DegradationEvent
+
+        event = DegradationEvent(
+            step="calibrate", action="recalibrated", attempt=2,
+            span="dramdig/attempt-1/partition",
+        )
+        assert "@dramdig/attempt-1/partition" in event.describe()

@@ -201,6 +201,81 @@ def test_run_rejects_unknown_noise_profile(capsys):
 
 def test_run_with_noise_profile_recovers(capsys):
     assert main(["run", "No.1", "--noise-profile", "drift"]) == 0
+    captured = capsys.readouterr()
+    # status lines go to stderr (logging); artefact output stays on stdout
+    assert "noise profile: drift (adaptive recovery enabled)" in captured.err
+    assert "matches ground truth: yes" in captured.out
+
+
+def test_status_lines_go_to_stderr(capsys):
+    assert main(["run", "No.4"]) == 0
+    captured = capsys.readouterr()
+    assert "Reverse-engineering No.4" in captured.err
+    assert "Reverse-engineering" not in captured.out
+
+
+def test_quiet_suppresses_status_lines(capsys):
+    assert main(["--quiet", "run", "No.4"]) == 0
+    captured = capsys.readouterr()
+    assert "Reverse-engineering" not in captured.err
+    assert "matches ground truth: yes" in captured.out
+
+
+def test_run_trace_roundtrips_through_summary(tmp_path, capsys):
+    trace_path = tmp_path / "run.jsonl"
+    assert main(["run", "No.4", "--trace", str(trace_path)]) == 0
+    captured = capsys.readouterr()
+    assert f"trace written to {trace_path}" in captured.err
+    assert trace_path.exists()
+
+    from repro.obs.export import load_trace
+
+    trace = load_trace(trace_path)
+    assert trace.header["command"] == "run"
+    assert any(span.name == "dramdig" for span in trace.spans)
+
+    assert main(["trace", "summary", str(trace_path)]) == 0
     out = capsys.readouterr().out
-    assert "noise profile: drift (adaptive recovery enabled)" in out
-    assert "matches ground truth: yes" in out
+    assert "dramdig" in out
+    assert "metrics:" in out
+    assert "probe.pair_measurements" in out
+
+
+def test_trace_summary_rejects_missing_and_garbage(tmp_path, capsys):
+    assert main(["trace", "summary", str(tmp_path / "absent.jsonl")]) == 1
+    assert "cannot read trace" in capsys.readouterr().err
+
+    garbage = tmp_path / "garbage.jsonl"
+    garbage.write_text('{"format": "something-else", "version": 1}\n')
+    assert main(["trace", "summary", str(garbage)]) == 1
+    assert "cannot read trace" in capsys.readouterr().err
+
+
+def test_trace_summary_flags_inconsistent_trace(tmp_path, capsys):
+    import json
+
+    bad = tmp_path / "bad.jsonl"
+    bad.write_text(
+        "\n".join(
+            [
+                json.dumps({"format": "dramdig-trace", "version": 1}),
+                json.dumps(
+                    {
+                        "type": "span", "id": 1, "parent": None,
+                        "name": "dramdig", "path": "dramdig",
+                        "attrs": {"measurements": 10},
+                    }
+                ),
+                json.dumps(
+                    {
+                        "type": "span", "id": 2, "parent": 1,
+                        "name": "calibrate", "path": "dramdig/calibrate",
+                        "attrs": {"measurements": 7},
+                    }
+                ),
+            ]
+        )
+        + "\n"
+    )
+    assert main(["trace", "summary", str(bad)]) == 1
+    assert "trace inconsistency" in capsys.readouterr().err
