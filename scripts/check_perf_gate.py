@@ -1,0 +1,124 @@
+#!/usr/bin/env python
+"""CI perf regression gate over ``BENCH_perf.json``.
+
+Runs (or reads) the perf harness record and fails the build when the
+parallel grid stops paying for itself or stops being exact:
+
+* serial and parallel grid artefacts must be byte-identical
+  (``grid.parallel_bit_identical``) — the harness itself raises on
+  divergence, so a record that reached disk without the flag is
+  treated as a failure too;
+* the campaign-planner A/B must report identical results
+  (``single_run.results_identical``) and a batching speedup at or
+  above the recorded floor;
+* on multi-CPU hosts ``grid.table1_parallel_speedup`` must stay at or
+  above the recorded floor. Single-CPU hosts skip this check — the
+  harness omits the column there by design, and a gate that fails on
+  hardware that cannot parallelise would only teach people to delete
+  the gate.
+
+Usage: ``python scripts/check_perf_gate.py [--bench BENCH_perf.json]
+[--run]``. With ``--run`` the harness is executed first (writing the
+record to ``--bench``); without it an existing record is checked.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+# Conservative floors, not targets: far enough below the recorded
+# numbers (batching 1.3x on the reference container, parallel speedup
+# ~0.8x jobs on multi-core hosts) that noise cannot trip them, close
+# enough that a real regression — a worker pool rebuilt per task, a
+# campaign quietly falling back to scalar — still does.
+BATCHING_SPEEDUP_FLOOR = 1.05
+PARALLEL_SPEEDUP_FLOOR = 1.3
+
+
+def check_record(record: dict) -> list[str]:
+    """Return the list of gate violations (empty = pass)."""
+    problems = []
+    grid = record.get("grid", {})
+    single = record.get("single_run", {})
+    environment = record.get("environment", {})
+
+    if grid.get("parallel_bit_identical") is not True:
+        problems.append(
+            "grid.parallel_bit_identical is not true: serial and parallel "
+            "artefacts diverged"
+        )
+    if single.get("results_identical") is not True:
+        problems.append(
+            "single_run.results_identical is not true: campaign batching "
+            "changed a result"
+        )
+
+    batching = single.get("batching_speedup")
+    if batching is None or batching < BATCHING_SPEEDUP_FLOOR:
+        problems.append(
+            f"single_run.batching_speedup {batching} below floor "
+            f"{BATCHING_SPEEDUP_FLOOR}"
+        )
+
+    if environment.get("single_cpu"):
+        print(
+            "perf gate: single-CPU host, parallel-speedup floor skipped "
+            "(bit-identity still enforced)"
+        )
+    else:
+        speedup = grid.get("table1_parallel_speedup")
+        if speedup is None or speedup < PARALLEL_SPEEDUP_FLOOR:
+            problems.append(
+                f"grid.table1_parallel_speedup {speedup} below floor "
+                f"{PARALLEL_SPEEDUP_FLOOR}"
+            )
+    return problems
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--bench", default="BENCH_perf.json", metavar="PATH",
+        help="perf record to check (default BENCH_perf.json)",
+    )
+    parser.add_argument(
+        "--run", action="store_true",
+        help="run the perf harness first, writing the record to --bench",
+    )
+    args = parser.parse_args(argv)
+
+    if args.run:
+        from repro.parallel.perf import main as perf_main
+
+        code = perf_main(["--out", args.bench])
+        if code != 0:
+            print(f"perf gate: harness exited {code}", file=sys.stderr)
+            return code
+
+    path = Path(args.bench)
+    try:
+        record = json.loads(path.read_text())
+    except (OSError, ValueError) as error:
+        print(f"perf gate: cannot read {path}: {error}", file=sys.stderr)
+        return 1
+
+    problems = check_record(record)
+    for problem in problems:
+        print(f"perf gate: {problem}", file=sys.stderr)
+    if not problems:
+        grid = record.get("grid", {})
+        single = record.get("single_run", {})
+        print(
+            "perf gate: ok "
+            f"(batching {single.get('batching_speedup', float('nan')):.2f}x, "
+            f"parallel speedup "
+            f"{grid.get('table1_parallel_speedup', 'skipped')})"
+        )
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

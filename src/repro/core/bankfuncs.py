@@ -29,6 +29,7 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.analysis import gf2
+from repro.analysis.arrays import sorted_unique
 from repro.analysis.bits import deposit_bits, parity
 from repro.dram.errors import FunctionSearchError
 from repro.obs import tracing as obs
@@ -170,7 +171,7 @@ def _pile_difference_projections(
         projected = np.zeros(diffs.shape, dtype=np.uint64)
         for index, position in enumerate(positions):
             projected |= ((diffs >> np.uint64(position)) & np.uint64(1)) << np.uint64(index)
-        projections.extend(int(value) for value in np.unique(projected) if value)
+        projections.extend(value for value in sorted_unique(projected).tolist() if value)
     return projections
 
 

@@ -143,7 +143,10 @@ class CoarseDetector:
             # buffer): the bit cannot be probed, treat as not-a-row/column;
             # it ends up a bank candidate and Algorithm 3 sorts it out.
             return False
-        decisions = [self.probe.is_conflict(a, b) for a, b in pairs]
+        # One campaign per voted decision; the tie-break pair must stay a
+        # separate draw-then-measure step because its discovery consumes
+        # tool RNG only after the first votes disagreed.
+        decisions = self.probe.are_conflicts(pairs)
         agreed = sum(decisions)
         if agreed not in (0, len(decisions)) and len(decisions) >= 2:
             # Disagreement: one tie-breaking extra pair.

@@ -194,7 +194,7 @@ class FineDetector:
             pairs = find_pairs(self.pages, mask, self.votes, self.rng)
         except SelectionError:
             return False
-        decisions = [self.probe.is_conflict(a, b) for a, b in pairs]
+        decisions = self.probe.are_conflicts(pairs)
         agreed = sum(decisions)
         if agreed not in (0, len(decisions)) and len(decisions) >= 2:
             pairs = pairs + find_pairs(self.pages, mask, 1, self.rng)

@@ -244,7 +244,12 @@ def partition_pool(
         if low <= pile_size <= high:
             result.piles[pivot] = members
             obs.observe("partition.pile_size", pile_size)
-            keep = ~np.isin(remaining, members)
+            # ``members`` is a mask-filtered subset of ``remaining`` (both
+            # sorted), so instead of testing every remaining address for
+            # membership, binary-search the (much smaller) member set's
+            # positions and knock them out directly.
+            keep = np.ones(remaining.shape, dtype=bool)
+            keep[np.searchsorted(remaining, members)] = False
             keep[pivot_index] = False
             remaining = remaining[keep]
         else:

@@ -20,6 +20,7 @@ one pivot address against thousands of pool addresses at a time.
 from __future__ import annotations
 
 import dataclasses
+from collections.abc import Sequence
 from dataclasses import dataclass
 
 import numpy as np
@@ -59,6 +60,13 @@ class ProbeConfig:
             drift check before the heartbeat elapses.
         suspect_run_length: consecutive scalar slow reads that force an
             early drift check.
+        batch_probes: issue pending measurements as vectorized campaign
+            sweeps (:meth:`~repro.machine.machine.SimulatedMachine.
+            measure_latency_sweeps` / batched pair scans) instead of
+            step-by-step calls. Both paths are bit-identical in every
+            measured value, clock charge and counter — the flag exists so
+            the perf harness can price the stepwise path, not because the
+            results differ.
     """
 
     rounds: int = 4000
@@ -73,6 +81,7 @@ class ProbeConfig:
     drift_check_max_interval_s: float = 5.0
     suspect_slow_fraction: float = 0.9
     suspect_run_length: int = 8
+    batch_probes: bool = True
 
     def __post_init__(self) -> None:
         if self.rounds <= 0:
@@ -314,6 +323,42 @@ class LatencyProbe:
                 slow = self.require_threshold().is_slow(latency)
         return slow
 
+    def are_conflicts(self, pairs: Sequence[tuple[int, int]]) -> list[bool]:
+        """Classify many distinct pairs in one measurement campaign.
+
+        Bit-identical to ``[self.is_conflict(a, b) for a, b in pairs]`` —
+        :meth:`_measure_min_pairs` interleaves the repeats per pair, so the
+        machine's noise RNG, fault perturbations, clock charge and metrics
+        are consumed in exactly the scalar order. Falls back to the scalar
+        loop when campaign batching is disabled or the drift watch is armed
+        (the watch interleaves reference re-measurements between verdicts,
+        which a batch cannot reproduce).
+        """
+        pairs = list(pairs)
+        if not pairs:
+            return []
+        # Below ~6 pairs the array assembly costs more than it saves
+        # (measured crossover on the voted-scan sizes); since both paths
+        # are bit-identical, small campaigns take the scalar loop purely
+        # for speed. The drift watch forces it regardless of size.
+        if (
+            not self.config.batch_probes
+            or len(pairs) < 6
+            or self._watching_drift()
+        ):
+            return [self.is_conflict(a, b) for a, b in pairs]
+        bases = np.fromiter((a for a, _ in pairs), dtype=np.uint64, count=len(pairs))
+        partners = np.fromiter((b for _, b in pairs), dtype=np.uint64, count=len(pairs))
+        latencies = self._measure_min_pairs(bases, partners)
+        threshold = self.require_threshold()
+        verdicts = [bool(threshold.is_slow(latency)) for latency in latencies]
+        tracer = obs._ACTIVE
+        if tracer is not None:
+            conflicts = sum(verdicts)
+            tracer.metrics.inc("probe.verdicts.conflict", conflicts)
+            tracer.metrics.inc("probe.verdicts.clear", len(verdicts) - conflicts)
+        return verdicts
+
     def conflict_mask(self, base: int, others: np.ndarray) -> np.ndarray:
         """Classify ``base`` against many addresses; boolean array.
 
@@ -324,12 +369,23 @@ class LatencyProbe:
         against the recalibrated cutoff — measurements are never wasted.
         """
         others = np.asarray(others, dtype=np.uint64)
-        latencies = self.machine.measure_latency_batch(base, others, self.config.rounds)
-        for _ in range(self.config.repeats - 1):
-            latencies = np.minimum(
-                latencies,
-                self.machine.measure_latency_batch(base, others, self.config.rounds),
+        if self.config.batch_probes:
+            # Campaign form: one decode, ``repeats`` sweeps — bit-identical
+            # to the stepwise loop below (pinned by the machine tests).
+            latencies = self.machine.measure_latency_sweeps(
+                base, others, self.config.rounds, self.config.repeats
             )
+        else:
+            latencies = self.machine.measure_latency_batch(
+                base, others, self.config.rounds
+            )
+            for _ in range(self.config.repeats - 1):
+                latencies = np.minimum(
+                    latencies,
+                    self.machine.measure_latency_batch(
+                        base, others, self.config.rounds
+                    ),
+                )
         mask = self.require_threshold().classify(latencies)
         tracer = obs._ACTIVE
         if tracer is not None:

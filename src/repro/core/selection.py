@@ -30,7 +30,8 @@ from dataclasses import dataclass
 import numpy as np
 
 from repro.dram.errors import SelectionError
-from repro.machine.allocator import PAGE_SIZE, PhysPages
+from repro.analysis.arrays import sorted_unique
+from repro.machine.allocator import PAGE_SHIFT, PAGE_SIZE, PhysPages
 
 __all__ = ["SelectionResult", "select_addresses"]
 
@@ -80,14 +81,17 @@ def select_addresses(pages: PhysPages, bank_bits: tuple[int, ...]) -> SelectionR
     # Page-visible part of the range condition (see module docstring).
     condition_mask = range_mask & ~(PAGE_SIZE - 1)
 
-    page_addresses = pages.addresses()
-    candidates = page_addresses[
-        (page_addresses & np.uint64(condition_mask)) == np.uint64(condition_mask)
-    ]
+    # Filter in frame space: the condition mask is page-aligned, so a page
+    # address satisfies it iff its frame number satisfies the shifted mask —
+    # no need to materialise an address per allocated page.
+    frames = pages.page_numbers
+    condition_frames = np.uint64(condition_mask >> PAGE_SHIFT)
+    candidates = frames[(frames & condition_frames) == condition_frames]
     range_start = range_end = -1
-    for candidate in candidates:
-        p_start = int(candidate) - condition_mask
-        p_end = int(candidate) + PAGE_SIZE
+    for candidate_frame in candidates:
+        candidate = int(candidate_frame) << PAGE_SHIFT
+        p_start = candidate - condition_mask
+        p_end = candidate + PAGE_SIZE
         if pages.has_range(p_start, p_end):
             range_start, range_end = p_start, p_end
             break
@@ -104,7 +108,7 @@ def select_addresses(pages: PhysPages, bank_bits: tuple[int, ...]) -> SelectionR
     primed = primed[in_memory]
     allocated = primed[pages.has_pages(primed)]
     raw_count = int(allocated.size)
-    pool = np.unique(allocated)
+    pool = sorted_unique(allocated)
     if pool.size == 0:
         raise SelectionError("selection produced an empty address pool")
     return SelectionResult(

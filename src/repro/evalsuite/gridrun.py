@@ -54,16 +54,27 @@ def _dispatch(
     start_method: str,
     supervision: GridPolicy | None,
     journal,
+    batch_cells: int | None,
+    pool_mode: str,
 ):
     """Run the cells; returns (results, outcome-or-None)."""
     if supervision is None and journal is None:
-        return run_cells(cells, jobs=jobs, start_method=start_method), None
+        results = run_cells(
+            cells,
+            jobs=jobs,
+            start_method=start_method,
+            batch_cells=batch_cells,
+            pool_mode=pool_mode,
+        )
+        return results, None
     outcome = run_cells_supervised(
         cells,
         jobs=jobs,
         start_method=start_method,
         policy=supervision,
         journal=journal,
+        batch_cells=batch_cells,
+        pool_mode=pool_mode,
     )
     return outcome.results, outcome
 
@@ -74,17 +85,24 @@ def execute_grid(
     start_method: str = DEFAULT_START_METHOD,
     supervision: GridPolicy | None = None,
     journal: CheckpointJournal | str | Path | None = None,
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> list:
     """Run an experiment's cells, fail-fast or supervised.
 
     Returns per-cell results in submission order. Under supervision a
     failed cell's slot holds its :class:`~repro.parallel.CellFailure`
     instead of a result; the fail-fast path raises on the first error,
-    exactly as the seed engine did.
+    exactly as the seed engine did. ``batch_cells`` bundles consecutive
+    cells per pool task and ``pool_mode`` selects persistent (warmed,
+    reused) or fresh worker pools — both change only how work is
+    shipped, never the bytes of any artefact.
     """
     tracer = obs.current_tracer()
     if tracer is None or not cells:
-        results, _ = _dispatch(cells, jobs, start_method, supervision, journal)
+        results, _ = _dispatch(
+            cells, jobs, start_method, supervision, journal, batch_cells, pool_mode
+        )
         return results
 
     from repro.obs.gridtrace import stitch_cell_traces, traced_cells
@@ -94,7 +112,8 @@ def execute_grid(
         traced = traced_cells(cells, trace_dir)
         with tracer.span(f"grid:{_experiment_name(cells)}") as grid_scope:
             results, outcome = _dispatch(
-                traced, jobs, start_method, supervision, journal
+                traced, jobs, start_method, supervision, journal,
+                batch_cells, pool_mode,
             )
             tally = stitch_cell_traces(
                 tracer, grid_scope.record, cells, results, trace_dir

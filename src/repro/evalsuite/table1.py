@@ -81,6 +81,8 @@ def run_table1(
     start_method: str = DEFAULT_START_METHOD,
     supervision: GridPolicy | None = None,
     journal: CheckpointJournal | str | None = None,
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> list[ToolVerdict]:
     """Measure Table I's properties for all four tools.
 
@@ -121,6 +123,7 @@ def run_table1(
     results = execute_grid(
         cells, jobs=jobs, start_method=start_method,
         supervision=supervision, journal=journal,
+        batch_cells=batch_cells, pool_mode=pool_mode,
     )
     panel = len(machines)
     xiao_records = results[:panel]

@@ -111,6 +111,8 @@ def run_table3(
     start_method: str = DEFAULT_START_METHOD,
     supervision: GridPolicy | None = None,
     journal: CheckpointJournal | str | None = None,
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> list[Table3Row | CellFailure]:
     """Run the paper's rowhammer comparison.
 
@@ -137,6 +139,7 @@ def run_table3(
     return execute_grid(
         cells, jobs=jobs, start_method=start_method,
         supervision=supervision, journal=journal,
+        batch_cells=batch_cells, pool_mode=pool_mode,
     )
 
 

@@ -177,6 +177,42 @@ class SimulatedMachine:
         self._charge_measurements(latencies, rounds)
         return latencies
 
+    def measure_latency_sweeps(
+        self,
+        base: int,
+        others: np.ndarray,
+        rounds: int = DEFAULT_ROUNDS,
+        sweeps: int = 1,
+    ) -> np.ndarray:
+        """Element-wise minimum of ``sweeps`` batch measurements of ``base``
+        against ``others`` — the campaign form of the repeat-and-take-the-
+        minimum idiom every noise-suppressing scan uses.
+
+        Bit-identical (latency values, noise-RNG stream, fault
+        perturbations, clock charge and stats counters) to ``sweeps``
+        consecutive :meth:`measure_latency_batch` calls reduced with
+        ``np.minimum``: classification is a pure decode with no RNG, so
+        hoisting it out of the sweep loop is a simulator-speed
+        transformation only. Pinned by ``tests/machine/test_machine.py``.
+        """
+        if sweeps <= 0:
+            raise ValueError("sweeps must be positive")
+        others = np.asarray(others, dtype=np.uint64)
+        conflicts = self._controller.classify_pairs(base, others)
+        base_u64 = np.uint64(base)
+        minimum: np.ndarray | None = None
+        for _ in range(sweeps):
+            latencies = self._latency_model.sample_batch_ns(conflicts, self._rng)
+            if self.faults is not None:
+                latencies = self.faults.perturb(
+                    latencies, conflicts, base_u64, others, self.clock.elapsed_ns
+                )
+            self._charge_measurements(latencies, rounds)
+            minimum = (
+                latencies if minimum is None else np.minimum(minimum, latencies)
+            )
+        return minimum
+
     def measure_latency_pairs(
         self, bases: np.ndarray, partners: np.ndarray, rounds: int = DEFAULT_ROUNDS
     ) -> np.ndarray:
@@ -194,23 +230,38 @@ class SimulatedMachine:
         partners = np.asarray(partners, dtype=np.uint64)
         if bases.shape != partners.shape:
             raise ValueError("bases and partners must have matching shapes")
+        if rounds <= 0:
+            raise ValueError("rounds must be positive")
         conflicts = self._controller.classify_pairwise(bases, partners)
+        count = int(bases.size)
         latencies = np.empty(bases.shape, dtype=np.float64)
-        model = self._latency_model
         rng = self._rng
         faults = self.faults
-        for index in range(bases.size):
-            latency = float(model.sample_pair_ns(bool(conflicts[index]), rng))
+        clock = self.clock
+        # Hot loop: the per-pair RNG and clock order is pinned, so the only
+        # legal speedups are hoists. The charge expression must stay exactly
+        # _charge_one's — float addition order is observable in the clock.
+        sample = self._latency_model.sample_pair_ns
+        charge = clock.charge
+        setup_ns = self._cost.setup_ns
+        per_round_ns = self._cost.per_round_ns
+        flags = conflicts.tolist()
+        base_ints = bases.tolist() if faults is not None else None
+        partner_ints = partners.tolist() if faults is not None else None
+        for index in range(count):
+            latency = float(sample(flags[index], rng))
             if faults is not None:
                 latency = faults.perturb_one(
                     latency,
-                    bool(conflicts[index]),
-                    int(bases[index]),
-                    int(partners[index]),
-                    self.clock.elapsed_ns,
+                    flags[index],
+                    base_ints[index],
+                    partner_ints[index],
+                    clock.elapsed_ns,
                 )
-            self._charge_one(latency, rounds)
+            charge(setup_ns + rounds * (per_round_ns + 2.0 * latency))
             latencies[index] = latency
+        self.stats.measurements += count
+        self.stats.accesses_timed += 2 * rounds * count
         return latencies
 
     def _charge_one(self, latency: float, rounds: int) -> None:

@@ -86,6 +86,18 @@ class LatencyModel:
     base_overhead_ns: float = 62.0
     noise: NoiseParams = NoiseParams()
 
+    def __post_init__(self) -> None:
+        # The pair-measurement hot paths resolve the two ideal latencies on
+        # every call; cache them once (frozen dataclass, so via
+        # object.__setattr__ — they are derived values, not fields, and do
+        # not participate in equality or repr).
+        object.__setattr__(
+            self, "_fast_pair_ns", self.ideal_ns(AccessClass.DIFFERENT_BANK)
+        )
+        object.__setattr__(
+            self, "_slow_pair_ns", self.ideal_ns(AccessClass.ROW_CONFLICT)
+        )
+
     @classmethod
     def for_generation(
         cls, generation: DdrGeneration, noise: NoiseParams | None = None
@@ -145,14 +157,13 @@ class LatencyModel:
         call-for-call, and ``tests/memctrl/test_timing.py`` pins both
         facts.
         """
-        latency = self.ideal_ns(
-            AccessClass.ROW_CONFLICT if is_conflict else AccessClass.DIFFERENT_BANK
-        )
-        if self.noise.jitter_sigma_ns:
-            latency += rng.normal(0.0, self.noise.jitter_sigma_ns)
-        if self.noise.outlier_probability:
-            hit = rng.random() < self.noise.outlier_probability
-            latency += (hit * self.noise.outlier_extra_ns) * rng.random()
+        latency = self._slow_pair_ns if is_conflict else self._fast_pair_ns
+        noise = self.noise
+        if noise.jitter_sigma_ns:
+            latency += rng.normal(0.0, noise.jitter_sigma_ns)
+        if noise.outlier_probability:
+            hit = rng.random() < noise.outlier_probability
+            latency += (hit * noise.outlier_extra_ns) * rng.random()
         return max(latency, 1.0)
 
     def sample_batch_ns(
@@ -168,12 +179,13 @@ class LatencyModel:
         flip a fast pair into the slow band and vice versa.
         """
         flags = np.asarray(conflict_flags, dtype=bool)
-        fast = self.ideal_ns(AccessClass.DIFFERENT_BANK)
-        slow = self.ideal_ns(AccessClass.ROW_CONFLICT)
-        latencies = np.where(flags, slow, fast).astype(np.float64)
-        if self.noise.jitter_sigma_ns:
-            latencies += rng.normal(0.0, self.noise.jitter_sigma_ns, size=flags.shape)
-        if self.noise.outlier_probability:
-            hit = rng.random(size=flags.shape) < self.noise.outlier_probability
-            latencies += hit * self.noise.outlier_extra_ns * rng.random(size=flags.shape)
-        return np.maximum(latencies, 1.0)
+        # np.where over two float scalars already yields a fresh float64
+        # array; the historical .astype(float64) was a same-dtype copy.
+        latencies = np.where(flags, self._slow_pair_ns, self._fast_pair_ns)
+        noise = self.noise
+        if noise.jitter_sigma_ns:
+            latencies += rng.normal(0.0, noise.jitter_sigma_ns, size=flags.shape)
+        if noise.outlier_probability:
+            hit = rng.random(size=flags.shape) < noise.outlier_probability
+            latencies += hit * noise.outlier_extra_ns * rng.random(size=flags.shape)
+        return np.maximum(latencies, 1.0, out=latencies)

@@ -21,6 +21,11 @@ Two runners share the cell model:
   on the CLI).
 """
 
+from repro.parallel.batching import (
+    chunk_indices,
+    execute_cell_batch,
+    resolve_batch_cells,
+)
 from repro.parallel.grid import (
     DEFAULT_START_METHOD,
     CellExecutionError,
@@ -31,6 +36,12 @@ from repro.parallel.grid import (
     run_cells,
 )
 from repro.parallel.journal import CheckpointJournal
+from repro.parallel.pool import (
+    POOL_MODES,
+    PoolManager,
+    get_pool_manager,
+    worker_state,
+)
 from repro.parallel.supervisor import (
     CellFailure,
     GridError,
@@ -41,6 +52,7 @@ from repro.parallel.supervisor import (
 
 __all__ = [
     "DEFAULT_START_METHOD",
+    "POOL_MODES",
     "CellExecutionError",
     "CellFailure",
     "CheckpointJournal",
@@ -48,9 +60,15 @@ __all__ = [
     "GridError",
     "GridOutcome",
     "GridPolicy",
+    "PoolManager",
+    "chunk_indices",
     "execute_cell",
+    "execute_cell_batch",
     "fingerprint_cell",
+    "get_pool_manager",
+    "resolve_batch_cells",
     "resolve_jobs",
     "run_cells",
     "run_cells_supervised",
+    "worker_state",
 ]

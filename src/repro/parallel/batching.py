@@ -1,0 +1,68 @@
+"""Cell batching: ship a chunk of grid cells as one pool task.
+
+Submitting one :class:`~repro.parallel.grid.GridCell` per pool task
+charges every cell a round trip of pickling, queueing and future
+bookkeeping.  For sweeps of many small cells that overhead dominates,
+so the grid runners can bundle ``batch_cells`` consecutive cells into a
+single submitted task.  The worker runs the cells *in order* and
+returns one marker per cell:
+
+* ``("ok", value)`` — the cell's result;
+* ``("error", detail)`` — the cell raised; ``detail`` is the stringified
+  :class:`~repro.parallel.grid.CellExecutionError` (exceptions are
+  captured per cell so one bad cell cannot poison its batch-mates'
+  results, and so the marker list is always picklable).
+
+Callers un-bundle the markers back into per-cell results, journal
+entries and retry decisions — batching changes how work is *shipped*,
+never what any cell computes, so artefacts stay byte-identical to the
+unbatched (and serial) paths.  Chunks are built from *consecutive*
+submission indices, which keeps a batch's journal records in the same
+relative order the serial runner would write them.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+from repro.parallel.grid import GridCell, execute_cell
+
+__all__ = ["chunk_indices", "execute_cell_batch", "resolve_batch_cells"]
+
+
+def resolve_batch_cells(batch_cells: int | None) -> int:
+    """Normalise a ``--batch-cells`` value (None/0/1 = no batching)."""
+    if batch_cells is None or batch_cells == 0:
+        return 1
+    if batch_cells < 0:
+        raise ValueError(f"batch-cells must be positive, got {batch_cells}")
+    return batch_cells
+
+
+def chunk_indices(indices: Sequence[int], batch_cells: int) -> list[list[int]]:
+    """Split ``indices`` into consecutive chunks of at most ``batch_cells``."""
+    if batch_cells <= 1:
+        return [[index] for index in indices]
+    indices = list(indices)
+    return [
+        indices[start : start + batch_cells]
+        for start in range(0, len(indices), batch_cells)
+    ]
+
+
+def execute_cell_batch(cells: Sequence[GridCell]) -> list[tuple[str, object]]:
+    """Run a batch of cells in the current process; one marker per cell.
+
+    The worker entry point for batched submissions.  Cells run in the
+    order given; a cell that raises contributes an ``("error", detail)``
+    marker and the batch continues — attribution and retry policy are
+    the parent's job, and the parent can only decide per cell if it
+    gets told per cell.
+    """
+    markers: list[tuple[str, object]] = []
+    for cell in cells:
+        try:
+            markers.append(("ok", execute_cell(cell)))
+        except Exception as error:  # noqa: BLE001 - marker boundary
+            markers.append(("error", str(error)))
+    return markers

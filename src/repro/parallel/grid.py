@@ -29,13 +29,12 @@ resumes interrupted runs lives in :mod:`repro.parallel.supervisor`.
 from __future__ import annotations
 
 import hashlib
+import logging
 import os
 import pickle
 from collections.abc import Sequence
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, fields, is_dataclass
 from importlib import import_module
-from multiprocessing import get_context
 
 __all__ = [
     "DEFAULT_START_METHOD",
@@ -159,18 +158,39 @@ def resolve_jobs(jobs: int | None) -> int:
     """Normalise a ``--jobs`` value.
 
     ``None``/``0``/``1`` mean serial, ``-1`` means all CPUs, positive
-    values pass through. Other negatives are rejected — the CLI layer
-    already refuses them, and silently treating ``-8`` as "all CPUs"
-    hid typos.
+    values pass through up to the host's capacity. Other negatives are
+    rejected — the CLI layer already refuses them, and silently treating
+    ``-8`` as "all CPUs" hid typos.
+
+    Requests beyond ``cpu_count`` are clamped (with a logged warning)
+    rather than honoured: every worker is CPU-bound for its whole cell,
+    so oversubscribing spawn pools only adds context-switch thrash and
+    per-worker spawn cost.  The clamp floor is 2, never 1 — on a
+    single-CPU host an explicit multi-job request still gets a (small)
+    pool, because under supervision the pool is an isolation boundary,
+    not just a speedup (a cell that kills its process must not kill the
+    run).  ``-1`` asks for "what the host has", so on one CPU it
+    resolves to serial with no warning.
     """
     if jobs is None or jobs == 0:
         return 1
+    cpus = max(os.cpu_count() or 1, 1)
     if jobs == -1:
-        return max(os.cpu_count() or 1, 1)
+        return cpus
     if jobs < 0:
         raise ValueError(
             f"jobs must be positive, -1 (all CPUs) or None/0 (serial); got {jobs}"
         )
+    limit = max(2, cpus)
+    if jobs > limit:
+        logging.getLogger("repro.parallel").warning(
+            "clamping --jobs %d to %d (host has %d CPU%s)",
+            jobs,
+            limit,
+            cpus,
+            "" if cpus == 1 else "s",
+        )
+        return limit
     return jobs
 
 
@@ -213,23 +233,75 @@ def run_cells(
     cells: Sequence[GridCell],
     jobs: int | None = None,
     start_method: str = DEFAULT_START_METHOD,
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> list:
     """Execute ``cells`` and return their results in submission order.
 
     ``jobs`` <= 1 (the default) runs serially in-process. Larger values fan
-    the cells out over a :class:`ProcessPoolExecutor` using ``start_method``
-    (``spawn`` by default); ``Executor.map`` guarantees result order matches
-    cell order regardless of completion order, which is what keeps rendered
-    artefacts bit-identical to the serial path.
+    the cells out over a warmed worker pool leased from the process-wide
+    :class:`~repro.parallel.pool.PoolManager`; ``Executor.map`` guarantees
+    result order matches cell order regardless of completion order, which
+    is what keeps rendered artefacts bit-identical to the serial path.
+    ``pool_mode="persistent"`` (the default) parks the pool after the run
+    for the next dispatch of the same shape; ``"fresh"`` reproduces the
+    historical spawn-per-dispatch behaviour.
 
-    This is the fail-fast runner: the first cell exception propagates and
-    aborts the run. Use :func:`repro.parallel.run_cells_supervised` when a
-    run must survive worker death, hangs, or interruption.
+    ``batch_cells`` > 1 bundles that many consecutive cells into each
+    submitted task (see :mod:`repro.parallel.batching`), trading per-cell
+    dispatch overhead for coarser scheduling. Results are un-bundled back
+    into per-cell order, so batching never changes a byte of output.
+
+    This is the fail-fast runner: the first cell exception (in submission
+    order) propagates and aborts the run. Use
+    :func:`repro.parallel.run_cells_supervised` when a run must survive
+    worker death, hangs, or interruption.
     """
+    from repro.parallel.batching import (
+        chunk_indices,
+        execute_cell_batch,
+        resolve_batch_cells,
+    )
+    from repro.parallel.pool import get_pool_manager
+
     cells = list(cells)
     workers = min(resolve_jobs(jobs), len(cells)) if cells else 1
     if workers <= 1:
         return [execute_cell(cell) for cell in cells]
-    context = get_context(start_method)
-    with ProcessPoolExecutor(max_workers=workers, mp_context=context) as pool:
-        return list(pool.map(execute_cell, cells))
+    batch = resolve_batch_cells(batch_cells)
+    manager = get_pool_manager()
+    pool = manager.lease(workers, start_method, pool_mode)
+    healthy = True
+    try:
+        if batch <= 1:
+            return list(pool.map(execute_cell, cells))
+        chunks = chunk_indices(range(len(cells)), batch)
+        marker_lists = list(
+            pool.map(
+                execute_cell_batch,
+                [[cells[i] for i in chunk] for chunk in chunks],
+            )
+        )
+        results: list = [None] * len(cells)
+        for chunk, markers in zip(chunks, marker_lists):
+            for index, (status, value) in zip(chunk, markers):
+                if status == "error":
+                    raise CellExecutionError(str(value))
+                results[index] = value
+        return results
+    except CellExecutionError:
+        raise  # the worker raised cleanly; its pool is still usable
+    except Exception:
+        # Anything else (a broken pool above all) may have left workers
+        # unusable; kill the pool rather than park a corpse.
+        healthy = False
+        raise
+    finally:
+        if healthy:
+            manager.release(pool, start_method, workers)
+        else:
+            manager.discard(pool)
+            try:
+                pool.shutdown(wait=False, cancel_futures=True)
+            except Exception:  # pragma: no cover - broken mid-shutdown
+                pass

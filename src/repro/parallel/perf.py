@@ -1,10 +1,19 @@
 """Perf harness: wall-clock evidence for the optimisation work.
 
-Writes ``BENCH_perf.json`` with four families of numbers:
+Writes ``BENCH_perf.json`` with five families of numbers:
 
 * **grid** — wall-clock seconds of the Table I and Figure 2 evaluation
-  grids, serial and parallel, next to the recorded pre-optimisation
-  (seed) baselines measured on the same reference container;
+  grids, serial and parallel (persistent warmed pool, optional cell
+  batching), next to the recorded pre-optimisation (seed) baselines
+  measured on the same reference container. The parallel runs are
+  always executed and compared byte-for-byte against serial; the
+  *speedup* columns are only emitted on multi-CPU hosts, because a
+  single-CPU container's process pool cannot beat serial and the ratio
+  would be noise dressed up as a result;
+* **single_run** — one DRAMDig run per panel machine with the
+  vectorized measurement-campaign planner on (the default) and off
+  (``batch_probes=False``), asserted bit-identical, next to the
+  recorded seed panel baseline;
 * **micro** — decode/parity throughput of the current hot-path kernels
   next to both the retained reference implementations
   (``bank_of_array_popcount`` / ``row_of_array_shift``) and the recorded
@@ -13,12 +22,12 @@ Writes ``BENCH_perf.json`` with four families of numbers:
   (the zero-cost-when-off claim, measured), plus the traced run's
   per-phase breakdown (simulated seconds, wall seconds and pair
   measurements per pipeline step) lifted from its spans;
-* **environment** — CPU count and worker count, because a parallel
-  speedup claim without the CPU count is meaningless (on a single-CPU
-  container the process pool cannot beat serial; the vectorised kernels
-  carry the speedup there, and the JSON says so explicitly).
+* **environment** — CPU count, worker count, pool mode and batch size,
+  because a parallel speedup claim without the CPU count is
+  meaningless.
 
-Run with ``python -m repro.parallel.perf [--jobs N] [--out PATH]``.
+Run with ``python -m repro.parallel.perf [--jobs N] [--batch-cells K]
+[--pool-mode MODE] [--out PATH]``.
 """
 
 from __future__ import annotations
@@ -34,7 +43,7 @@ import numpy as np
 from repro.analysis.bits import parity_array
 from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.figure2 import run_figure2
-from repro.evalsuite.table1 import run_table1
+from repro.evalsuite.table1 import render_table1, run_table1
 from repro.ioutil import atomic_write
 from repro.logutil import get_logger, setup_logging
 from repro.obs import tracing as obs
@@ -45,10 +54,12 @@ __all__ = ["SEED_BASELINES", "run_perf", "main"]
 _LOG = get_logger("repro.perf")
 
 # Pre-optimisation numbers, measured on the reference container at the
-# commit this harness was introduced (seed code, serial, same workloads
-# as below). They anchor the speedup columns when the harness runs on
-# the same class of hardware; rerun on different hardware, compare the
-# "reference" micro columns instead — those are measured live.
+# commit each harness section was introduced (seed code, serial, same
+# workloads as below). They anchor the speedup columns when the harness
+# runs on the same class of hardware; rerun on different hardware,
+# compare the "reference" micro columns instead — those are measured
+# live. ``single_run_panel_seconds`` is the seed cost of one DRAMDig
+# run on each of the four panel machines below (best-of-9).
 SEED_BASELINES = {
     "table1_seconds": 41.0,
     "figure2_seconds": 13.1,
@@ -56,9 +67,14 @@ SEED_BASELINES = {
     "row_of_array_us": 302.3,
     "parity_array_us": 37.9,
     "pool_size": 16384,
+    "single_run_panel_seconds": 0.505,
 }
 
 _MICRO_POOL = 16384
+
+# Smallest, mid and largest Algorithm-1 pools: the single-run panel
+# spans the cost range without running all nine presets nine times.
+_SINGLE_RUN_PANEL = ("No.1", "No.3", "No.6", "No.9")
 
 
 def _best_of(callable_, repeats: int = 5) -> float:
@@ -146,50 +162,160 @@ def _tracing_benches(machine_name: str = "No.1", repeats: int = 3) -> dict:
     }
 
 
-def _grid_benches(jobs: int, machines: tuple[str, ...]) -> dict:
-    def timed(callable_) -> float:
-        start = time.perf_counter()
-        callable_()
-        return time.perf_counter() - start
+def _single_run_signature(result) -> tuple:
+    """Everything observable about one run: mapping, accounting, clock."""
+    return (
+        tuple(sorted(result.mapping.bank_functions)),
+        result.mapping.row_bits,
+        result.mapping.column_bits,
+        result.measurements,
+        result.total_seconds,
+    )
 
-    table1_serial = timed(lambda: run_table1(seed=1, machines=machines))
-    table1_parallel = timed(lambda: run_table1(seed=1, machines=machines, jobs=jobs))
-    figure2_serial = timed(lambda: run_figure2(seed=1, machines=machines))
-    figure2_parallel = timed(lambda: run_figure2(seed=1, machines=machines, jobs=jobs))
+
+def _single_run_benches(
+    machines: tuple[str, ...] = _SINGLE_RUN_PANEL, repeats: int = 3
+) -> dict:
+    """Campaign-planner A/B: batched probe sweeps vs step-by-step.
+
+    The same panel runs with the vectorized measurement-campaign planner
+    on (``batch_probes=True``, the default) and off; both configurations
+    must produce identical mappings, measurement counts and simulated
+    clocks — the planner changes how probes are *issued*, never what
+    they measure. A mismatch is a correctness bug, so the bench raises
+    instead of reporting a speedup built on different work.
+    """
+    import dataclasses
+
+    from repro.core.dramdig import DramDig, DramDigConfig
+    from repro.machine.machine import SimulatedMachine
+
+    batched_config = DramDigConfig()
+    stepwise_config = dataclasses.replace(
+        batched_config,
+        probe=dataclasses.replace(batched_config.probe, batch_probes=False),
+    )
+
+    def run_panel(config):
+        signatures = []
+        for name in machines:
+            machine = SimulatedMachine.from_preset(preset(name), seed=1)
+            signatures.append(_single_run_signature(DramDig(config).run(machine)))
+        return signatures
+
+    batched_signatures = run_panel(batched_config)
+    stepwise_signatures = run_panel(stepwise_config)
+    if batched_signatures != stepwise_signatures:
+        raise RuntimeError(
+            "campaign batching changed a result: batched and stepwise "
+            "runs must be bit-identical"
+        )
+
+    batched = _best_of(lambda: run_panel(batched_config), repeats=repeats)
+    stepwise = _best_of(lambda: run_panel(stepwise_config), repeats=repeats)
     return {
         "machines": list(machines),
+        "batched_seconds": batched,
+        "stepwise_seconds": stepwise,
+        "batching_speedup": stepwise / batched,
+        "speedup_vs_seed": SEED_BASELINES["single_run_panel_seconds"] / batched,
+        "results_identical": True,
+    }
+
+
+def _grid_benches(
+    jobs: int,
+    machines: tuple[str, ...],
+    batch_cells: int | None,
+    pool_mode: str,
+    single_cpu: bool,
+) -> dict:
+    def timed(callable_):
+        start = time.perf_counter()
+        value = callable_()
+        return value, time.perf_counter() - start
+
+    parallel_kwargs = dict(jobs=jobs, batch_cells=batch_cells, pool_mode=pool_mode)
+    table1_serial_result, table1_serial = timed(
+        lambda: run_table1(seed=1, machines=machines)
+    )
+    table1_parallel_result, table1_parallel = timed(
+        lambda: run_table1(seed=1, machines=machines, **parallel_kwargs)
+    )
+    figure2_serial_result, figure2_serial = timed(
+        lambda: run_figure2(seed=1, machines=machines)
+    )
+    figure2_parallel_result, figure2_parallel = timed(
+        lambda: run_figure2(seed=1, machines=machines, **parallel_kwargs)
+    )
+    bit_identical = (
+        render_table1(table1_parallel_result) == render_table1(table1_serial_result)
+        and figure2_parallel_result == figure2_serial_result
+    )
+    if not bit_identical:
+        raise RuntimeError(
+            "parallel grid diverged from serial: artefacts must be "
+            "byte-identical regardless of jobs/batch-cells/pool-mode"
+        )
+    record = {
+        "machines": list(machines),
         "jobs": jobs,
+        "batch_cells": batch_cells,
+        "pool_mode": pool_mode,
         "table1_serial_seconds": table1_serial,
         "table1_parallel_seconds": table1_parallel,
         "figure2_serial_seconds": figure2_serial,
         "figure2_parallel_seconds": figure2_parallel,
         "table1_speedup_vs_seed": SEED_BASELINES["table1_seconds"] / table1_serial,
         "figure2_speedup_vs_seed": SEED_BASELINES["figure2_seconds"] / figure2_serial,
-        "table1_parallel_speedup": table1_serial / table1_parallel,
-        "figure2_parallel_speedup": figure2_serial / figure2_parallel,
+        "parallel_bit_identical": True,
     }
+    if single_cpu:
+        # A 1-CPU pool cannot beat serial; publishing the ratio anyway
+        # would look like a regression (or, worse, an accidental win).
+        record["parallel_speedup_skipped"] = (
+            "single-CPU host: parallel runs kept for the bit-identity "
+            "check only, speedup columns omitted"
+        )
+    else:
+        record["table1_parallel_speedup"] = table1_serial / table1_parallel
+        record["figure2_parallel_speedup"] = figure2_serial / figure2_parallel
+    return record
 
 
 def run_perf(
     jobs: int | None = None,
     machines: tuple[str, ...] = TABLE2_ORDER,
     out: str | Path | None = "BENCH_perf.json",
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> dict:
-    """Measure micro and grid performance; write and return the record."""
-    workers = resolve_jobs(jobs if jobs is not None else -1)
+    """Measure micro, single-run and grid performance; write the record."""
+    cpus = os.cpu_count() or 1
+    single_cpu = cpus <= 1
+    # Even on a single-CPU host the parallel leg runs with a real pool
+    # (two workers) so the bit-identity check exercises cross-process
+    # dispatch; resolve_jobs' floor of two permits exactly that.
+    workers = resolve_jobs(jobs) if jobs is not None else max(cpus, 2)
     record = {
         "environment": {
-            "cpu_count": os.cpu_count(),
+            "cpu_count": cpus,
+            "single_cpu": single_cpu,
+            "jobs": workers,
+            "pool_mode": pool_mode,
+            "batch_cells": batch_cells,
             "note": (
                 "parallel speedup requires cpu_count > 1; on a single-CPU "
-                "container the vectorised kernels carry the speedup and the "
-                "parallel columns only demonstrate bit-identity, not speed"
+                "container the vectorised kernels and the campaign planner "
+                "carry the speedup and the parallel columns only "
+                "demonstrate bit-identity, not speed"
             ),
         },
         "seed_baselines": SEED_BASELINES,
         "micro": _micro_benches(),
+        "single_run": _single_run_benches(),
         "tracing": _tracing_benches(),
-        "grid": _grid_benches(workers, machines),
+        "grid": _grid_benches(workers, machines, batch_cells, pool_mode, single_cpu),
     }
     if out is not None:
         atomic_write(out, json.dumps(record, indent=2) + "\n")
@@ -203,7 +329,18 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "--jobs", type=int, default=None, metavar="N",
-        help="worker processes for the parallel grid runs (default: all CPUs)",
+        help="worker processes for the parallel grid runs "
+        "(default: all CPUs, minimum 2 so the pool is exercised)",
+    )
+    parser.add_argument(
+        "--batch-cells", type=int, default=None, metavar="K",
+        help="bundle K consecutive grid cells per worker task in the "
+        "parallel grid runs (default: one cell per task)",
+    )
+    parser.add_argument(
+        "--pool-mode", choices=("persistent", "fresh"), default="persistent",
+        help="worker pool lifecycle for the parallel grid runs "
+        "(default persistent)",
     )
     parser.add_argument(
         "--out", default="BENCH_perf.json", metavar="PATH",
@@ -215,9 +352,16 @@ def main(argv: list[str] | None = None) -> int:
     )
     args = parser.parse_args(argv)
     setup_logging("info")
-    record = run_perf(jobs=args.jobs, machines=tuple(args.machines), out=args.out)
+    record = run_perf(
+        jobs=args.jobs,
+        machines=tuple(args.machines),
+        out=args.out,
+        batch_cells=args.batch_cells,
+        pool_mode=args.pool_mode,
+    )
     grid = record["grid"]
     micro = record["micro"]
+    single = record["single_run"]
     tracing = record["tracing"]
     _LOG.info(
         "table1: serial %.1fs (seed %.1fs, %.1fx), parallel x%d %.1fs",
@@ -234,6 +378,24 @@ def main(argv: list[str] | None = None) -> int:
         grid["figure2_speedup_vs_seed"],
         grid["jobs"],
         grid["figure2_parallel_seconds"],
+    )
+    if "parallel_speedup_skipped" in grid:
+        _LOG.info("parallel speedup: %s", grid["parallel_speedup_skipped"])
+    else:
+        _LOG.info(
+            "parallel speedup: table1 %.2fx, figure2 %.2fx (x%d workers)",
+            grid["table1_parallel_speedup"],
+            grid["figure2_parallel_speedup"],
+            grid["jobs"],
+        )
+    _LOG.info(
+        "single run (%s): batched %.2fs vs stepwise %.2fs (%.2fx), "
+        "%.2fx vs seed panel, results identical",
+        ",".join(single["machines"]),
+        single["batched_seconds"],
+        single["stepwise_seconds"],
+        single["batching_speedup"],
+        single["speedup_vs_seed"],
     )
     for key, speedup in micro["speedup_vs_seed"].items():
         _LOG.info(

@@ -45,11 +45,15 @@ from concurrent.futures import (
 )
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
-from multiprocessing import get_context
 from pathlib import Path
 
 from repro.faults.recovery import DegradationEvent
 from repro.obs import tracing as obs
+from repro.parallel.batching import (
+    chunk_indices,
+    execute_cell_batch,
+    resolve_batch_cells,
+)
 from repro.parallel.grid import (
     DEFAULT_START_METHOD,
     GridCell,
@@ -58,6 +62,7 @@ from repro.parallel.grid import (
     resolve_jobs,
 )
 from repro.parallel.journal import CheckpointJournal
+from repro.parallel.pool import get_pool_manager
 
 __all__ = [
     "CellFailure",
@@ -78,9 +83,17 @@ _WARMUP_CELL = GridCell("repro.faults.gridfaults:echo_cell", {})
 _WARMUP_TIMEOUT_SECONDS = 60.0
 
 
-def _spawn_pool(workers: int, context) -> ProcessPoolExecutor:
-    """Create a pool and warm every worker (spawn + package import)."""
-    pool = ProcessPoolExecutor(max_workers=workers, mp_context=context)
+def _spawn_pool(workers: int, start_method: str, pool_mode: str) -> ProcessPoolExecutor:
+    """Lease a pool and warm every worker (spawn + package import).
+
+    Pools come from the process-wide
+    :class:`~repro.parallel.pool.PoolManager`; in ``"persistent"`` mode a
+    pool parked by an earlier dispatch is reused, its workers already
+    spawned and imported, and the echo warmups below complete in
+    microseconds.  Fresh workers pay the spawn here, once, so per-cell
+    timeouts measure cell execution rather than spawn + import cost.
+    """
+    pool = get_pool_manager().lease(workers, start_method, pool_mode)
     warmups = [pool.submit(execute_cell, _WARMUP_CELL) for _ in range(workers)]
     for future in warmups:
         try:
@@ -222,6 +235,8 @@ def run_cells_supervised(
     start_method: str = DEFAULT_START_METHOD,
     policy: GridPolicy | None = None,
     journal: CheckpointJournal | str | Path | None = None,
+    batch_cells: int | None = None,
+    pool_mode: str = "persistent",
 ) -> GridOutcome:
     """Execute ``cells`` under supervision and return a :class:`GridOutcome`.
 
@@ -232,6 +247,13 @@ def run_cells_supervised(
     cells already present in the journal are skipped, so an interrupted
     run resumed over the same journal re-executes only the missing cells
     and still produces byte-identical artefacts.
+
+    ``batch_cells`` > 1 ships chunks of consecutive cells as single pool
+    tasks (first-wave submissions only — every retry, quarantine and
+    timeout re-run goes solo so per-cell attribution semantics are
+    unchanged); batch results are un-bundled into the same per-cell
+    journal entries and result slots the unbatched run writes.
+    ``pool_mode`` selects persistent (reused, warmed) or fresh pools.
     """
     policy = policy if policy is not None else GridPolicy()
     if journal is not None and not isinstance(journal, CheckpointJournal):
@@ -277,6 +299,8 @@ def run_cells_supervised(
             checkpoint,
             failures,
             events,
+            resolve_batch_cells(batch_cells),
+            pool_mode,
         )
 
     ordered_failures = [failures[index] for index in sorted(failures)]
@@ -305,7 +329,7 @@ def _failure(
 
 def _run_serial(
     cells, fingerprints, pending, workers, start_method, policy, checkpoint,
-    failures, events,
+    failures, events, batch_cells=1, pool_mode="persistent",
 ) -> None:
     """In-process supervised execution (no pool, no pickling).
 
@@ -362,8 +386,11 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
     ``shutdown`` alone never kills a worker stuck in a cell, so the
     worker processes are terminated directly first (via the executor's
-    process table — a private attribute, accessed defensively).
+    process table — a private attribute, accessed defensively).  The
+    pool is dropped from the manager's lease table: a killed pool must
+    never be parked for reuse.
     """
+    get_pool_manager().discard(pool)
     for process in list((getattr(pool, "_processes", None) or {}).values()):
         try:
             process.terminate()
@@ -377,7 +404,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def _run_pooled(
     cells, fingerprints, pending, workers, start_method, policy, checkpoint,
-    failures, events,
+    failures, events, batch_cells=1, pool_mode="persistent",
 ) -> None:
     """Pooled supervised execution with respawn-on-death and timeouts.
 
@@ -390,8 +417,20 @@ def _run_pooled(
     serialization after each crash but guarantees one poison cell cannot
     burn its innocent neighbours' retry budgets — with ``retries=0`` the
     poison cell alone fails and every other cell still completes.
+
+    The in-flight unit is a *group* of cell indices. With
+    ``batch_cells`` <= 1 every group holds one cell and the behaviour is
+    exactly the historical per-cell protocol. Larger values chunk each
+    submission wave into groups shipped as one pool task
+    (:func:`~repro.parallel.batching.execute_cell_batch`), whose per-cell
+    markers are un-bundled on harvest into the same checkpoint calls and
+    retry decisions. Attribution stays per-cell: a crash quarantines every
+    member of every in-flight group for solo re-runs (as it always did for
+    single cells); a group that exceeds ``cell_timeout_s × len(group)``
+    cannot reveal *which* member hung, so its members are refunded and
+    quarantined too — the true hang then times out solo and is charged,
+    innocents complete. Quarantine and retry submissions are always solo.
     """
-    context = get_context(start_method)
     deadline = (
         time.monotonic() + policy.run_deadline_s
         if policy.run_deadline_s is not None
@@ -402,9 +441,10 @@ def _run_pooled(
     waiting: dict[int, float] = {}  # index -> monotonic time it may resubmit
     quarantine: list[int] = []  # suspects re-run solo for crash attribution
     solo_index: int | None = None  # quarantined cell currently in flight
-    inflight: dict = {}  # future -> index
+    inflight: dict = {}  # future -> list of indices (the submitted group)
     started: dict = {}  # future -> monotonic time first observed running
-    pool = _spawn_pool(workers, context)
+    abandoned = False  # a still-running future was walked away from
+    pool = _spawn_pool(workers, start_method, pool_mode)
 
     def fail(index: int, reason: str, detail: str) -> None:
         failures[index] = _failure(
@@ -434,7 +474,7 @@ def _run_pooled(
     def respawn(cause: str) -> None:
         nonlocal pool
         _kill_pool(pool)
-        pool = _spawn_pool(workers, context)
+        pool = _spawn_pool(workers, start_method, pool_mode)
         events.append(
             obs.note_event(
                 DegradationEvent(
@@ -446,24 +486,35 @@ def _run_pooled(
             )
         )
 
+    def settle(index: int, value: object) -> None:
+        checkpoint(index, value)
+        obs.observe("grid.cell_attempts", attempts[index])
+
     def harvest_or_crash(future, crashed: list[int]) -> None:
-        """Resolve one finished future: result, cell error, or casualty."""
+        """Resolve one finished future: results, cell errors, or casualties."""
         nonlocal solo_index
-        index = inflight.pop(future)
+        group = inflight.pop(future)
         started.pop(future, None)
-        if index == solo_index:
+        if solo_index is not None and solo_index in group:
             solo_index = None
         try:
             value = future.result(timeout=0)
-        except BrokenProcessPool:
-            crashed.append(index)
-        except CancelledError:
-            crashed.append(index)
+        except (BrokenProcessPool, CancelledError):
+            crashed.extend(group)
         except Exception as error:  # noqa: BLE001 - supervision boundary
-            retry_or_fail(index, "error", str(error))
+            # A group submission never raises per-cell errors (they come
+            # back as markers), so this future carried a single cell.
+            for index in group:
+                retry_or_fail(index, "error", str(error))
         else:
-            checkpoint(index, value)
-            obs.observe("grid.cell_attempts", attempts[index])
+            if len(group) == 1:
+                settle(group[0], value)
+            else:
+                for index, (status, payload) in zip(group, value):
+                    if status == "ok":
+                        settle(index, payload)
+                    else:
+                        retry_or_fail(index, "error", str(payload))
 
     try:
         while to_submit or inflight or waiting or quarantine:
@@ -473,13 +524,15 @@ def _run_pooled(
                 for index in to_submit + quarantine + list(waiting):
                     fail(index, "run-deadline", "run deadline expired")
                 late_crashes: list[int] = []
-                for future, index in list(inflight.items()):
+                for future, group in list(inflight.items()):
                     if future.done():
                         harvest_or_crash(future, late_crashes)
                     else:
                         inflight.pop(future)
                         started.pop(future, None)
-                        fail(index, "run-deadline", "run deadline expired")
+                        abandoned = True  # its worker is still running
+                        for index in group:
+                            fail(index, "run-deadline", "run deadline expired")
                 for index in late_crashes:
                     fail(index, "run-deadline", "worker died at run deadline")
                 to_submit.clear()
@@ -492,31 +545,42 @@ def _run_pooled(
                     del waiting[index]
                     to_submit.append(index)
 
-            def submit(index: int) -> bool:
-                """Submit one cell; respawn and report False on a dead pool."""
-                attempts[index] += 1
+            def submit(group: list[int]) -> bool:
+                """Submit one group; respawn and report False on a dead pool."""
+                for index in group:
+                    attempts[index] += 1
                 try:
-                    inflight[pool.submit(execute_cell, cells[index])] = index
+                    if len(group) == 1:
+                        future = pool.submit(execute_cell, cells[group[0]])
+                    else:
+                        future = pool.submit(
+                            execute_cell_batch, [cells[i] for i in group]
+                        )
+                    inflight[future] = group
                 except BrokenProcessPool:
-                    attempts[index] -= 1
+                    for index in group:
+                        attempts[index] -= 1
                     respawn("pool broken at submission")
                     return False
                 return True
 
             # Submission: quarantine runs solo (and blocks normal work so
-            # a crash is attributable); otherwise fan out everything ready.
+            # a crash is attributable); otherwise chunk everything ready
+            # into groups and fan out.
             if quarantine:
                 if not inflight:
                     index = quarantine.pop(0)
-                    if submit(index):
+                    if submit([index]):
                         solo_index = index
                     else:
                         quarantine.insert(0, index)
-            else:
-                while to_submit:
-                    index = to_submit.pop(0)
-                    if not submit(index):
-                        to_submit.insert(0, index)
+            elif to_submit:
+                ready, to_submit = to_submit, []
+                groups = chunk_indices(ready, batch_cells)
+                for position, group in enumerate(groups):
+                    if not submit(group):
+                        for unsent in groups[position:]:
+                            to_submit.extend(unsent)
                         break
 
             if not inflight:
@@ -548,11 +612,11 @@ def _run_pooled(
                     if future.done():
                         harvest_or_crash(future, crashed)
                     else:
-                        index = inflight.pop(future)
+                        group = inflight.pop(future)
                         started.pop(future, None)
-                        if index == solo_index:
+                        if solo_index is not None and solo_index in group:
                             solo_index = None
-                        crashed.append(index)
+                        crashed.extend(group)
                 respawn("worker death (BrokenProcessPool)")
                 if crashed == [was_solo]:
                     # The suspect crashed alone in the pool: definitive
@@ -570,10 +634,14 @@ def _run_pooled(
                     quarantine.sort()
                 continue
 
-            # Track execution starts and enforce the per-cell timeout. A
-            # hung worker can only be killed by tearing the pool down, so
-            # on expiry the innocents in flight are refunded their attempt
-            # and resubmitted while the hung cell is charged.
+            # Track execution starts and enforce the per-cell timeout
+            # (scaled by group size: a group of K cells legitimately runs
+            # up to K cell-budgets). A hung worker can only be killed by
+            # tearing the pool down, so on expiry the innocents in flight
+            # are refunded their attempt and resubmitted. A hung *group*
+            # cannot name its hung member: its members are refunded and
+            # quarantined for solo re-runs, where a real hang times out
+            # alone and is charged. A hung solo cell is charged directly.
             now = time.monotonic()
             for future in list(inflight):
                 if future not in started and future.running():
@@ -583,46 +651,81 @@ def _run_pooled(
                     future
                     for future, began in started.items()
                     if future in inflight
-                    and now - began > policy.cell_timeout_s
+                    and now - began > policy.cell_timeout_s * len(inflight[future])
                 ]
                 if hung:
-                    hung_indices = [inflight[future] for future in hung]
+                    hung_groups = [inflight[future] for future in hung]
                     for future in hung:
                         inflight.pop(future)
                         started.pop(future, None)
                     innocents: list[int] = []
-                    for future, index in list(inflight.items()):
+                    for future, group in list(inflight.items()):
                         if future.done():
                             harvest_or_crash(future, crashed=[])
                         else:
                             inflight.pop(future)
                             started.pop(future, None)
-                            attempts[index] -= 1  # refund: not their fault
-                            innocents.append(index)
+                            for index in group:
+                                attempts[index] -= 1  # refund: not their fault
+                                innocents.append(index)
                     respawn(
                         "cell timeout: "
-                        + ", ".join(cells[i].task for i in hung_indices)
+                        + ", ".join(
+                            cells[i].task for group in hung_groups for i in group
+                        )
                     )
-                    for index in hung_indices:
-                        events.append(
-                            obs.note_event(
-                                DegradationEvent(
-                                    step="grid",
-                                    action="timeout",
-                                    attempt=attempts[index],
-                                    detail=(
-                                        f"{cells[index].task} exceeded "
-                                        f"{policy.cell_timeout_s:g}s"
-                                    ),
-                                    span=obs.current_path(),
+                    for group in hung_groups:
+                        if len(group) == 1:
+                            index = group[0]
+                            events.append(
+                                obs.note_event(
+                                    DegradationEvent(
+                                        step="grid",
+                                        action="timeout",
+                                        attempt=attempts[index],
+                                        detail=(
+                                            f"{cells[index].task} exceeded "
+                                            f"{policy.cell_timeout_s:g}s"
+                                        ),
+                                        span=obs.current_path(),
+                                    )
                                 )
                             )
-                        )
-                        retry_or_fail(
-                            index,
-                            "timeout",
-                            f"exceeded cell timeout of {policy.cell_timeout_s:g}s",
-                        )
+                            retry_or_fail(
+                                index,
+                                "timeout",
+                                "exceeded cell timeout of "
+                                f"{policy.cell_timeout_s:g}s",
+                            )
+                        else:
+                            events.append(
+                                obs.note_event(
+                                    DegradationEvent(
+                                        step="grid",
+                                        action="timeout",
+                                        attempt=max(
+                                            attempts[i] for i in group
+                                        ),
+                                        detail=(
+                                            f"batch of {len(group)} cells "
+                                            "exceeded "
+                                            f"{policy.cell_timeout_s * len(group):g}s"
+                                        ),
+                                        span=obs.current_path(),
+                                    )
+                                )
+                            )
+                            for index in group:
+                                attempts[index] -= 1  # ambiguity refund
+                                quarantine.append(index)
+                            quarantine.sort()
                     to_submit.extend(innocents)
     finally:
-        _kill_pool(pool)
+        # A pool is only parkable when it is provably idle and healthy:
+        # the loop drained everything (no abandoned futures — the
+        # deadline path walks away from still-running workers) and the
+        # executor is not broken. Anything else is killed, not parked.
+        if abandoned or inflight or getattr(pool, "_broken", False):
+            _kill_pool(pool)
+        else:
+            get_pool_manager().release(pool, start_method, workers)

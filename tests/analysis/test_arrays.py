@@ -10,7 +10,7 @@ import numpy as np
 from hypothesis import given
 from hypothesis import strategies as st
 
-from repro.analysis.arrays import sorted_unique
+from repro.analysis.arrays import isin_sorted, sorted_unique
 
 
 class TestSortedUnique:
@@ -51,3 +51,44 @@ class TestSortedUnique:
         values = np.array([3, 1, 2, 1], dtype=np.uint64)
         sorted_unique(values)
         np.testing.assert_array_equal(values, [3, 1, 2, 1])
+
+
+class TestIsinSorted:
+    def test_empty_table_is_all_false(self):
+        values = np.array([1, 2, 3], dtype=np.uint64)
+        result = isin_sorted(values, np.array([], dtype=np.uint64))
+        np.testing.assert_array_equal(result, [False, False, False])
+
+    def test_empty_values(self):
+        result = isin_sorted(
+            np.array([], dtype=np.uint64), np.array([1, 2], dtype=np.uint64)
+        )
+        assert result.size == 0
+        assert result.dtype == bool
+
+    def test_beyond_table_end(self):
+        # searchsorted lands past the last slot for values above the
+        # table's maximum; the clamp must not turn that into a hit.
+        table = np.array([10, 20, 30], dtype=np.uint64)
+        values = np.array([30, 31, 2**63], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            isin_sorted(values, table), [True, False, False]
+        )
+
+    def test_duplicate_table_entries(self):
+        table = np.array([5, 5, 5, 9], dtype=np.uint64)
+        values = np.array([4, 5, 9, 10], dtype=np.uint64)
+        np.testing.assert_array_equal(
+            isin_sorted(values, table), np.isin(values, table)
+        )
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200),
+        st.lists(st.integers(min_value=0, max_value=2**64 - 1), max_size=200),
+    )
+    def test_matches_np_isin_on_sorted_tables(self, raw_values, raw_table):
+        values = np.array(raw_values, dtype=np.uint64)
+        table = np.sort(np.array(raw_table, dtype=np.uint64))
+        np.testing.assert_array_equal(
+            isin_sorted(values, table), np.isin(values, table)
+        )

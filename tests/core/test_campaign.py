@@ -1,0 +1,162 @@
+"""Campaign-planner bit-identity: batched probes ≡ step-by-step probes.
+
+``ProbeConfig.batch_probes`` routes pending measurements through the
+vectorized campaign paths (``measure_latency_pairs`` /
+``measure_latency_sweeps``). The flag must be invisible in every
+observable: measured latencies, verdicts, the machine's noise-RNG
+stream, simulated clock charge and measurement counters. These tests
+run the same workload on identically-seeded twin machines with the flag
+on and off and require exact equality — including under realistic noise,
+where any RNG-order slip would diverge immediately.
+"""
+
+import dataclasses
+
+import numpy as np
+import pytest
+
+from repro.core.dramdig import DramDig, DramDigConfig
+from repro.core.probe import LatencyProbe, ProbeConfig
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+
+
+def _twin_probes(machine_name="No.1", seed=3, **config_kwargs):
+    """Two identically-seeded (machine, probe) pairs, batched vs stepwise."""
+    twins = []
+    for batch_probes in (True, False):
+        machine = SimulatedMachine.from_preset(preset(machine_name), seed=seed)
+        config = ProbeConfig(
+            rounds=100,
+            calibration_pairs=768,
+            batch_probes=batch_probes,
+            **config_kwargs,
+        )
+        probe = LatencyProbe(machine, config)
+        pages = machine.allocate(int(machine.total_bytes * 0.85), "contiguous")
+        probe.calibrate(pages, np.random.default_rng(0))
+        twins.append((machine, pages, probe))
+    return twins
+
+
+def _assert_machines_identical(machine_a, machine_b):
+    assert machine_a.clock.elapsed_ns == machine_b.clock.elapsed_ns
+    assert machine_a.stats.measurements == machine_b.stats.measurements
+    assert machine_a.stats.accesses_timed == machine_b.stats.accesses_timed
+
+
+class TestAreConflictsIdentity:
+    def test_batched_equals_scalar_loop(self):
+        (machine_b, pages_b, batched), (machine_s, _, stepwise) = _twin_probes()
+        rng = np.random.default_rng(11)
+        addresses = pages_b.sample_addresses(64, rng)
+        pairs = [
+            (int(addresses[i]), int(addresses[i + 1]))
+            for i in range(0, 64, 2)
+        ]
+        assert batched.are_conflicts(pairs) == stepwise.are_conflicts(pairs)
+        _assert_machines_identical(machine_b, machine_s)
+
+    def test_small_campaigns_also_identical(self):
+        # Below the batching crossover the batched probe falls back to the
+        # scalar loop for speed; the verdicts and clock must not notice.
+        (machine_b, pages_b, batched), (machine_s, _, stepwise) = _twin_probes(
+            seed=5
+        )
+        addresses = pages_b.sample_addresses(8, np.random.default_rng(2))
+        pairs = [
+            (int(addresses[0]), int(addresses[1])),
+            (int(addresses[2]), int(addresses[3])),
+        ]
+        assert batched.are_conflicts(pairs) == stepwise.are_conflicts(pairs)
+        _assert_machines_identical(machine_b, machine_s)
+
+    def test_empty_campaign(self):
+        (_, _, batched), _ = _twin_probes()
+        assert batched.are_conflicts([]) == []
+
+    def test_drift_watch_forces_scalar_fallback(self):
+        # With the adaptive drift watch armed the batched path must route
+        # through the scalar loop (the watch interleaves reference
+        # re-measurements between verdicts) — still identical to the
+        # stepwise probe with the same watch settings.
+        twins = _twin_probes(machine_name="No.3", seed=7, max_recalibrations=8)
+        (machine_b, pages_b, batched), (machine_s, _, stepwise) = twins
+        assert batched._watching_drift()
+        addresses = pages_b.sample_addresses(40, np.random.default_rng(4))
+        pairs = [
+            (int(addresses[i]), int(addresses[i + 1]))
+            for i in range(0, 40, 2)
+        ]
+        assert batched.are_conflicts(pairs) == stepwise.are_conflicts(pairs)
+        _assert_machines_identical(machine_b, machine_s)
+
+
+class TestConflictMaskIdentity:
+    def test_batched_sweeps_equal_stepwise_batches(self):
+        (machine_b, pages_b, batched), (machine_s, _, stepwise) = _twin_probes()
+        rng = np.random.default_rng(21)
+        others = pages_b.sample_addresses(512, rng)
+        base = int(others[0])
+        np.testing.assert_array_equal(
+            batched.conflict_mask(base, others),
+            stepwise.conflict_mask(base, others),
+        )
+        _assert_machines_identical(machine_b, machine_s)
+
+    def test_identity_holds_under_drift_watch(self):
+        twins = _twin_probes(machine_name="No.3", seed=13, max_recalibrations=8)
+        (machine_b, pages_b, batched), (machine_s, _, stepwise) = twins
+        rng = np.random.default_rng(22)
+        others = pages_b.sample_addresses(256, rng)
+        base = int(others[0])
+        np.testing.assert_array_equal(
+            batched.conflict_mask(base, others),
+            stepwise.conflict_mask(base, others),
+        )
+        _assert_machines_identical(machine_b, machine_s)
+        assert batched.drift_checks == stepwise.drift_checks
+
+
+class TestWholeToolIdentity:
+    @pytest.mark.parametrize("machine_name", ["No.1", "No.3"])
+    def test_dramdig_batched_equals_stepwise(self, machine_name):
+        """End-to-end: the recovered mapping, measurement count and
+        simulated wall-clock are identical with the campaign planner on
+        and off."""
+        results = []
+        for batch_probes in (True, False):
+            config = DramDigConfig(probe=ProbeConfig(batch_probes=batch_probes))
+            machine = SimulatedMachine.from_preset(preset(machine_name), seed=1)
+            result = DramDig(config).run(machine)
+            results.append(
+                (
+                    tuple(sorted(result.mapping.bank_functions)),
+                    result.mapping.row_bits,
+                    result.mapping.column_bits,
+                    result.measurements,
+                    result.total_seconds,
+                )
+            )
+        assert results[0] == results[1]
+
+    def test_resilient_config_identity(self):
+        """The drift-watch fallback keeps the resilient (recovery-armed)
+        configuration identical too."""
+        results = []
+        for batch_probes in (True, False):
+            base = DramDigConfig.resilient()
+            config = dataclasses.replace(
+                base,
+                probe=dataclasses.replace(base.probe, batch_probes=batch_probes),
+            )
+            machine = SimulatedMachine.from_preset(preset("No.3"), seed=2)
+            result = DramDig(config).run(machine)
+            results.append(
+                (
+                    tuple(sorted(result.mapping.bank_functions)),
+                    result.measurements,
+                    result.total_seconds,
+                )
+            )
+        assert results[0] == results[1]

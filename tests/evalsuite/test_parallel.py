@@ -6,6 +6,9 @@ produces. The cross-process regression here renders Table I both ways
 (spawn workers, fixed seeds) and compares the rendered strings.
 """
 
+import logging
+import os
+
 import numpy as np
 import pytest
 
@@ -53,11 +56,27 @@ class TestResolveJobs:
     def test_zero_is_serial(self):
         assert resolve_jobs(0) == 1
 
-    def test_positive_passthrough(self):
-        assert resolve_jobs(7) == 7
+    def test_positive_passthrough_within_capacity(self):
+        assert resolve_jobs(2) == 2
+
+    def test_oversubscription_clamped_to_capacity(self, caplog):
+        # Requests beyond the host's CPUs are clamped (floor 2, so a
+        # multi-job request still gets a pool on a single-CPU host) and
+        # the clamp is logged.
+        limit = max(2, os.cpu_count() or 1)
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            assert resolve_jobs(limit + 5) == limit
+        assert any("clamping --jobs" in record.message for record in caplog.records)
+
+    def test_within_capacity_not_logged(self, caplog):
+        with caplog.at_level(logging.WARNING, logger="repro.parallel"):
+            resolve_jobs(2)
+        assert not caplog.records
 
     def test_negative_means_all_cpus(self):
-        assert resolve_jobs(-1) >= 1
+        # -1 asks for the host's capacity: on a single-CPU machine that
+        # is serial (1), never an oversubscribed pool.
+        assert resolve_jobs(-1) == max(os.cpu_count() or 1, 1)
 
     def test_other_negatives_rejected(self):
         for bad in (-2, -8):

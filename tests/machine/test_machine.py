@@ -135,6 +135,47 @@ class TestPairMeasurement:
             )
 
 
+class TestSweepMeasurement:
+    def test_sweeps_bit_identical_to_repeated_batches(self):
+        """measure_latency_sweeps must reproduce N consecutive
+        measure_latency_batch calls reduced with np.minimum exactly —
+        latencies, clock charge and stats — on an identically-seeded
+        machine (the probe's campaign path relies on it)."""
+        rng = np.random.default_rng(5)
+        total = preset("No.1").mapping.geometry.total_bytes
+        others = rng.integers(0, total, 300, dtype=np.uint64)
+
+        campaign = SimulatedMachine.from_preset(preset("No.1"), seed=9)
+        swept = campaign.measure_latency_sweeps(0, others, rounds=50, sweeps=3)
+
+        reference = SimulatedMachine.from_preset(preset("No.1"), seed=9)
+        stepwise = reference.measure_latency_batch(0, others, rounds=50)
+        for _ in range(2):
+            stepwise = np.minimum(
+                stepwise, reference.measure_latency_batch(0, others, rounds=50)
+            )
+        np.testing.assert_array_equal(swept, stepwise)
+        assert campaign.clock.elapsed_ns == reference.clock.elapsed_ns
+        assert campaign.stats.measurements == reference.stats.measurements
+        assert campaign.stats.accesses_timed == reference.stats.accesses_timed
+
+    def test_single_sweep_equals_batch(self):
+        others = np.array([64, 4096, 8192], dtype=np.uint64)
+        campaign = SimulatedMachine.from_preset(preset("No.1"), seed=9)
+        reference = SimulatedMachine.from_preset(preset("No.1"), seed=9)
+        np.testing.assert_array_equal(
+            campaign.measure_latency_sweeps(0, others, rounds=25, sweeps=1),
+            reference.measure_latency_batch(0, others, rounds=25),
+        )
+
+    def test_non_positive_sweeps_rejected(self):
+        machine = quiet_machine()
+        with pytest.raises(ValueError, match="sweeps must be positive"):
+            machine.measure_latency_sweeps(
+                0, np.array([64], dtype=np.uint64), rounds=10, sweeps=0
+            )
+
+
 class TestStatsAccounting:
     """Pin the counter semantics for every measurement path (the audit of
     the suspected ``measurements`` double-increment): ``measurements``
