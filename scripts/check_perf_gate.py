@@ -11,6 +11,9 @@ parallel grid stops paying for itself or stops being exact:
 * the campaign-planner A/B must report identical results
   (``single_run.results_identical``) and a batching speedup at or
   above the recorded floor;
+* the compiled translation kernels must stay bit-identical to the
+  scalar decode path (``translation.scalar_identity``) and sustain at
+  least a million lookups per second in each direction;
 * on multi-CPU hosts ``grid.table1_parallel_speedup`` must stay at or
   above the recorded floor. Single-CPU hosts skip this check — the
   harness omits the column there by design, and a gate that fails on
@@ -36,6 +39,10 @@ from pathlib import Path
 # campaign quietly falling back to scalar — still does.
 BATCHING_SPEEDUP_FLOOR = 1.05
 PARALLEL_SPEEDUP_FLOOR = 1.3
+# The compiled GF(2) translation kernels sustain >20M lookups/s on the
+# reference container; one million per second is the point below which
+# campaign planning would be back to scalar-loop territory.
+TRANSLATION_LOOKUPS_FLOOR = 1_000_000.0
 
 
 def check_record(record: dict) -> list[str]:
@@ -62,6 +69,20 @@ def check_record(record: dict) -> list[str]:
             f"single_run.batching_speedup {batching} below floor "
             f"{BATCHING_SPEEDUP_FLOOR}"
         )
+
+    translation = record.get("translation", {})
+    if translation.get("scalar_identity") is not True:
+        problems.append(
+            "translation.scalar_identity is not true: compiled batch "
+            "kernels diverged from the scalar decode path"
+        )
+    for direction in ("translate_lookups_per_s", "encode_lookups_per_s"):
+        rate = translation.get(direction)
+        if rate is None or rate < TRANSLATION_LOOKUPS_FLOOR:
+            problems.append(
+                f"translation.{direction} {rate} below floor "
+                f"{TRANSLATION_LOOKUPS_FLOOR:.0f}"
+            )
 
     if environment.get("single_cpu"):
         print(
@@ -111,9 +132,12 @@ def main(argv: list[str] | None = None) -> int:
     if not problems:
         grid = record.get("grid", {})
         single = record.get("single_run", {})
+        translation = record.get("translation", {})
         print(
             "perf gate: ok "
             f"(batching {single.get('batching_speedup', float('nan')):.2f}x, "
+            f"translation "
+            f"{translation.get('translate_lookups_per_s', 0.0) / 1e6:.1f}M/s, "
             f"parallel speedup "
             f"{grid.get('table1_parallel_speedup', 'skipped')})"
         )

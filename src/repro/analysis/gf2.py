@@ -28,6 +28,7 @@ __all__ = [
     "solve_xor",
     "nullspace_basis",
     "solve_parity_system",
+    "invert",
 ]
 
 
@@ -197,6 +198,67 @@ def reduced_row_echelon(masks: Iterable[int]) -> list[int]:
 
 # Backwards-compatible private alias (used before the function was public).
 _reduced_row_echelon = reduced_row_echelon
+
+
+def invert(rows: Sequence[int], width: int | None = None) -> list[int] | None:
+    """Invert the square GF(2) matrix whose row ``i`` is the mask ``rows[i]``.
+
+    The matrix maps an input vector ``x`` (a ``width``-bit integer) to the
+    output vector whose bit ``i`` is ``parity(rows[i] & x)``. The inverse
+    ``inv`` satisfies ``parity(inv[j] & y)`` = bit ``j`` of ``x`` for
+    ``y`` the output vector — i.e. applying ``inv`` to an output recovers
+    the input. This is the compile step of the blacksmith-style
+    ``DRAM_MTX``/``ADDR_MTX`` pair: the forward matrix is assembled from a
+    mapping's selectors and bank functions, and its inverse turns a DRAM
+    address back into the unique physical address.
+
+    Returns ``None`` when the matrix is singular (not a bijection) —
+    callers translating a *validated* mapping treat that as an internal
+    error, while callers compiling an unvalidated belief surface it as a
+    typed exception.
+
+    Raises:
+        ValueError: when the matrix is not square (``len(rows) != width``)
+            or a row has bits at or above ``width``.
+    """
+    if width is None:
+        width = len(rows)
+    if len(rows) != width:
+        raise ValueError(
+            f"matrix is not square: {len(rows)} rows over {width} columns"
+        )
+    limit = 1 << width
+    for row in rows:
+        if not 0 <= row < limit:
+            raise ValueError(f"row {row:#x} exceeds width {width}")
+    # Gauss-Jordan over (mask, tracker) pairs: the tracker records which
+    # original output rows were folded into each working row, so once the
+    # mask side reaches the identity the tracker side *is* the inverse.
+    basis: list[tuple[int, int]] = []  # echelon rows, distinct leading bits
+    for index in range(width):
+        mask, tracker = rows[index], 1 << index
+        for basis_mask, basis_tracker in basis:
+            if mask ^ basis_mask < mask:
+                mask ^= basis_mask
+                tracker ^= basis_tracker
+        if mask == 0:
+            return None  # dependent rows: singular
+        basis.append((mask, tracker))
+        basis.sort(reverse=True)
+    # Jordan step: clear every non-leading bit. Since the rank equals the
+    # width, each remaining bit is some other row's lead, so full
+    # reduction leaves exactly one bit per row — the identity.
+    for i in range(width):
+        for j in range(width):
+            if i != j and basis[i][0] ^ basis[j][0] < basis[i][0]:
+                basis[i] = (
+                    basis[i][0] ^ basis[j][0],
+                    basis[i][1] ^ basis[j][1],
+                )
+    inverse = [0] * width
+    for mask, tracker in basis:
+        inverse[mask.bit_length() - 1] = tracker
+    return inverse
 
 
 def nullspace_basis(rows: Sequence[int], width: int) -> list[int]:

@@ -6,6 +6,7 @@ Subcommands mirror the paper:
 * ``dramdig compare No.6``    — run DRAMDig, DRAMA and Xiao on one machine.
 * ``dramdig explain No.6``    — the bit-layout diagram of a ground truth.
 * ``dramdig hammer No.2``     — reverse-engineer, then run rowhammer tests.
+* ``dramdig translate No.2 --phys 0x1ed2f00`` — compiled phys↔DRAM queries.
 * ``dramdig table1|table2|figure2|table3`` — regenerate a paper artefact.
 * ``dramdig list``            — show the machine presets.
 """
@@ -210,6 +211,75 @@ def _build_parser() -> argparse.ArgumentParser:
         "--minutes", type=float, default=5.0, help="minutes per test (default 5)"
     )
 
+    translate_cmd = commands.add_parser(
+        "translate",
+        help="query the compiled phys↔DRAM translation service",
+        description="Compile a mapping (preset ground truth or a JSON file "
+        "saved with 'run --save') into its GF(2) matrix pair and answer "
+        "translation queries through the cached service.",
+    )
+    translate_cmd.add_argument(
+        "machine",
+        nargs="?",
+        choices=TABLE2_ORDER,
+        help="preset whose ground-truth mapping to compile "
+        "(or use --mapping PATH)",
+    )
+    translate_cmd.add_argument(
+        "--mapping",
+        metavar="PATH",
+        default=None,
+        help="compile a mapping JSON written by 'run --save' instead of a preset",
+    )
+    translate_cmd.add_argument(
+        "--phys",
+        nargs="+",
+        metavar="ADDR",
+        default=None,
+        help="physical addresses (decimal or 0x-hex) to translate to "
+        "bank/row/column",
+    )
+    translate_cmd.add_argument(
+        "--dram",
+        nargs="+",
+        metavar="BANK,ROW,COL",
+        default=None,
+        help="DRAM coordinates to encode back to physical addresses",
+    )
+    translate_cmd.add_argument(
+        "--same-bank",
+        type=int,
+        metavar="BANK",
+        default=None,
+        dest="same_bank",
+        help="emit --count physical addresses that all map to this bank",
+    )
+    translate_cmd.add_argument(
+        "--aggressors",
+        type=int,
+        metavar="BANK",
+        default=None,
+        help="emit --count double-sided aggressor sets (victim, above, "
+        "below) in this bank",
+    )
+    translate_cmd.add_argument(
+        "--count", type=int, default=4, help="set size for generator queries"
+    )
+    translate_cmd.add_argument(
+        "--column", type=int, default=0, help="column for generator queries"
+    )
+    translate_cmd.add_argument(
+        "--stride",
+        type=int,
+        default=3,
+        help="victim-row spacing for --aggressors (default 3: disjoint sets)",
+    )
+    translate_cmd.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the service's cache/counter stats afterwards",
+    )
+
     commands.add_parser("list", help="list machine presets")
     report_cmd = commands.add_parser(
         "report", help="regenerate every artefact into one markdown report"
@@ -391,6 +461,81 @@ def _command_hammer(args) -> int:
     return 0
 
 
+def _command_translate(args) -> int:
+    import numpy as np
+
+    from repro.dram.serialization import load_mapping
+    from repro.service.translation import default_service
+
+    if (args.machine is None) == (args.mapping is None):
+        _LOG.error("provide exactly one of MACHINE or --mapping PATH")
+        return 2
+    if args.mapping is not None:
+        try:
+            mapping = load_mapping(args.mapping)
+        except (OSError, ValueError, KeyError, ReproError) as error:
+            _LOG.error("cannot load mapping %s: %s", args.mapping, error)
+            return 1
+        label = args.mapping
+    else:
+        mapping = preset(args.machine).mapping
+        label = args.machine
+
+    service = default_service()
+    key = service.register(mapping)
+    compiled = service.compiled(key)
+    print(
+        f"{label}: {compiled.banks} banks × {compiled.rows} rows × "
+        f"{compiled.columns} columns, key {key[:16]}…"
+    )
+
+    if args.phys is not None:
+        try:
+            addrs = np.array([int(text, 0) for text in args.phys], dtype=np.uint64)
+        except ValueError as error:
+            _LOG.error("bad --phys address: %s", error)
+            return 2
+        banks, rows, columns = service.translate(key, addrs)
+        for addr, bank, row, column in zip(addrs, banks, rows, columns):
+            print(f"0x{int(addr):012x} -> bank {int(bank)} row {int(row)} "
+                  f"col {int(column)}")
+    if args.dram is not None:
+        try:
+            triples = [
+                tuple(int(part, 0) for part in text.split(","))
+                for text in args.dram
+            ]
+            if any(len(triple) != 3 for triple in triples):
+                raise ValueError("expected BANK,ROW,COL")
+        except ValueError as error:
+            _LOG.error("bad --dram coordinate: %s", error)
+            return 2
+        banks = np.array([t[0] for t in triples], dtype=np.uint64)
+        rows = np.array([t[1] for t in triples], dtype=np.uint64)
+        columns = np.array([t[2] for t in triples], dtype=np.uint64)
+        for (bank, row, column), addr in zip(
+            triples, service.encode(key, banks, rows, columns)
+        ):
+            print(f"bank {bank} row {row} col {column} -> 0x{int(addr):012x}")
+    if args.same_bank is not None:
+        addrs = service.same_bank_addresses(
+            key, args.same_bank, args.count, args.column
+        )
+        print(f"bank {args.same_bank}, column {args.column}: "
+              + " ".join(f"0x{int(addr):012x}" for addr in addrs))
+    if args.aggressors is not None:
+        victims, above, below = service.adjacent_row_sets(
+            key, args.aggressors, args.count, args.column, args.stride
+        )
+        for victim, upper, lower in zip(victims, above, below):
+            print(f"victim 0x{int(victim):012x}  above 0x{int(upper):012x}  "
+                  f"below 0x{int(lower):012x}")
+    if args.stats:
+        stats = service.stats()
+        print("service: " + ", ".join(f"{k}={v}" for k, v in stats.items()))
+    return 0
+
+
 def _command_list(_args) -> int:
     for name in TABLE2_ORDER:
         machine_preset = preset(name)
@@ -424,6 +569,8 @@ def _dispatch_command(args) -> int:
         return _command_explain(args)
     if args.command == "hammer":
         return _command_hammer(args)
+    if args.command == "translate":
+        return _command_translate(args)
     if args.command == "list":
         return _command_list(args)
     if args.command == "report":

@@ -392,6 +392,13 @@ class DramDig:
             column_bits=fine.column_bits,
         )
 
+        # Compile once at recovery time and register with the process-wide
+        # translation service, keyed by the machine's SystemInfo facts so a
+        # fleet of identical machines shares one compiled entry.
+        from repro.service.translation import default_service
+
+        translation_key = default_service().publish(mapping, system=knowledge.info)
+
         return DramDigResult(
             mapping=mapping,
             total_seconds=clock.since(start_ns) / 1e9,
@@ -404,6 +411,7 @@ class DramDig:
             partition_stop_reason=partition.stop_reason,
             coarse=coarse,
             fine=fine,
+            translation_key=translation_key,
         )
 
 

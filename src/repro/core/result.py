@@ -36,6 +36,10 @@ class DramDigResult:
         degradation: recovery actions taken to reach convergence (step
             retries, probe recalibrations, partition escalations, pipeline
             restarts) — empty in a clean run.
+        translation_key: cache key under which the recovered mapping's
+            compiled form is registered with the process-wide
+            :class:`~repro.service.translation.TranslationService`
+            (empty for results built outside the pipeline).
     """
 
     mapping: AddressMapping
@@ -51,6 +55,17 @@ class DramDigResult:
     fine: FineResult | None = None
     retries: int = 0
     degradation: list[DegradationEvent] = field(default_factory=list)
+    translation_key: str = ""
+
+    @property
+    def compiled(self):
+        """The recovered mapping's compiled GF(2) matrix pair.
+
+        Delegates to :attr:`AddressMapping.compiled`, which is cached on
+        the mapping instance — the pipeline already paid the compile at
+        recovery time, so this is a plain attribute read afterwards.
+        """
+        return self.mapping.compiled
 
     @property
     def degraded(self) -> bool:

@@ -10,11 +10,13 @@ from repro.dram.errors import (
     PartitionError,
     ReproError,
     SelectionError,
+    SingularMappingError,
     ToolStuckError,
     ToolTimeoutError,
 )
 from repro.dram.amd import amd_family15h_mapping, amd_reference_geometry
 from repro.dram.belief import BeliefMapping
+from repro.dram.compiled import CompiledMapping, compile_mapping
 from repro.dram.ecc import EccOutcome, decode_word, encode_word
 from repro.dram.explain import BitRole, explain_bit, explain_mapping
 from repro.dram.geometry import DramGeometry
@@ -24,9 +26,13 @@ from repro.dram.random_mapping import naive_mapping, random_geometry, random_map
 from repro.dram.serialization import (
     belief_from_dict,
     belief_to_dict,
+    compiled_from_dict,
+    compiled_to_dict,
+    load_compiled,
     load_mapping,
     mapping_from_dict,
     mapping_to_dict,
+    save_compiled,
     save_mapping,
 )
 from repro.dram.spec import (
@@ -48,8 +54,11 @@ __all__ = [
     "PartitionError",
     "ReproError",
     "SelectionError",
+    "SingularMappingError",
     "ToolStuckError",
     "ToolTimeoutError",
+    "CompiledMapping",
+    "compile_mapping",
     "amd_family15h_mapping",
     "amd_reference_geometry",
     "BeliefMapping",
@@ -64,7 +73,11 @@ __all__ = [
     "random_mapping",
     "belief_from_dict",
     "belief_to_dict",
+    "compiled_from_dict",
+    "compiled_to_dict",
+    "load_compiled",
     "load_mapping",
+    "save_compiled",
     "mapping_from_dict",
     "mapping_to_dict",
     "save_mapping",

@@ -14,6 +14,7 @@ __all__ = [
     "ReproError",
     "GeometryError",
     "MappingError",
+    "SingularMappingError",
     "AllocationError",
     "CalibrationError",
     "SelectionError",
@@ -36,6 +37,16 @@ class GeometryError(ReproError):
 class MappingError(ReproError):
     """An address mapping fails validation (dependent functions, bit overlap,
     non-bijective layout)."""
+
+
+class SingularMappingError(MappingError):
+    """A mapping's forward GF(2) matrix is not invertible, so no
+    DRAM-to-physical translation exists (inconsistent/singular system).
+
+    Raised when compiling the ``ADDR_MTX`` inverse of a non-bijective
+    claim — typically an unvalidated :class:`~repro.dram.belief.BeliefMapping`
+    with dependent or missing functions. A *validated*
+    :class:`~repro.dram.mapping.AddressMapping` can never trigger this."""
 
 
 class AllocationError(ReproError):

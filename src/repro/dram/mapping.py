@@ -248,6 +248,21 @@ class AddressMapping:
             row |= ((addrs >> np.uint64(position)) & np.uint64(1)) << np.uint64(index)
         return row
 
+    # ------------------------------------------------------- compiled form
+
+    @cached_property
+    def compiled(self):
+        """The mapping compiled to a GF(2) matrix pair, built once.
+
+        Returns a :class:`repro.dram.compiled.CompiledMapping` whose batch
+        kernels are bit-identical to the scalar decode/encode here — the
+        form every high-throughput consumer (translation service, verify,
+        rowhammer campaigns) uses.
+        """
+        from repro.dram.compiled import CompiledMapping
+
+        return CompiledMapping.from_mapping(self)
+
     # ------------------------------------------------------------ comparison
 
     def same_bank(self, addr_a: int, addr_b: int) -> bool:

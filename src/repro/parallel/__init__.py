@@ -32,6 +32,7 @@ from repro.parallel.grid import (
     GridCell,
     execute_cell,
     fingerprint_cell,
+    fingerprint_payload,
     resolve_jobs,
     run_cells,
 )
@@ -65,6 +66,7 @@ __all__ = [
     "execute_cell",
     "execute_cell_batch",
     "fingerprint_cell",
+    "fingerprint_payload",
     "get_pool_manager",
     "resolve_batch_cells",
     "resolve_jobs",

@@ -42,6 +42,7 @@ __all__ = [
     "GridCell",
     "execute_cell",
     "fingerprint_cell",
+    "fingerprint_payload",
     "resolve_jobs",
     "run_cells",
 ]
@@ -128,6 +129,26 @@ def _canonical(value: object) -> str:
     return repr(value)
 
 
+def fingerprint_payload(task: str, payload: dict) -> str:
+    """Content fingerprint of an arbitrary ``(task, payload)`` pair.
+
+    The journal's fingerprint scheme, exposed for other content-addressed
+    caches (the translation service keys compiled mappings with it):
+    deterministic canonical rendering, harness keys (leading ``_``)
+    excluded, SHA-256 hex digest.
+    """
+    digest = hashlib.sha256()
+    digest.update(task.encode())
+    digest.update(b"\x00")
+    visible = {
+        key: value
+        for key, value in payload.items()
+        if not (isinstance(key, str) and key.startswith("_"))
+    }
+    digest.update(_canonical(visible).encode())
+    return digest.hexdigest()
+
+
 def fingerprint_cell(cell: GridCell) -> str:
     """Content fingerprint of ``(task, payload)``.
 
@@ -142,16 +163,7 @@ def fingerprint_cell(cell: GridCell) -> str:
     worker function, so they cannot change the result — a traced run
     and an untraced run share journal entries.
     """
-    digest = hashlib.sha256()
-    digest.update(cell.task.encode())
-    digest.update(b"\x00")
-    payload = {
-        key: value
-        for key, value in cell.payload.items()
-        if not (isinstance(key, str) and key.startswith("_"))
-    }
-    digest.update(_canonical(payload).encode())
-    return digest.hexdigest()
+    return fingerprint_payload(cell.task, cell.payload)
 
 
 def resolve_jobs(jobs: int | None) -> int:

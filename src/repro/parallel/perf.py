@@ -1,6 +1,6 @@
 """Perf harness: wall-clock evidence for the optimisation work.
 
-Writes ``BENCH_perf.json`` with five families of numbers:
+Writes ``BENCH_perf.json`` with six families of numbers:
 
 * **grid** — wall-clock seconds of the Table I and Figure 2 evaluation
   grids, serial and parallel (persistent warmed pool, optional cell
@@ -14,6 +14,9 @@ Writes ``BENCH_perf.json`` with five families of numbers:
   vectorized measurement-campaign planner on (the default) and off
   (``batch_probes=False``), asserted bit-identical, next to the
   recorded seed panel baseline;
+* **translation** — batched phys↔DRAM lookup throughput of the compiled
+  GF(2) matrix pair on a million-address pool, checked bit-identical
+  against the scalar decode path before any timing is believed;
 * **micro** — decode/parity throughput of the current hot-path kernels
   next to both the retained reference implementations
   (``bank_of_array_popcount`` / ``row_of_array_shift``) and the recorded
@@ -223,6 +226,77 @@ def _single_run_benches(
     }
 
 
+_TRANSLATION_POOL = 1_000_000
+_TRANSLATION_IDENTITY_SAMPLE = 4096
+
+
+def _translation_benches(machine_name: str = "No.2") -> dict:
+    """Compiled-translation throughput plus scalar bit-identity.
+
+    One compiled mapping, a million-address pool, best-of timings for the
+    batched phys→DRAM and DRAM→phys kernels. Before anything is timed, a
+    sample of the pool goes through both the scalar ground truth
+    (``AddressMapping.dram_address`` / ``encode``) and the batch kernels;
+    any mismatch raises — a throughput number for a kernel that computes
+    different bits would be worse than no number.
+    """
+    from repro.dram.compiled import CompiledMapping
+    from repro.dram.mapping import DramAddress
+
+    mapping = preset(machine_name).mapping
+    compile_seconds = _best_of(
+        lambda: CompiledMapping.from_mapping(mapping), repeats=3
+    )
+    compiled = mapping.compiled
+    rng = np.random.default_rng(0)
+    pool = rng.integers(
+        0, 1 << mapping.geometry.address_bits, _TRANSLATION_POOL, dtype=np.uint64
+    )
+
+    sample = pool[:_TRANSLATION_IDENTITY_SAMPLE]
+    banks, rows, columns = compiled.translate(sample)
+    round_trip = compiled.encode(banks, rows, columns)
+    identical = True
+    for index in range(sample.size):
+        scalar = mapping.dram_address(int(sample[index]))
+        if (
+            scalar.bank != int(banks[index])
+            or scalar.row != int(rows[index])
+            or scalar.column != int(columns[index])
+            or mapping.encode(DramAddress(scalar.bank, scalar.row, scalar.column))
+            != int(round_trip[index])
+        ):
+            identical = False
+            break
+    if not identical:
+        raise RuntimeError(
+            "compiled translation diverged from the scalar decode path: "
+            "batch kernels must be bit-identical"
+        )
+
+    translate_seconds = _best_of(lambda: compiled.translate(pool))
+    full_banks, full_rows, full_columns = compiled.translate(pool)
+    encode_seconds = _best_of(
+        lambda: compiled.encode(full_banks, full_rows, full_columns)
+    )
+    scalar_seconds = _best_of(
+        lambda: [mapping.dram_address(int(addr)) for addr in sample], repeats=3
+    )
+    scalar_rate = sample.size / scalar_seconds
+    translate_rate = _TRANSLATION_POOL / translate_seconds
+    return {
+        "machine": machine_name,
+        "pool_size": _TRANSLATION_POOL,
+        "identity_sample": _TRANSLATION_IDENTITY_SAMPLE,
+        "compile_ms": compile_seconds * 1e3,
+        "translate_lookups_per_s": translate_rate,
+        "encode_lookups_per_s": _TRANSLATION_POOL / encode_seconds,
+        "scalar_lookups_per_s": scalar_rate,
+        "batch_speedup_vs_scalar": translate_rate / scalar_rate,
+        "scalar_identity": True,
+    }
+
+
 def _grid_benches(
     jobs: int,
     machines: tuple[str, ...],
@@ -317,6 +391,9 @@ def run_perf(
         "tracing": _tracing_benches(),
         "grid": _grid_benches(workers, machines, batch_cells, pool_mode, single_cpu),
     }
+    # Measured last: the million-address pools would otherwise perturb
+    # the cache/frequency state the earlier A/B sections were tuned on.
+    record["translation"] = _translation_benches()
     if out is not None:
         atomic_write(out, json.dumps(record, indent=2) + "\n")
     return record
@@ -396,6 +473,16 @@ def main(argv: list[str] | None = None) -> int:
         single["stepwise_seconds"],
         single["batching_speedup"],
         single["speedup_vs_seed"],
+    )
+    translation = record["translation"]
+    _LOG.info(
+        "translation (%s): %.1fM phys→DRAM/s, %.1fM DRAM→phys/s "
+        "(%.0fx vs scalar, compile %.1fms, bit-identical)",
+        translation["machine"],
+        translation["translate_lookups_per_s"] / 1e6,
+        translation["encode_lookups_per_s"] / 1e6,
+        translation["batch_speedup_vs_scalar"],
+        translation["compile_ms"],
     )
     for key, speedup in micro["speedup_vs_seed"].items():
         _LOG.info(

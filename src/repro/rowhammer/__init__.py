@@ -1,5 +1,6 @@
 """Rowhammer substrate: fault model, double-sided attack driver, assessment."""
 
+from repro.rowhammer.aggressors import AggressorPlan, CompiledAggressorPlanner
 from repro.rowhammer.assess import AssessmentReport, assess_vulnerability
 from repro.rowhammer.faultmodel import (
     DOUBLE_SIDED_THRESHOLD,
@@ -18,6 +19,8 @@ from repro.rowhammer.remapping import (
 from repro.rowhammer.variants import one_location_test, single_sided_test
 
 __all__ = [
+    "AggressorPlan",
+    "CompiledAggressorPlanner",
     "AssessmentReport",
     "assess_vulnerability",
     "DOUBLE_SIDED_THRESHOLD",

@@ -1,0 +1,100 @@
+"""Batched double-sided aggressor selection via a compiled mapping.
+
+``BeliefMapping.aim_row_neighbor`` computes aggressors one victim at a
+time by solving a small GF(2) repair system per call — correct, and the
+right model for an attacker holding a possibly-wrong belief, but far too
+slow for campaign fuzzing where millions of victims are planned per
+sweep. This module is the campaign fast path: translate every victim in
+one batch, bump the row component, and encode back through the compiled
+inverse — three matrix-parity kernels total, independent of victim count.
+
+The planned aggressors land in the same (believed) bank at row ± 1, like
+the scalar aim path; the *column* choice may differ (the scalar path
+repairs by toggling preferred bits, the compiled path keeps the victim's
+column), so the two are interchangeable for hammering — the fault model
+cares about bank and row only — but not bit-identical in the addresses
+they pick. :class:`~repro.rowhammer.hammer.DoubleSidedAttack` therefore
+keeps the belief path as its default and takes a planner opt-in.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.compiled import CompiledMapping
+from repro.dram.mapping import AddressMapping
+from repro.obs import tracing as obs
+
+__all__ = ["AggressorPlan", "CompiledAggressorPlanner"]
+
+
+@dataclass(frozen=True)
+class AggressorPlan:
+    """Planned aggressor pairs for a batch of victims.
+
+    Attributes:
+        above: physical addresses one row above each victim (same bank).
+        below: physical addresses one row below each victim (same bank).
+        valid: lanes whose victim row has both neighbours in range;
+            ``above``/``below`` are meaningless on invalid lanes.
+    """
+
+    above: np.ndarray
+    below: np.ndarray
+    valid: np.ndarray
+
+    def __len__(self) -> int:
+        return len(self.valid)
+
+    @property
+    def planned(self) -> int:
+        """Victims that received a usable double-sided pair."""
+        return int(np.count_nonzero(self.valid))
+
+
+class CompiledAggressorPlanner:
+    """Plans double-sided aggressor pairs in batch.
+
+    Raises:
+        SingularMappingError: when the mapping/belief has no GF(2)
+            inverse — without DRAM→phys translation no aggressor can be
+            constructed (the typed error, not a downstream ``TypeError``).
+    """
+
+    def __init__(self, compiled: CompiledMapping):
+        # Touching the inverse tables up front surfaces the typed
+        # SingularMappingError at construction instead of mid-campaign.
+        compiled._inverse_tables  # noqa: B018 - intentional eager check
+        self.compiled = compiled
+
+    @classmethod
+    def from_mapping(cls, mapping: AddressMapping) -> "CompiledAggressorPlanner":
+        """Planner over a validated mapping (always invertible)."""
+        return cls(mapping.compiled)
+
+    @classmethod
+    def from_belief(cls, belief: BeliefMapping) -> "CompiledAggressorPlanner":
+        """Planner over a tool's belief.
+
+        Raises:
+            SingularMappingError: when the belief is not a bijection.
+        """
+        return cls(CompiledMapping.from_belief(belief, require_inverse=True))
+
+    def plan(self, victims: np.ndarray) -> AggressorPlan:
+        """Aggressor pairs for every victim, one batch of kernels."""
+        compiled = self.compiled
+        addrs = np.asarray(victims, dtype=np.uint64)
+        banks, rows, columns = compiled.translate(addrs)
+        valid = (rows >= np.uint64(1)) & (rows < np.uint64(compiled.rows - 1))
+        # Clamp invalid rows into range so encode never wraps; the valid
+        # mask is what consumers must honour.
+        safe_rows = np.clip(rows, np.uint64(1), np.uint64(max(compiled.rows - 2, 1)))
+        above = compiled.encode(banks, safe_rows - np.uint64(1), columns)
+        below = compiled.encode(banks, safe_rows + np.uint64(1), columns)
+        obs.inc("rowhammer.planned_victims", int(addrs.size))
+        obs.inc("rowhammer.planned_pairs", int(np.count_nonzero(valid)))
+        return AggressorPlan(above=above, below=below, valid=valid)

@@ -14,6 +14,7 @@ gap between DRAMDig and DRAMA emerges entirely from belief quality.
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import TYPE_CHECKING
 
 import numpy as np
 
@@ -21,6 +22,9 @@ from repro.dram.belief import BeliefMapping
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.faultmodel import RowhammerFaultModel
 from repro.rowhammer.mitigations import MitigationStack
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rowhammer.aggressors import CompiledAggressorPlanner
 
 __all__ = ["HammerConfig", "HammerReport", "DoubleSidedAttack"]
 
@@ -120,6 +124,7 @@ class DoubleSidedAttack:
         seed: int = 0,
         mitigations: MitigationStack | None = None,
         decoy_rows: int = 0,
+        planner: "CompiledAggressorPlanner | None" = None,
     ) -> HammerReport:
         """One timed test aiming with ``belief``.
 
@@ -131,6 +136,13 @@ class DoubleSidedAttack:
                 tracker (the TRRespass-style many-sided pattern). Decoys
                 share the activation budget, so they weaken the true pair
                 while improving the odds of slipping past the tracker.
+            planner: optional compiled batch aggressor planner
+                (:class:`repro.rowhammer.aggressors.CompiledAggressorPlanner`).
+                When given, all aggressor pairs are planned in one batch of
+                GF(2) kernels up front instead of per-victim scalar aiming.
+                The planner picks same-bank row ± 1 aggressors like the
+                belief path but may choose different columns, so Table III
+                runs keep the default (``None``) scalar path byte-identical.
         """
         if decoy_rows < 0:
             raise ValueError("decoy_rows must be non-negative")
@@ -153,11 +165,17 @@ class DoubleSidedAttack:
 
         report = HammerReport(duration_seconds=config.duration_seconds)
         victims = pages.sample_addresses(trials, rng)
+        plan = planner.plan(victims) if planner is not None else None
         for trial in range(trials):
             report.trials += 1
             victim = int(victims[trial])
-            above = belief.aim_row_neighbor(victim, -1)
-            below = belief.aim_row_neighbor(victim, +1)
+            if plan is not None:
+                usable = bool(plan.valid[trial])
+                above = int(plan.above[trial]) if usable else None
+                below = int(plan.below[trial]) if usable else None
+            else:
+                above = belief.aim_row_neighbor(victim, -1)
+                below = belief.aim_row_neighbor(victim, +1)
             if above is None or below is None:
                 report.skipped += 1
                 continue

@@ -1,0 +1,28 @@
+"""Long-lived in-process services built on the recovered mappings.
+
+The reverse-engineering pipeline produces a mapping once; production
+consumers — fleet orchestrators, rowhammer campaign fuzzers, verification
+sweeps — then query it millions of times. This package holds the
+persistent service layer those consumers call into:
+
+* :mod:`repro.service.translation` — a phys↔DRAM translation service
+  caching compiled GF(2) mappings keyed by machine/``SystemInfo``
+  fingerprint, with batch lookup kernels and hit/miss accounting through
+  :mod:`repro.obs`.
+"""
+
+from repro.service.translation import (
+    TranslationService,
+    default_service,
+    mapping_fingerprint,
+    reset_default_service,
+    system_fingerprint,
+)
+
+__all__ = [
+    "TranslationService",
+    "default_service",
+    "mapping_fingerprint",
+    "reset_default_service",
+    "system_fingerprint",
+]

@@ -1,0 +1,272 @@
+"""Persistent in-process phys↔DRAM translation service.
+
+The blacksmith production pattern, made a service: once a machine's
+mapping is recovered (or loaded from disk), it is compiled into the
+GF(2) matrix pair (:class:`~repro.dram.compiled.CompiledMapping`) exactly
+once, cached under a content fingerprint, and every subsequent query —
+single address, million-address batch, "give me N same-bank addresses",
+"give me aggressor sets" — is answered from the compiled form.
+
+Keying reuses the checkpoint journal's content-fingerprint scheme
+(:func:`repro.parallel.grid.fingerprint_payload`): a mapping is keyed by
+its serialised content, a machine by its :class:`~repro.machine.sysinfo.SystemInfo`
+facts. Two identical machines in a simulated fleet therefore share one
+cache entry, which is what makes the fleet-prior work cheap: the first
+machine pays the compile, lookalikes hit.
+
+Accounting is double-booked deliberately: the service keeps its own
+monotonic counters (``stats()``, always available, exact per instance)
+*and* mirrors service behaviour into :mod:`repro.obs` metrics so traced
+runs fold it into the same snapshot the rest of the pipeline uses. The
+obs mirror is restricted to counters that are deterministic functions of
+the workload regardless of process layout: the query stream
+(``translation.phys_to_dram`` / ``translation.dram_to_phys``), explicit
+``register``/``compiled_for`` cache events, and pipeline registrations
+(``translation.registrations`` via :meth:`TranslationService.publish`).
+A *pipeline* registration's hit-vs-miss split depends on which worker's
+process-local cache happened to serve it — jobs=1 and jobs=N would
+disagree — so :meth:`~TranslationService.publish` books hit/miss in
+``stats()`` only, preserving the grid trace-determinism contract.
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+from typing import TYPE_CHECKING
+
+import numpy as np
+
+from repro.dram.compiled import CompiledMapping
+from repro.dram.mapping import AddressMapping, DramAddress
+from repro.obs import tracing as obs
+from repro.parallel.grid import fingerprint_payload
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.machine.sysinfo import SystemInfo
+
+__all__ = [
+    "TranslationService",
+    "default_service",
+    "mapping_fingerprint",
+    "reset_default_service",
+    "system_fingerprint",
+]
+
+
+def mapping_fingerprint(mapping: AddressMapping) -> str:
+    """Content fingerprint of a mapping (the journal scheme).
+
+    Serialisation-stable: two mapping objects with equal geometry,
+    functions and bit sets fingerprint identically regardless of how they
+    were constructed.
+    """
+    from repro.dram.serialization import mapping_to_dict
+
+    return fingerprint_payload("repro.service:mapping", mapping_to_dict(mapping))
+
+
+def system_fingerprint(info: "SystemInfo") -> str:
+    """Content fingerprint of a machine's ``SystemInfo`` facts."""
+    return fingerprint_payload("repro.service:system", asdict(info))
+
+
+class TranslationService:
+    """Caches compiled mappings and answers translation queries.
+
+    One instance is meant to live as long as the process (see
+    :func:`default_service`); workers in a grid each hold their own,
+    and their :mod:`repro.obs` metric snapshots merge deterministically.
+    """
+
+    def __init__(self) -> None:
+        self._cache: dict[str, CompiledMapping] = {}
+        self.hits = 0
+        self.misses = 0
+        self.translations = 0
+        self.encodes = 0
+
+    # ------------------------------------------------------------ cache plane
+
+    def __len__(self) -> int:
+        return len(self._cache)
+
+    def keys(self) -> tuple[str, ...]:
+        """Fingerprints currently cached, insertion-ordered."""
+        return tuple(self._cache)
+
+    def register(
+        self,
+        mapping: AddressMapping,
+        system: "SystemInfo | None" = None,
+    ) -> str:
+        """Compile ``mapping`` (cache-aware) and return its cache key.
+
+        Keyed by the machine's ``SystemInfo`` fingerprint when given —
+        the fleet-sharing key — and by the mapping's own content
+        fingerprint otherwise. Registering an already-cached key is a
+        hit: the existing compiled form is kept and no recompile happens.
+        """
+        key = (
+            system_fingerprint(system)
+            if system is not None
+            else mapping_fingerprint(mapping)
+        )
+        self._get_or_compile(key, mapping)
+        return key
+
+    def publish(
+        self,
+        mapping: AddressMapping,
+        system: "SystemInfo | None" = None,
+    ) -> str:
+        """Pipeline-facing :meth:`register`: identical caching and
+        ``stats()`` accounting, but the only counter mirrored into
+        :mod:`repro.obs` is ``translation.registrations``.
+
+        A registration's hit-vs-miss split is a property of the serving
+        process's cache history, not of the workload — serial and
+        multi-worker grid runs would disagree — so traced pipeline runs
+        record just the layout-deterministic fact that a mapping was
+        published.
+        """
+        key = (
+            system_fingerprint(system)
+            if system is not None
+            else mapping_fingerprint(mapping)
+        )
+        self._get_or_compile(key, mapping, traced=False)
+        obs.inc("translation.registrations")
+        return key
+
+    def compiled_for(
+        self,
+        mapping: AddressMapping,
+        system: "SystemInfo | None" = None,
+    ) -> CompiledMapping:
+        """The compiled form of ``mapping``, from cache when possible."""
+        key = (
+            system_fingerprint(system)
+            if system is not None
+            else mapping_fingerprint(mapping)
+        )
+        return self._get_or_compile(key, mapping)
+
+    def compiled(self, key: str) -> CompiledMapping:
+        """The cached compiled mapping under ``key``.
+
+        Raises:
+            KeyError: when nothing is registered under ``key``.
+        """
+        try:
+            return self._cache[key]
+        except KeyError:
+            raise KeyError(
+                f"no compiled mapping registered under {key[:12]}…; "
+                "call register() first"
+            ) from None
+
+    def _get_or_compile(
+        self, key: str, mapping: AddressMapping, traced: bool = True
+    ) -> CompiledMapping:
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            if traced:
+                obs.inc("translation.cache_hits")
+            return cached
+        self.misses += 1
+        if traced:
+            obs.inc("translation.cache_misses")
+        compiled = mapping.compiled
+        self._cache[key] = compiled
+        if traced:
+            obs.inc("translation.compiles")
+        return compiled
+
+    # ------------------------------------------------------------ query plane
+
+    def translate(self, key: str, phys_addrs: np.ndarray):
+        """Batched phys → (bank, row, column) under the cached mapping."""
+        compiled = self.compiled(key)
+        addrs = np.asarray(phys_addrs, dtype=np.uint64)
+        self.translations += int(addrs.size)
+        obs.inc("translation.phys_to_dram", int(addrs.size))
+        return compiled.translate(addrs)
+
+    def translate_one(self, key: str, phys_addr: int) -> DramAddress:
+        """Single phys → DRAM translation."""
+        compiled = self.compiled(key)
+        self.translations += 1
+        obs.inc("translation.phys_to_dram")
+        return compiled.translate_one(phys_addr)
+
+    def encode(
+        self,
+        key: str,
+        banks: np.ndarray,
+        rows: np.ndarray,
+        columns: np.ndarray,
+    ) -> np.ndarray:
+        """Batched (bank, row, column) → phys under the cached mapping."""
+        compiled = self.compiled(key)
+        banks = np.asarray(banks, dtype=np.uint64)
+        self.encodes += int(banks.size)
+        obs.inc("translation.dram_to_phys", int(banks.size))
+        return compiled.encode(banks, rows, columns)
+
+    def encode_one(self, key: str, address: DramAddress) -> int:
+        """Single DRAM → phys translation."""
+        compiled = self.compiled(key)
+        self.encodes += 1
+        obs.inc("translation.dram_to_phys")
+        return compiled.encode_one(address)
+
+    def same_bank_addresses(
+        self, key: str, bank: int, count: int, column: int = 0
+    ) -> np.ndarray:
+        """``count`` same-bank physical addresses (see
+        :meth:`CompiledMapping.same_bank_addresses`)."""
+        addresses = self.compiled(key).same_bank_addresses(bank, count, column)
+        self.encodes += int(addresses.size)
+        obs.inc("translation.dram_to_phys", int(addresses.size))
+        return addresses
+
+    def adjacent_row_sets(
+        self, key: str, bank: int, count: int, column: int = 0, stride: int = 3
+    ):
+        """``count`` double-sided aggressor sets (see
+        :meth:`CompiledMapping.adjacent_row_sets`)."""
+        sets = self.compiled(key).adjacent_row_sets(bank, count, column, stride)
+        emitted = int(sum(part.size for part in sets))
+        self.encodes += emitted
+        obs.inc("translation.dram_to_phys", emitted)
+        return sets
+
+    # ------------------------------------------------------------- accounting
+
+    def stats(self) -> dict:
+        """Deterministic counter snapshot (JSON-ready)."""
+        return {
+            "cached_mappings": len(self._cache),
+            "hits": self.hits,
+            "misses": self.misses,
+            "translations": self.translations,
+            "encodes": self.encodes,
+        }
+
+
+_DEFAULT: TranslationService | None = None
+
+
+def default_service() -> TranslationService:
+    """The process-wide long-lived service instance (created lazily)."""
+    global _DEFAULT
+    if _DEFAULT is None:
+        _DEFAULT = TranslationService()
+    return _DEFAULT
+
+
+def reset_default_service() -> None:
+    """Drop the process-wide instance (tests; fresh-state subprocesses)."""
+    global _DEFAULT
+    _DEFAULT = None

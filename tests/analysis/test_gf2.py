@@ -251,3 +251,54 @@ class TestNullspace:
         vectors = gf2.nullspace_basis(diffs, width)
         recovered = [deposit_bits(v, bank_bits) for v in vectors]
         assert gf2.span_equal(recovered, mapping.bank_functions)
+
+
+class TestInvert:
+    def test_identity(self):
+        rows = [1 << i for i in range(8)]
+        assert gf2.invert(rows) == rows
+
+    def test_non_square_rejected(self):
+        with pytest.raises(ValueError):
+            gf2.invert([0b1, 0b10], width=3)
+
+    def test_out_of_range_row_rejected(self):
+        with pytest.raises(ValueError):
+            gf2.invert([0b100, 0b1], width=2)
+
+    def test_singular_returns_none(self):
+        assert gf2.invert([0b11, 0b11]) is None
+        assert gf2.invert([0b0, 0b1]) is None
+
+    def test_known_inverse(self):
+        # [[1,1],[0,1]] is its own inverse over GF(2).
+        rows = [0b11, 0b10]
+        assert gf2.invert(rows) == [0b11, 0b10]
+
+    @staticmethod
+    def _apply(rows, x):
+        y = 0
+        for i, mask in enumerate(rows):
+            y |= (bin(x & mask).count("1") % 2) << i
+        return y
+
+    @given(
+        st.integers(min_value=1, max_value=10).flatmap(
+            lambda w: st.lists(
+                st.integers(min_value=0, max_value=(1 << w) - 1),
+                min_size=w,
+                max_size=w,
+            )
+        )
+    )
+    def test_inverse_roundtrips_or_rank_deficient(self, rows):
+        width = len(rows)
+        inverse = gf2.invert(rows)
+        if inverse is None:
+            assert gf2.rank(rows) < width
+            return
+        assert gf2.rank(rows) == width
+        for position in range(width):
+            basis = 1 << position
+            assert self._apply(inverse, self._apply(rows, basis)) == basis
+            assert self._apply(rows, self._apply(inverse, basis)) == basis

@@ -94,3 +94,51 @@ def test_pair_count_validated(setup):
     belief = BeliefMapping.from_mapping(preset("No.1").mapping)
     with pytest.raises(ValueError):
         verify_mapping(probe, pages, belief, np.random.default_rng(0), pairs=4)
+
+
+class TestCompiledPredictionIdentity:
+    """verify_mapping predicts with the compiled forward matrix; the
+    predictions must match the scalar belief queries on every pair."""
+
+    def test_batch_predictions_match_scalar(self):
+        import numpy as np
+
+        from repro.dram.belief import BeliefMapping
+        from repro.dram.compiled import CompiledMapping
+        from repro.dram.presets import preset
+
+        mapping = preset("No.2").mapping
+        belief = BeliefMapping.from_mapping(mapping)
+        compiled = CompiledMapping.from_belief(belief)
+        rng = np.random.default_rng(21)
+        bases = rng.integers(0, 1 << belief.address_bits, 512, dtype=np.uint64)
+        partners = rng.integers(0, 1 << belief.address_bits, 512, dtype=np.uint64)
+        base_banks, base_rows, _ = compiled.translate(bases)
+        partner_banks, partner_rows, _ = compiled.translate(partners)
+        predictions = (base_banks == partner_banks) & (base_rows != partner_rows)
+        for index in range(512):
+            base, partner = int(bases[index]), int(partners[index])
+            scalar = belief.bank_of(base) == belief.bank_of(partner) and belief.row_of(
+                base
+            ) != belief.row_of(partner)
+            assert scalar == bool(predictions[index])
+
+    def test_incomplete_belief_still_verifiable(self):
+        """A belief missing bits (non-square forward matrix) must not
+        crash the prediction path — it compiles forward-only."""
+        from repro.dram.belief import BeliefMapping
+        from repro.dram.compiled import CompiledMapping
+
+        belief = BeliefMapping(
+            address_bits=8,
+            bank_functions=(0b11,),
+            row_bits=(2, 3),
+            column_bits=(4, 5),
+        )
+        compiled = CompiledMapping.from_belief(belief)
+        import numpy as np
+
+        banks, rows, _ = compiled.translate(np.arange(256, dtype=np.uint64))
+        for addr in range(256):
+            assert int(banks[addr]) == belief.bank_of(addr)
+            assert int(rows[addr]) == belief.row_of(addr)

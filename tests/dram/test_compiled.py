@@ -1,0 +1,239 @@
+"""Tests for the compiled GF(2) translation pair (DRAM_MTX / ADDR_MTX)."""
+
+import numpy as np
+import pytest
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.compiled import CompiledMapping, compile_mapping
+from repro.dram.errors import MappingError, SingularMappingError
+from repro.dram.mapping import DramAddress
+from repro.dram.presets import TABLE2_ORDER, preset
+from repro.dram.random_mapping import random_mapping
+
+
+def _pool(mapping, count, seed=0):
+    rng = np.random.default_rng(seed)
+    return rng.integers(
+        0, 1 << mapping.geometry.address_bits, count, dtype=np.uint64
+    )
+
+
+class TestScalarIdentity:
+    """The compiled kernels must agree with AddressMapping bit for bit."""
+
+    @pytest.mark.parametrize("name", TABLE2_ORDER)
+    def test_translate_matches_scalar_on_presets(self, name):
+        mapping = preset(name).mapping
+        compiled = mapping.compiled
+        pool = _pool(mapping, 4096)
+        banks, rows, columns = compiled.translate(pool)
+        for index in range(pool.size):
+            scalar = mapping.dram_address(int(pool[index]))
+            assert scalar.bank == int(banks[index])
+            assert scalar.row == int(rows[index])
+            assert scalar.column == int(columns[index])
+
+    @pytest.mark.parametrize("name", TABLE2_ORDER)
+    def test_encode_matches_scalar_on_presets(self, name):
+        mapping = preset(name).mapping
+        compiled = mapping.compiled
+        pool = _pool(mapping, 1024, seed=1)
+        banks, rows, columns = compiled.translate(pool)
+        phys = compiled.encode(banks, rows, columns)
+        assert np.array_equal(phys, pool)  # bijection round-trip
+        for index in range(256):
+            address = DramAddress(
+                int(banks[index]), int(rows[index]), int(columns[index])
+            )
+            assert mapping.encode(address) == int(phys[index])
+
+    def test_fifty_random_mappings(self):
+        rng = np.random.default_rng(1234)
+        for _ in range(50):
+            mapping = random_mapping(rng)
+            compiled = mapping.compiled
+            pool = rng.integers(
+                0, 1 << mapping.geometry.address_bits, 512, dtype=np.uint64
+            )
+            banks, rows, columns = compiled.translate(pool)
+            assert np.array_equal(compiled.encode(banks, rows, columns), pool)
+            for index in range(0, 512, 16):
+                scalar = mapping.dram_address(int(pool[index]))
+                assert (scalar.bank, scalar.row, scalar.column) == (
+                    int(banks[index]),
+                    int(rows[index]),
+                    int(columns[index]),
+                )
+
+    def test_scalar_forms_match_batch(self):
+        mapping = preset("No.2").mapping
+        compiled = mapping.compiled
+        pool = _pool(mapping, 64, seed=2)
+        banks, rows, columns = compiled.translate(pool)
+        for index in range(pool.size):
+            one = compiled.translate_one(int(pool[index]))
+            assert (one.bank, one.row, one.column) == (
+                int(banks[index]),
+                int(rows[index]),
+                int(columns[index]),
+            )
+            assert compiled.encode_one(one) == int(pool[index])
+
+
+class TestLayout:
+    def test_components_partition_the_matrix(self):
+        mapping = preset("No.1").mapping
+        compiled = mapping.compiled
+        spans = compiled.components
+        assert spans["column"] == (0, compiled.column_width)
+        assert spans["row"] == (compiled.column_width, compiled.row_width)
+        assert spans["bank"] == (
+            compiled.column_width + compiled.row_width,
+            compiled.bank_width,
+        )
+        assert sum(width for _, width in spans.values()) == len(compiled.dram_mtx)
+
+    def test_counts_and_shifts(self):
+        mapping = preset("No.1").mapping
+        compiled = mapping.compiled
+        assert compiled.banks == mapping.geometry.total_banks
+        assert compiled.rows == 1 << len(mapping.row_bits)
+        assert compiled.columns == 1 << len(mapping.column_bits)
+        assert compiled.column_shift == 0
+        assert compiled.row_shift == compiled.column_width
+        assert compiled.bank_shift == compiled.column_width + compiled.row_width
+
+    def test_compile_mapping_alias_and_cache(self):
+        mapping = preset("No.3").mapping
+        assert compile_mapping(mapping) == mapping.compiled
+        # cached_property: same object on the second access
+        assert mapping.compiled is mapping.compiled
+
+    def test_oversized_row_rejected(self):
+        with pytest.raises(MappingError, match="exceeds"):
+            CompiledMapping._assemble(
+                address_bits=4,
+                bank_functions=(1 << 5,),
+                row_bits=(0, 1),
+                column_bits=(2,),
+                invert=False,
+            )
+
+
+class TestBeliefCompiles:
+    def test_valid_belief_is_invertible(self):
+        mapping = preset("No.2").mapping
+        belief = BeliefMapping.from_mapping(mapping)
+        compiled = CompiledMapping.from_belief(belief, require_inverse=True)
+        assert compiled.invertible
+        pool = _pool(mapping, 256, seed=3)
+        banks, rows, columns = compiled.translate(pool)
+        assert np.array_equal(compiled.encode(banks, rows, columns), pool)
+
+    def test_singular_belief_raises_typed_error(self):
+        # Two identical functions: the forward matrix has dependent rows.
+        belief = BeliefMapping(
+            address_bits=6,
+            bank_functions=(0b11, 0b11),
+            row_bits=(2, 3),
+            column_bits=(4, 5),
+        )
+        with pytest.raises(SingularMappingError):
+            CompiledMapping.from_belief(belief, require_inverse=True)
+
+    def test_singular_belief_forward_only_by_default(self):
+        belief = BeliefMapping(
+            address_bits=6,
+            bank_functions=(0b11, 0b11),
+            row_bits=(2, 3),
+            column_bits=(4, 5),
+        )
+        compiled = CompiledMapping.from_belief(belief)
+        assert not compiled.invertible
+        banks, rows, columns = compiled.translate(np.arange(64, dtype=np.uint64))
+        for addr in range(64):
+            assert int(banks[addr]) == belief.bank_of(addr)
+            assert int(rows[addr]) == belief.row_of(addr)
+        with pytest.raises(SingularMappingError):
+            compiled.encode(banks, rows, columns)
+        with pytest.raises(SingularMappingError):
+            compiled.encode_one(DramAddress(0, 0, 0))
+        with pytest.raises(SingularMappingError):
+            compiled.same_bank_addresses(0, 1)
+
+    def test_incomplete_belief_compiles_forward_only(self):
+        # A claim covering fewer output bits than the address width
+        # cannot be square, so no inverse is even attempted.
+        belief = BeliefMapping(
+            address_bits=8,
+            bank_functions=(0b11,),
+            row_bits=(2, 3),
+            column_bits=(4, 5),
+        )
+        compiled = CompiledMapping.from_belief(belief)
+        assert not compiled.invertible
+        assert len(compiled.dram_mtx) == 5
+
+
+class TestGenerators:
+    def test_same_bank_addresses(self):
+        mapping = preset("No.1").mapping
+        compiled = mapping.compiled
+        addrs = compiled.same_bank_addresses(bank=3, count=100)
+        assert len(set(int(a) for a in addrs)) == 100
+        for addr in addrs:
+            assert mapping.bank_of(int(addr)) == 3
+
+    def test_same_bank_capacity_and_range_checks(self):
+        compiled = preset("No.1").mapping.compiled
+        with pytest.raises(MappingError, match="out of range"):
+            compiled.same_bank_addresses(bank=compiled.banks, count=1)
+        available = compiled.rows * compiled.columns
+        with pytest.raises(MappingError, match="holds only"):
+            compiled.same_bank_addresses(bank=0, count=available + 1)
+        # column offset shrinks capacity
+        with pytest.raises(MappingError, match="holds only"):
+            compiled.same_bank_addresses(
+                bank=0, count=compiled.rows + 1, column=compiled.columns - 1
+            )
+
+    def test_adjacent_row_sets_layout(self):
+        mapping = preset("No.2").mapping
+        compiled = mapping.compiled
+        victims, above, below = compiled.adjacent_row_sets(bank=5, count=20)
+        for victim, upper, lower in zip(victims, above, below):
+            v = mapping.dram_address(int(victim))
+            a = mapping.dram_address(int(upper))
+            b = mapping.dram_address(int(lower))
+            assert v.bank == a.bank == b.bank == 5
+            assert a.row == v.row - 1
+            assert b.row == v.row + 1
+        rows = [mapping.row_of(int(v)) for v in victims]
+        assert rows == sorted(rows)
+        assert all(later - earlier >= 3 for earlier, later in zip(rows, rows[1:]))
+
+    def test_adjacent_row_sets_checks(self):
+        compiled = preset("No.1").mapping.compiled
+        with pytest.raises(MappingError, match="stride"):
+            compiled.adjacent_row_sets(bank=0, count=1, stride=0)
+        with pytest.raises(MappingError, match="column"):
+            compiled.adjacent_row_sets(bank=0, count=1, column=compiled.columns)
+        capacity = (compiled.rows - 2 + 2) // 3
+        with pytest.raises(MappingError, match="fits only"):
+            compiled.adjacent_row_sets(bank=0, count=capacity + 1)
+
+
+class TestPickling:
+    def test_compiled_pickles_small(self):
+        """Lazy tables: the pickled compile is masks only, not 512 KiB LUTs."""
+        import pickle
+
+        mapping = preset("No.2").mapping
+        compiled = CompiledMapping.from_mapping(mapping)
+        payload = pickle.dumps(compiled)
+        assert len(payload) < 8192
+        back = pickle.loads(payload)
+        assert back == compiled
+        pool = _pool(mapping, 64)
+        banks, rows, columns = back.translate(pool)
+        assert np.array_equal(back.encode(banks, rows, columns), pool)

@@ -290,3 +290,107 @@ class TestDescribe:
         assert "(14, 17)" in text
         assert "17~32" in text
         assert "0~5, 7~13" in text
+
+
+def adversarial_mapping() -> AddressMapping:
+    """Interleaved non-contiguous row/column bits, bank functions
+    overlapping both — the layout class most likely to break an encode
+    that assumes contiguous components."""
+    geometry = preset("No.1").mapping.geometry
+    column_bits = tuple(range(0, 26, 2))[:13]
+    row_bits = tuple(range(1, 27, 2)) + (26, 28, 30)
+    leftover = [
+        bit
+        for bit in range(geometry.address_bits)
+        if bit not in set(column_bits) | set(row_bits)
+    ]
+    bank_functions = tuple(
+        mask_of_bits([bit, column_bits[index + 2], row_bits[index + 3]])
+        for index, bit in enumerate(leftover)
+    )
+    return AddressMapping(
+        geometry=geometry,
+        bank_functions=bank_functions,
+        row_bits=row_bits,
+        column_bits=column_bits,
+    )
+
+
+class TestAdversarialEncodeRoundtrip:
+    """Satellite audit: encode must solve the GF(2) system correctly for
+    non-contiguous, bank-overlapping layouts — not just Intel presets."""
+
+    def test_decode_encode_identity(self):
+        mapping = adversarial_mapping()
+        pool = np.random.default_rng(11).integers(
+            0, 1 << mapping.geometry.address_bits, 500, dtype=np.uint64
+        )
+        for addr in pool:
+            addr = int(addr)
+            assert mapping.encode(mapping.dram_address(addr)) == addr
+
+    @given(st.data())
+    @settings(max_examples=60, deadline=None)
+    def test_encode_decode_identity(self, data):
+        mapping = adversarial_mapping()
+        bank = data.draw(
+            st.integers(0, mapping.geometry.total_banks - 1), label="bank"
+        )
+        row = data.draw(st.integers(0, (1 << len(mapping.row_bits)) - 1), "row")
+        column = data.draw(
+            st.integers(0, (1 << len(mapping.column_bits)) - 1), "column"
+        )
+        phys = mapping.encode(DramAddress(bank, row, column))
+        decoded = mapping.dram_address(phys)
+        assert (decoded.bank, decoded.row, decoded.column) == (bank, row, column)
+
+    def test_compiled_agrees_on_adversarial_layout(self):
+        mapping = adversarial_mapping()
+        compiled = mapping.compiled
+        pool = np.random.default_rng(12).integers(
+            0, 1 << mapping.geometry.address_bits, 2048, dtype=np.uint64
+        )
+        banks, rows, columns = compiled.translate(pool)
+        assert np.array_equal(compiled.encode(banks, rows, columns), pool)
+        for index in range(0, 2048, 64):
+            scalar = mapping.dram_address(int(pool[index]))
+            assert (scalar.bank, scalar.row, scalar.column) == (
+                int(banks[index]),
+                int(rows[index]),
+                int(columns[index]),
+            )
+
+
+class TestEquivalenceUnderBasisShuffle:
+    """Satellite audit: equivalent_to must be span-based for every
+    preset, not just a hand-picked pair of functions."""
+
+    @pytest.mark.parametrize("name", sorted(PRESETS))
+    def test_presets_equivalent_after_basis_shuffle(self, name):
+        mapping = PRESETS[name].mapping
+        rng = np.random.default_rng(13)
+        functions = list(mapping.bank_functions)
+        # Random invertible row operations: XOR one function into another.
+        for _ in range(16):
+            target, source = rng.choice(len(functions), 2, replace=False)
+            functions[target] ^= functions[source]
+        shuffled = AddressMapping(
+            geometry=mapping.geometry,
+            bank_functions=tuple(functions),
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        assert mapping.equivalent_to(shuffled)
+        assert shuffled.equivalent_to(mapping)
+
+    def test_shrunk_span_not_equivalent(self):
+        mapping = preset("No.1").mapping
+        functions = list(mapping.bank_functions)
+        functions[0] = functions[1] ^ functions[2]  # now dependent set
+        with pytest.raises(MappingError):
+            AddressMapping(
+                geometry=mapping.geometry,
+                bank_functions=tuple(functions),
+                row_bits=mapping.row_bits,
+                column_bits=mapping.column_bits,
+            )

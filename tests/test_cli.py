@@ -327,3 +327,47 @@ def test_trace_summary_flags_inconsistent_trace(tmp_path, capsys):
     )
     assert main(["trace", "summary", str(bad)]) == 1
     assert "trace inconsistency" in capsys.readouterr().err
+
+
+class TestTranslate:
+    def test_phys_to_dram(self, capsys):
+        assert main(["translate", "No.2", "--phys", "0x1ed2f00"]) == 0
+        out = capsys.readouterr().out
+        assert "32 banks" in out
+        assert "0x000001ed2f00 -> bank 31 row 123 col 6016" in out
+
+    def test_dram_to_phys_roundtrip(self, capsys):
+        from repro.dram.presets import preset
+
+        assert main(["translate", "No.2", "--dram", "3,17,5"]) == 0
+        out = capsys.readouterr().out
+        phys = int(out.splitlines()[-1].split("-> ")[1], 16)
+        mapping = preset("No.2").mapping
+        decoded = mapping.dram_address(phys)
+        assert (decoded.bank, decoded.row, decoded.column) == (3, 17, 5)
+
+    def test_generators_and_stats(self, capsys):
+        assert main([
+            "translate", "No.1", "--same-bank", "2", "--count", "3",
+            "--aggressors", "1", "--stats",
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "bank 2, column 0:" in out
+        assert out.count("victim 0x") == 3
+        assert "service:" in out and "cached_mappings=" in out
+
+    def test_saved_mapping_file(self, tmp_path, capsys):
+        target = tmp_path / "mapping.json"
+        assert main(["run", "No.4", "--save", str(target)]) == 0
+        capsys.readouterr()
+        assert main(["translate", "--mapping", str(target), "--phys", "12345"]) == 0
+        assert "-> bank" in capsys.readouterr().out
+
+    def test_requires_exactly_one_source(self, capsys):
+        assert main(["translate"]) == 2
+        assert main(["translate", "No.1", "--mapping", "x.json"]) == 2
+
+    def test_bad_inputs(self, capsys, tmp_path):
+        assert main(["translate", "No.1", "--phys", "zzz"]) == 2
+        assert main(["translate", "No.1", "--dram", "1,2"]) == 2
+        assert main(["translate", "--mapping", str(tmp_path / "nope.json")]) == 1
