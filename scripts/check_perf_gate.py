@@ -18,7 +18,14 @@ parallel grid stops paying for itself or stops being exact:
   above the recorded floor. Single-CPU hosts skip this check — the
   harness omits the column there by design, and a gate that fails on
   hardware that cannot parallelise would only teach people to delete
-  the gate.
+  the gate;
+* the fleet section must show the knowledge store paying for itself:
+  every machine correct, the prefix-amortized scaling curve strictly
+  decreasing in both measurements and simulated seconds, and the
+  amortized per-machine probe cost at least ``FLEET_AMORTIZATION_FLOOR``
+  times cheaper than a cold-start fleet. These are simulated costs —
+  deterministic, so the floor can sit much closer to the measured value
+  than the wall-clock floors do.
 
 Usage: ``python scripts/check_perf_gate.py [--bench BENCH_perf.json]
 [--run]``. With ``--run`` the harness is executed first (writing the
@@ -43,6 +50,11 @@ PARALLEL_SPEEDUP_FLOOR = 1.3
 # reference container; one million per second is the point below which
 # campaign planning would be back to scalar-loop territory.
 TRANSLATION_LOOKUPS_FLOOR = 1_000_000.0
+# The bench fleet (16 machines, 2 families) amortizes to ~10x cheaper
+# than cold-start per machine; the cost model is simulated and
+# deterministic, so 2x is an unambiguous "the store stopped paying"
+# signal, not a noise margin.
+FLEET_AMORTIZATION_FLOOR = 2.0
 
 
 def check_record(record: dict) -> list[str]:
@@ -83,6 +95,28 @@ def check_record(record: dict) -> list[str]:
                 f"translation.{direction} {rate} below floor "
                 f"{TRANSLATION_LOOKUPS_FLOOR:.0f}"
             )
+
+    fleet = record.get("fleet", {})
+    if fleet.get("all_correct") is not True:
+        problems.append(
+            "fleet.all_correct is not true: a fleet machine lost its "
+            "mapping (confirm-or-fallback must never cost correctness)"
+        )
+    for key in (
+        "strictly_decreasing_measurements",
+        "strictly_decreasing_sim_seconds",
+    ):
+        if fleet.get(key) is not True:
+            problems.append(
+                f"fleet.{key} is not true: the amortized scaling curve "
+                "stopped decreasing — the knowledge store is not paying"
+            )
+    amortization = fleet.get("amortization_speedup")
+    if amortization is None or amortization < FLEET_AMORTIZATION_FLOOR:
+        problems.append(
+            f"fleet.amortization_speedup {amortization} below floor "
+            f"{FLEET_AMORTIZATION_FLOOR}"
+        )
 
     if environment.get("single_cpu"):
         print(
@@ -133,11 +167,14 @@ def main(argv: list[str] | None = None) -> int:
         grid = record.get("grid", {})
         single = record.get("single_run", {})
         translation = record.get("translation", {})
+        fleet = record.get("fleet", {})
         print(
             "perf gate: ok "
             f"(batching {single.get('batching_speedup', float('nan')):.2f}x, "
             f"translation "
             f"{translation.get('translate_lookups_per_s', 0.0) / 1e6:.1f}M/s, "
+            f"fleet amortization "
+            f"{fleet.get('amortization_speedup', float('nan')):.1f}x, "
             f"parallel speedup "
             f"{grid.get('table1_parallel_speedup', 'skipped')})"
         )

@@ -1,0 +1,198 @@
+#!/usr/bin/env python
+"""CI chaos smoke: SIGKILL a fleet run mid-flight, resume, demand identity.
+
+The deterministic regressions for the fleet live in
+``tests/fleet/test_orchestrator.py``; this script is the end-to-end
+variant with a real ``SIGKILL`` against the CLI:
+
+1. run an adversarial fleet once, uninterrupted, as the reference
+   (stdout report + JSON artifact);
+2. start the same fleet with ``--resume <journal>`` and a persistent
+   ``--knowledge-store``, and kill -9 it once the journal holds at
+   least one machine checkpoint beyond the store baseline;
+3. resume over the same journal *and* the mutated store file the kill
+   left behind — the report and artifact must be byte-identical to the
+   reference (the journalled store baseline shields the resumed run
+   from whatever the victim managed to persist);
+4. run a third time over the completed journal with ``--trace``: every
+   machine must come from the journal — the merged trace's metrics must
+   show ``grid.cells_resumed`` equal to the fleet size and no
+   ``fleet.machines`` counter at all (zero re-probing);
+5. ``dramdig trace summary`` must accept the trace (the format gate).
+
+Exit code 0 on success. The kill is inherently racy — if the victim
+finishes before the kill lands (the simulated fleet is fast on a quick
+machine), the run still validates byte-identity and the zero-re-probe
+replay, and reports that the kill was skipped.
+
+``--artifacts DIR`` keeps the artifacts and trace in DIR instead of the
+throwaway scratch directory, so CI can upload them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+FLEET_SIZE = 9
+CMD = [
+    sys.executable, "-m", "repro", "fleet", "run",
+    "--fleet-size", str(FLEET_SIZE), "--families", "3",
+    "--profile", "adversarial", "--max-gib", "8", "--wave", "2",
+]
+POLL_SECONDS = 0.005
+# The store baseline is journalled before any machine runs, so "one
+# machine checkpointed" means two records.
+KILL_AFTER_RECORDS = 2
+TIMEOUT_SECONDS = 600.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _run(extra: list[str]) -> str:
+    result = subprocess.run(
+        list(CMD) + extra, cwd=REPO, env=_env(), capture_output=True,
+        text=True, timeout=TIMEOUT_SECONDS, check=True,
+    )
+    return result.stdout
+
+
+def _journal_records(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "fingerprint" in record:
+            count += 1
+    return count
+
+
+def _trace_counters(trace_path: Path) -> dict:
+    for line in trace_path.read_text().splitlines():
+        record = json.loads(line)
+        if record.get("type") == "metrics":
+            return record.get("counters", {})
+    return {}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="keep artifacts and traces here (for CI upload)",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="fleet-chaos-") as scratch:
+        scratch = Path(scratch)
+        artifacts = Path(args.artifacts) if args.artifacts else scratch
+        artifacts.mkdir(parents=True, exist_ok=True)
+        journal = scratch / "fleet.journal"
+        store = scratch / "knowledge-store.jsonl"
+        reference_json = artifacts / "fleet-reference.json"
+        resumed_json = artifacts / "fleet-resumed.json"
+        replayed_json = artifacts / "fleet-replayed.json"
+        trace_path = artifacts / "fleet-replay-trace.jsonl"
+
+        print("== reference run (uninterrupted, no journal) ==", flush=True)
+        reference = _run(["--out", str(reference_json)])
+
+        print("== victim run (will be SIGKILLed mid-flight) ==", flush=True)
+        victim = subprocess.Popen(
+            list(CMD) + ["--resume", str(journal), "--knowledge-store", str(store)],
+            cwd=REPO, env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + TIMEOUT_SECONDS
+        killed = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if _journal_records(journal) >= KILL_AFTER_RECORDS:
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+                killed = True
+                break
+            time.sleep(POLL_SECONDS)
+        else:
+            victim.kill()
+            print("FAIL: victim neither checkpointed nor finished in time")
+            return 1
+
+        survivors = _journal_records(journal)
+        if killed:
+            print(f"killed victim with {survivors} journal record(s)")
+        else:
+            print("victim finished before the kill landed; "
+                  "validating byte-identity and replay only")
+
+        print("== resumed run (journal + mutated store) ==", flush=True)
+        resumed = _run([
+            "--resume", str(journal), "--knowledge-store", str(store),
+            "--out", str(resumed_json),
+        ])
+        if resumed != reference:
+            print("FAIL: resumed report differs from the uninterrupted run")
+            sys.stdout.write(resumed)
+            return 1
+        if resumed_json.read_bytes() != reference_json.read_bytes():
+            print("FAIL: resumed artifact differs from the reference artifact")
+            return 1
+        print("OK: resumed report and artifact are byte-identical")
+
+        print("== replay run (fully cached, traced) ==", flush=True)
+        replayed = _run([
+            "--resume", str(journal), "--knowledge-store", str(store),
+            "--out", str(replayed_json), "--trace", str(trace_path),
+        ])
+        if replayed != reference:
+            print("FAIL: replayed report differs from the reference")
+            return 1
+        if replayed_json.read_bytes() != reference_json.read_bytes():
+            print("FAIL: replayed artifact differs from the reference")
+            return 1
+        counters = _trace_counters(trace_path)
+        if counters.get("grid.cells_resumed") != FLEET_SIZE:
+            print(f"FAIL: expected {FLEET_SIZE} cells resumed from the "
+                  f"journal, trace says {counters.get('grid.cells_resumed')}")
+            return 1
+        if any(name.startswith("fleet.") for name in counters):
+            probing = {k: v for k, v in counters.items() if k.startswith("fleet.")}
+            print(f"FAIL: replay re-probed machines: {probing}")
+            return 1
+        print(f"OK: replay resumed all {FLEET_SIZE} machines from the "
+              "journal with zero re-probing")
+
+        print("== trace summary gate ==", flush=True)
+        summary = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "summary", str(trace_path)],
+            cwd=REPO, env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+        (artifacts / "fleet-replay-trace-summary.txt").write_text(summary.stdout)
+        if summary.returncode != 0:
+            print("FAIL: trace summary gate rejected the trace")
+            sys.stdout.write(summary.stdout)
+            sys.stderr.write(summary.stderr)
+            return 1
+        print("OK: trace parsed and consistent")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

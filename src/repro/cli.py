@@ -8,6 +8,8 @@ Subcommands mirror the paper:
 * ``dramdig hammer No.2``     — reverse-engineer, then run rowhammer tests.
 * ``dramdig translate No.2 --phys 0x1ed2f00`` — compiled phys↔DRAM queries.
 * ``dramdig table1|table2|figure2|table3`` — regenerate a paper artefact.
+* ``dramdig fleet run --fleet-size 16`` — DRAMDig across a simulated fleet
+  with a persistent cross-machine knowledge store.
 * ``dramdig list``            — show the machine presets.
 """
 
@@ -362,6 +364,86 @@ def _build_parser() -> argparse.ArgumentParser:
             "journal-resumed cells appear as 'cached' spans)",
         )
 
+    fleet_cmd = commands.add_parser(
+        "fleet",
+        help="run DRAMDig across a simulated fleet with a shared knowledge store",
+    )
+    fleet_sub = fleet_cmd.add_subparsers(dest="fleet_command", required=True)
+    fleet_run_cmd = fleet_sub.add_parser(
+        "run",
+        help="confirm-or-fallback over a randomized fleet",
+        description="Generate a deterministic fleet of simulated machines "
+        "(randomized geometries and mappings grouped into families), run "
+        "the confirm-or-fallback protocol over it, and fold what every "
+        "machine learned into a persistent cross-machine knowledge store.",
+    )
+    fleet_run_cmd.add_argument(
+        "--fleet-size", type=int, default=8, metavar="N",
+        help="machines in the fleet (default 8)",
+    )
+    fleet_run_cmd.add_argument(
+        "--families", type=int, default=2, metavar="N",
+        help="distinct ground-truth mapping families (default 2)",
+    )
+    fleet_run_cmd.add_argument(
+        "--profile", choices=("lookalike", "adversarial"), default="lookalike",
+        help="fleet composition: 'lookalike' (every machine matches its "
+        "family) or 'adversarial' (imposters report their family's "
+        "SystemInfo but wire a different mapping)",
+    )
+    fleet_run_cmd.add_argument(
+        "--mismatch-every", type=int, default=3, metavar="K",
+        help="adversarial profile: every K-th non-exemplar machine is an "
+        "imposter (default 3)",
+    )
+    fleet_run_cmd.add_argument(
+        "--max-gib", type=int, default=8, metavar="G",
+        help="cap family geometries at G GiB (default 8; 0 = uncapped)",
+    )
+    fleet_run_cmd.add_argument(
+        "--knowledge-store", metavar="PATH", default=None,
+        help="persistent knowledge-store file shared across fleet runs "
+        "(default: in-memory, forgotten after the run)",
+    )
+    fleet_run_cmd.add_argument(
+        "--resume", metavar="JOURNAL", default=None,
+        help="checkpoint journal path: completed machines are recorded "
+        "there and skipped when the run is restarted (artifacts are "
+        "byte-identical to an uninterrupted run)",
+    )
+    fleet_run_cmd.add_argument(
+        "--jobs", type=_jobs_arg, default=None, metavar="N",
+        help="worker processes per dispatch wave (default: serial)",
+    )
+    fleet_run_cmd.add_argument(
+        "--wave", type=int, default=4, metavar="N",
+        help="machines dispatched per wave after the exemplar wave "
+        "(store updates land between waves; default 4)",
+    )
+    fleet_run_cmd.add_argument(
+        "--max-candidates", type=int, default=3, metavar="N",
+        help="store hypotheses offered to each machine (default 3)",
+    )
+    fleet_run_cmd.add_argument(
+        "--breaker-threshold", type=int, default=3, metavar="N",
+        help="consecutive confirmation failures that quarantine a "
+        "hypothesis (default 3)",
+    )
+    fleet_run_cmd.add_argument(
+        "--resilient", action="store_true",
+        help="run fallback searches with the full recovery stack",
+    )
+    fleet_run_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the JSON fleet artifact (machines, summary, scaling "
+        "curve) here",
+    )
+    fleet_run_cmd.add_argument(
+        "--trace", metavar="PATH", default=None,
+        help="write one merged JSONL trace of the fleet run here "
+        "(per-machine spans are stitched across worker processes)",
+    )
+
     trace_cmd = commands.add_parser(
         "trace", help="inspect a JSONL trace written with --trace"
     )
@@ -544,6 +626,45 @@ def _command_list(_args) -> int:
     return 0
 
 
+def _command_fleet(args) -> int:
+    from repro.fleet import FleetConfig, render_fleet, run_fleet
+    from repro.fleet.orchestrator import save_artifact
+
+    config = FleetConfig(
+        size=args.fleet_size,
+        families=args.families,
+        profile=args.profile,
+        seed=args.seed,
+        max_gib=args.max_gib if args.max_gib else None,
+        mismatch_every=args.mismatch_every,
+        store_path=args.knowledge_store,
+        journal_path=args.resume,
+        jobs=args.jobs,
+        wave=args.wave,
+        max_candidates=args.max_candidates,
+        breaker_threshold=args.breaker_threshold,
+        resilient=args.resilient,
+    )
+    _LOG.info(
+        "fleet: %d machines, %d families, profile=%s, store=%s",
+        config.size,
+        config.families,
+        config.profile,
+        config.store_path or "(in-memory)",
+    )
+    outcome = run_fleet(config)
+    print(render_fleet(outcome), end="")
+    for event in outcome.events:
+        _LOG.warning("fleet degradation: %s", event.describe())
+    if args.out:
+        save_artifact(outcome, args.out)
+        _LOG.info("fleet artifact written to %s", args.out)
+    # A fleet run is only a success when every machine completed and
+    # recovered its true mapping — quarantines and fallbacks are fine,
+    # wrong mappings are not.
+    return 0 if outcome.all_correct else 1
+
+
 def _command_trace(args) -> int:
     from repro.obs.export import load_trace
     from repro.obs.summary import render_summary, validate_trace
@@ -631,6 +752,8 @@ def _dispatch_command(args) -> int:
         )
         print(render_table3(rows))
         return 1 if any(isinstance(row, CellFailure) for row in rows) else 0
+    if args.command == "fleet":
+        return _command_fleet(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

@@ -1,0 +1,68 @@
+"""Per-hypothesis circuit breaker for the confirm-or-fallback protocol.
+
+A poisoned or stale store entry that ranks well by similarity would be
+tried — and would fail confirmation — on *every* subsequent lookalike
+machine, taxing the whole fleet with wasted probe campaigns. The breaker
+bounds that tax: after ``threshold`` consecutive confirmation failures a
+hypothesis is quarantined (breaker open) and stops being offered as a
+candidate. A success resets the streak (breaker stays closed), matching
+the intuition that a genuine family prior occasionally loses a noisy
+confirmation without being wrong.
+
+The breaker is deliberately a plain in-memory object keyed by hypothesis
+fingerprint: the orchestrator seeds it from the knowledge store's
+persisted ``streak``/``quarantined`` fields at run start and writes
+decisions back, so quarantine survives restarts while the decision logic
+stays independently testable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+__all__ = ["CircuitBreaker"]
+
+
+@dataclass
+class CircuitBreaker:
+    """Consecutive-failure breaker over hypothesis keys.
+
+    Attributes:
+        threshold: consecutive confirmation failures that open the
+            breaker for a key. Must be positive.
+        streaks: live consecutive-failure counts.
+        open_keys: quarantined hypothesis keys.
+    """
+
+    threshold: int = 3
+    streaks: dict[str, int] = field(default_factory=dict)
+    open_keys: set[str] = field(default_factory=set)
+
+    def __post_init__(self) -> None:
+        if self.threshold < 1:
+            raise ValueError("breaker threshold must be positive")
+
+    def seed(self, key: str, streak: int, quarantined: bool) -> None:
+        """Adopt persisted state for a key (store load at run start)."""
+        self.streaks[key] = max(0, int(streak))
+        if quarantined or self.streaks[key] >= self.threshold:
+            self.open_keys.add(key)
+
+    def is_open(self, key: str) -> bool:
+        """True when the hypothesis is quarantined."""
+        return key in self.open_keys
+
+    def success(self, key: str) -> None:
+        """A confirmation succeeded: reset the streak, close the breaker."""
+        self.streaks[key] = 0
+        self.open_keys.discard(key)
+
+    def failure(self, key: str) -> bool:
+        """A confirmation failed; returns True when this failure *trips*
+        the breaker (the caller emits the quarantine event exactly once)."""
+        streak = self.streaks.get(key, 0) + 1
+        self.streaks[key] = streak
+        if streak >= self.threshold and key not in self.open_keys:
+            self.open_keys.add(key)
+            return True
+        return False

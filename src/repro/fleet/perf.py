@@ -1,0 +1,94 @@
+"""Fleet amortization bench: what the knowledge store buys at scale.
+
+One lookalike-heavy fleet, run cold-start-per-machine in spirit (the
+family exemplars' full searches *are* the cold baseline) and with the
+confirm-or-fallback protocol for everyone else. The section reports the
+amortized per-machine cost curve, the amortization speedup of the warm
+fleet over an all-cold fleet of the same size, and the structural
+properties the perf gate holds as floors: every machine correct, and
+the prefix-amortized cost strictly decreasing in both measurements and
+simulated seconds.
+
+Costs here are *simulated-machine* costs (pair measurements, simulated
+seconds), not host wall-clock: they are deterministic, hardware
+independent, and exactly the quantity the fleet economics argument is
+about.
+"""
+
+from __future__ import annotations
+
+from repro.fleet.confirm import ConfirmConfig
+from repro.fleet.orchestrator import FleetConfig, run_fleet
+
+__all__ = ["FLEET_BENCH_CONFIG", "fleet_benches"]
+
+FLEET_BENCH_CONFIG = FleetConfig(
+    size=16,
+    families=2,
+    profile="lookalike",
+    seed=7,
+    max_gib=8,
+    wave=4,
+    confirm=ConfirmConfig(),
+)
+
+
+def _strictly_decreasing(values: list[float]) -> bool:
+    return all(later < earlier for earlier, later in zip(values, values[1:]))
+
+
+def fleet_benches(config: FleetConfig = FLEET_BENCH_CONFIG) -> dict:
+    """Run the bench fleet and distil the BENCH ``fleet`` section."""
+    outcome = run_fleet(config)
+    results = outcome.results
+    if outcome.failures or not results:
+        raise RuntimeError(
+            "fleet bench run lost machines: "
+            + "; ".join(f.describe() for f in outcome.failures)
+        )
+    curve = outcome.scaling_curve()
+    counts = outcome.outcome_counts()
+
+    # Cold baseline: what this fleet would cost if every machine ran the
+    # full search — the mean cost of the machines that actually did.
+    cold = [r for r in results if r.outcome == "cold"]
+    if not cold:
+        raise RuntimeError("fleet bench produced no cold-start machines")
+    cold_measurements = sum(r.measurements for r in cold) / len(cold)
+    cold_sim_seconds = sum(r.sim_seconds for r in cold) / len(cold)
+    amortized_measurements = sum(r.measurements for r in results) / len(results)
+    amortized_sim_seconds = sum(r.sim_seconds for r in results) / len(results)
+
+    return {
+        "fleet_size": config.size,
+        "families": config.families,
+        "profile": config.profile,
+        "seed": config.seed,
+        "outcomes": counts,
+        "all_correct": outcome.all_correct,
+        "cold_measurements_per_machine": round(cold_measurements, 2),
+        "cold_sim_seconds_per_machine": round(cold_sim_seconds, 6),
+        "amortized_measurements_per_machine": round(amortized_measurements, 2),
+        "amortized_sim_seconds_per_machine": round(amortized_sim_seconds, 6),
+        "amortization_speedup": round(
+            cold_measurements / amortized_measurements, 3
+        ),
+        "confirm_probes_per_confirmed_machine": (
+            round(
+                sum(
+                    sum(v.probes for v in r.verdicts)
+                    for r in results
+                    if r.outcome == "confirmed"
+                )
+                / max(counts["confirmed"], 1),
+                2,
+            )
+        ),
+        "strictly_decreasing_measurements": _strictly_decreasing(
+            [point["amortized_measurements"] for point in curve]
+        ),
+        "strictly_decreasing_sim_seconds": _strictly_decreasing(
+            [point["amortized_sim_seconds"] for point in curve]
+        ),
+        "scaling": curve,
+    }

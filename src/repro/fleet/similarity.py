@@ -1,0 +1,50 @@
+"""SystemInfo similarity: which cached hypothesis fits this machine best?
+
+The knowledge store ranks its entries against a new machine's
+:class:`~repro.machine.sysinfo.SystemInfo` facts before any probe is
+spent. Similarity is a *prior*, not a verdict: the Sudoku observation
+(arXiv:2506.15918) is that mappings cluster into families correlated
+with platform facts, and the Knock-Knock lesson (arXiv:2509.19568) is
+that platforms violate such correlations often enough that every
+shortlisted hypothesis must still be confirmed against measured
+conflicts before it is trusted.
+
+Scores are weighted agreement over the dmidecode/decode-dimms facts.
+Total memory size is a hard gate (handled by the store, not here): a
+mapping for a different address width cannot even be decoded against
+this machine's addresses, so it is never a candidate regardless of how
+well the soft facts agree.
+"""
+
+from __future__ import annotations
+
+from repro.machine.sysinfo import SystemInfo
+
+__all__ = ["system_similarity"]
+
+# Weighted facts, descending influence on mapping family membership:
+# the DDR generation and bank topology shape the function count and the
+# bit ranges; channel/rank interleaving shapes the low functions; ECC
+# barely correlates but breaks exact ties in favour of true twins.
+_WEIGHTS = (
+    ("generation", 0.30),
+    ("banks_per_rank", 0.20),
+    ("channels", 0.20),
+    ("ranks_per_dimm", 0.15),
+    ("dimms_per_channel", 0.10),
+    ("ecc", 0.05),
+)
+
+
+def system_similarity(a: SystemInfo, b: SystemInfo) -> float:
+    """Weighted fact agreement in [0, 1]; 1.0 means identical facts.
+
+    ``total_bytes`` is deliberately excluded — the store already gates
+    candidates on exact size (address-width compatibility), so including
+    it here would only flatten the ranking among the survivors.
+    """
+    score = 0.0
+    for field, weight in _WEIGHTS:
+        if getattr(a, field) == getattr(b, field):
+            score += weight
+    return round(score, 6)

@@ -15,9 +15,13 @@ JSONL document: a run SIGKILLed mid-write leaves either the previous
 journal or the new one, never a torn line. Journals are small — one
 line per grid cell, and the paper's largest grid is a few dozen cells —
 so the rewrite costs microseconds. Loading still tolerates corrupt
-lines defensively (a journal hand-edited or produced by a crashed
-pre-atomic writer): bad lines are skipped, not fatal, because dropping
-a checkpoint only costs re-computing one cell.
+lines defensively (a journal hand-edited, copied mid-write over NFS, or
+produced by a crashed pre-atomic writer): bad lines are skipped, not
+fatal, because dropping a checkpoint only costs re-computing one cell.
+Each skip is *loud* — logged as a warning and recorded as a
+:class:`~repro.faults.recovery.DegradationEvent` in
+:attr:`CheckpointJournal.load_events` — so a journal that silently
+shrank is distinguishable from one that was simply never written.
 """
 
 from __future__ import annotations
@@ -27,9 +31,13 @@ import json
 import pickle
 from pathlib import Path
 
+from repro.faults.recovery import DegradationEvent
 from repro.ioutil import atomic_write
+from repro.logutil import get_logger
 
 __all__ = ["CheckpointJournal", "JOURNAL_FORMAT", "JOURNAL_VERSION"]
+
+_LOG = get_logger("repro.parallel.journal")
 
 JOURNAL_FORMAT = "dramdig-grid-journal"
 JOURNAL_VERSION = 1
@@ -46,25 +54,49 @@ class CheckpointJournal:
     def __init__(self, path: str | Path):
         self.path = Path(path)
         self._records: dict[str, dict] = {}
+        self.load_events: list[DegradationEvent] = []
         if self.path.exists():
             self._load()
 
+    def _skip(self, detail: str) -> None:
+        """Drop one unusable journal line, loudly: the cell re-computes,
+        but the operator can see the journal was damaged."""
+        event = DegradationEvent(
+            step="journal", action="skipped-record", detail=detail
+        )
+        self.load_events.append(event)
+        _LOG.warning("checkpoint journal %s: %s", self.path, event.describe())
+
     def _load(self) -> None:
-        for line in self.path.read_text().splitlines():
+        try:
+            raw = self.path.read_bytes()
+        except OSError as error:
+            self._skip(f"unreadable ({error}); starting empty")
+            return
+        # Undecodable byte sequences become replacement characters and
+        # fail the per-line JSON check instead of aborting the load.
+        text = raw.decode("utf-8", errors="replace")
+        for number, line in enumerate(text.splitlines(), start=1):
             line = line.strip()
             if not line:
                 continue
             try:
                 record = json.loads(line)
             except json.JSONDecodeError:
-                continue  # torn/corrupt line: skip, re-compute that cell
+                # Torn/corrupt line (truncated tail of a non-atomic copy,
+                # hand edit): skip it, re-compute that cell.
+                self._skip(f"line {number}: not valid JSON (truncated?)")
+                continue
             if not isinstance(record, dict):
+                self._skip(f"line {number}: not an object")
                 continue
             if record.get("format") == JOURNAL_FORMAT:
                 continue  # header line
             fingerprint = record.get("fingerprint")
             if isinstance(fingerprint, str) and "result" in record:
                 self._records[fingerprint] = record
+            else:
+                self._skip(f"line {number}: missing fingerprint/result")
 
     def __len__(self) -> int:
         return len(self._records)

@@ -394,6 +394,12 @@ def run_perf(
     # Measured last: the million-address pools would otherwise perturb
     # the cache/frequency state the earlier A/B sections were tuned on.
     record["translation"] = _translation_benches()
+    # Fleet economics are simulated-cost numbers (deterministic), so
+    # ordering does not matter for them; they run after the wall-clock
+    # sections anyway to keep those undisturbed.
+    from repro.fleet.perf import fleet_benches
+
+    record["fleet"] = fleet_benches()
     if out is not None:
         atomic_write(out, json.dumps(record, indent=2) + "\n")
     return record
@@ -497,6 +503,17 @@ def main(argv: list[str] | None = None) -> int:
         tracing["untraced_seconds"],
         tracing["traced_seconds"],
         (tracing["overhead_ratio"] - 1.0) * 100.0,
+    )
+    fleet = record["fleet"]
+    _LOG.info(
+        "fleet (%d machines, %d families): %.0f measurements/machine "
+        "amortized vs %.0f cold (%.1fx), all correct: %s",
+        fleet["fleet_size"],
+        fleet["families"],
+        fleet["amortized_measurements_per_machine"],
+        fleet["cold_measurements_per_machine"],
+        fleet["amortization_speedup"],
+        fleet["all_correct"],
     )
     _LOG.info("written %s", args.out)
     return 0

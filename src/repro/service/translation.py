@@ -31,18 +31,25 @@ disagree — so :meth:`~TranslationService.publish` books hit/miss in
 
 from __future__ import annotations
 
+import json
 from dataclasses import asdict
+from pathlib import Path
 from typing import TYPE_CHECKING
 
 import numpy as np
 
+from repro.analysis.bits import bit
 from repro.dram.compiled import CompiledMapping
+from repro.dram.errors import MappingError
 from repro.dram.mapping import AddressMapping, DramAddress
+from repro.logutil import get_logger
 from repro.obs import tracing as obs
 from repro.parallel.grid import fingerprint_payload
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.machine.sysinfo import SystemInfo
+
+_LOG = get_logger("repro.service.translation")
 
 __all__ = [
     "TranslationService",
@@ -84,6 +91,7 @@ class TranslationService:
         self.misses = 0
         self.translations = 0
         self.encodes = 0
+        self.persisted_recoveries = 0
 
     # ------------------------------------------------------------ cache plane
 
@@ -137,6 +145,126 @@ class TranslationService:
         self._get_or_compile(key, mapping, traced=False)
         obs.inc("translation.registrations")
         return key
+
+    def register_serialized(
+        self,
+        mapping: AddressMapping,
+        compiled_data: dict | None,
+        system: "SystemInfo | None" = None,
+    ) -> str:
+        """Register ``mapping`` with a pre-compiled ``dramdig-compiled-v1``
+        payload, healing a corrupt payload by recompiling.
+
+        The payload is an *untrusted input* (a knowledge-store record, a
+        file another machine produced): it is revalidated by
+        :func:`repro.dram.serialization.compiled_from_dict` and then
+        cross-checked against ``mapping``'s own forward matrix. Any
+        failure — bad JSON structure, a non-inverting ``addr_mtx``, a
+        matrix that belongs to some *other* mapping — is logged, counted
+        in ``stats()['persisted_recoveries']``, and recovered by
+        compiling from the (already validated) mapping. The returned key
+        always ends up holding a correct compiled form.
+
+        Like :meth:`publish`, no hit/miss obs metrics are mirrored:
+        which process-local cache serves the call is a layout accident.
+        """
+        key = (
+            system_fingerprint(system)
+            if system is not None
+            else mapping_fingerprint(mapping)
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return key
+        self.misses += 1
+        self._cache[key] = self._adopt_compiled(
+            mapping, compiled_data, detail="serialized payload"
+        )
+        return key
+
+    def register_persisted(
+        self,
+        mapping: AddressMapping,
+        path: "str | Path",
+        system: "SystemInfo | None" = None,
+    ) -> str:
+        """Register ``mapping`` from a persisted ``dramdig-compiled-v1``
+        file, recompiling when the file is unreadable or fails
+        revalidation (see :meth:`register_serialized`)."""
+        key = (
+            system_fingerprint(system)
+            if system is not None
+            else mapping_fingerprint(mapping)
+        )
+        cached = self._cache.get(key)
+        if cached is not None:
+            self.hits += 1
+            return key
+        self.misses += 1
+        try:
+            compiled_data = json.loads(Path(path).read_text())
+        except (OSError, ValueError) as error:
+            self.persisted_recoveries += 1
+            _LOG.warning(
+                "persisted compiled mapping %s unreadable (%s); "
+                "recompiling from mapping",
+                path,
+                error,
+            )
+            self._cache[key] = mapping.compiled
+            return key
+        self._cache[key] = self._adopt_compiled(
+            mapping, compiled_data, detail=str(path)
+        )
+        return key
+
+    def _adopt_compiled(
+        self,
+        mapping: AddressMapping,
+        compiled_data: dict | None,
+        detail: str,
+    ) -> CompiledMapping:
+        """Revalidate an untrusted compiled payload against ``mapping``;
+        on any defect, log + count the recovery and recompile."""
+        from repro.dram.serialization import compiled_from_dict
+
+        try:
+            if not isinstance(compiled_data, dict):
+                raise MappingError("compiled payload is not an object")
+            compiled = compiled_from_dict(compiled_data)
+            self._check_compiled_matches(mapping, compiled)
+            return compiled
+        except Exception as error:
+            self.persisted_recoveries += 1
+            _LOG.warning(
+                "compiled payload rejected (%s): %s; recompiling from mapping",
+                detail,
+                error,
+            )
+            return mapping.compiled
+
+    @staticmethod
+    def _check_compiled_matches(
+        mapping: AddressMapping, compiled: CompiledMapping
+    ) -> None:
+        """A structurally valid compiled form may still belong to a
+        *different* mapping; demand the forward matrix is exactly the one
+        ``mapping`` would compile to (columns, rows, then bank functions
+        — the :meth:`CompiledMapping.from_mapping` row order)."""
+        expected = (
+            tuple(bit(position) for position in mapping.column_bits)
+            + tuple(bit(position) for position in mapping.row_bits)
+            + tuple(mapping.bank_functions)
+        )
+        if (
+            compiled.address_bits != mapping.geometry.address_bits
+            or compiled.dram_mtx != expected
+            or compiled.addr_mtx is None
+        ):
+            raise MappingError(
+                "compiled payload does not correspond to the mapping"
+            )
 
     def compiled_for(
         self,
@@ -252,6 +380,7 @@ class TranslationService:
             "misses": self.misses,
             "translations": self.translations,
             "encodes": self.encodes,
+            "persisted_recoveries": self.persisted_recoveries,
         }
 
 

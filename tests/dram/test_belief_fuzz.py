@@ -1,0 +1,115 @@
+"""Fuzz ``BeliefMapping.agrees_with`` / ``hammer_equivalent`` against
+random mappings: the equivalence notions must hold across the whole
+generator distribution, not just the nine paper presets."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.random_mapping import random_mapping
+
+seeds = st.integers(min_value=0, max_value=5000)
+
+
+def _shuffled_basis(functions):
+    """Another basis of the same GF(2) span (row-reduce by XOR chains)."""
+    basis = list(functions)
+    for index in range(1, len(basis)):
+        basis[index] ^= basis[index - 1]
+    return tuple(reversed(basis))
+
+
+class TestAgreesWith:
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_own_belief_agrees(self, seed):
+        mapping = random_mapping(np.random.default_rng(seed))
+        assert BeliefMapping.from_mapping(mapping).agrees_with(mapping)
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_basis_change_still_agrees(self, seed):
+        """Function sets are compared as spans: any XOR re-basis of the
+        true functions addresses banks identically and must agree."""
+        mapping = random_mapping(np.random.default_rng(seed))
+        belief = BeliefMapping(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=_shuffled_basis(mapping.bank_functions),
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        assert belief.agrees_with(mapping)
+        assert belief.hammer_equivalent(mapping)
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_deformed_span_disagrees(self, seed):
+        """Toggling a row bit in one function changes the span (a lone
+        row bit is never inside it), so the belief must disagree."""
+        mapping = random_mapping(np.random.default_rng(seed))
+        functions = list(mapping.bank_functions)
+        functions[0] ^= 1 << mapping.row_bits[0]
+        belief = BeliefMapping(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=tuple(functions),
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        assert not belief.agrees_with(mapping)
+        assert not belief.hammer_equivalent(mapping)
+
+    @given(seeds, seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_cross_machine_beliefs_rarely_agree(self, seed_a, seed_b):
+        """A belief built for machine A agrees with machine B only when
+        the two generated mappings are genuinely equivalent."""
+        a = random_mapping(np.random.default_rng(seed_a))
+        b = random_mapping(np.random.default_rng(seed_b))
+        belief = BeliefMapping.from_mapping(a)
+        assert belief.agrees_with(b) == a.equivalent_to(b)
+
+    @given(seeds)
+    @settings(max_examples=40, deadline=None)
+    def test_missing_function_disagrees(self, seed):
+        """DRAMA's classic failure: one function short of the truth."""
+        mapping = random_mapping(np.random.default_rng(seed))
+        belief = BeliefMapping(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=mapping.bank_functions[:-1],
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits,
+        )
+        assert not belief.agrees_with(mapping)
+        assert not belief.hammer_equivalent(mapping)
+
+
+class TestHammerEquivalent:
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_column_errors_do_not_spoil_aiming(self, seed):
+        """Aggressor placement only needs bank span + row bits, so a
+        belief with garbled column bits is hammer-equivalent but does
+        not fully agree."""
+        mapping = random_mapping(np.random.default_rng(seed))
+        belief = BeliefMapping(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=mapping.bank_functions,
+            row_bits=mapping.row_bits,
+            column_bits=mapping.column_bits[:-1],
+        )
+        assert belief.hammer_equivalent(mapping)
+        assert not belief.agrees_with(mapping)
+
+    @given(seeds)
+    @settings(max_examples=60, deadline=None)
+    def test_row_errors_do_spoil_aiming(self, seed):
+        mapping = random_mapping(np.random.default_rng(seed))
+        shifted = tuple(position - 1 for position in mapping.row_bits)
+        belief = BeliefMapping(
+            address_bits=mapping.geometry.address_bits,
+            bank_functions=mapping.bank_functions,
+            row_bits=shifted,
+            column_bits=mapping.column_bits,
+        )
+        assert not belief.hammer_equivalent(mapping)

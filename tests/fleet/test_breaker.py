@@ -1,0 +1,83 @@
+"""Circuit breaker semantics and SystemInfo similarity ranking."""
+
+import numpy as np
+import pytest
+
+from repro.dram.random_mapping import random_geometry
+from repro.fleet.breaker import CircuitBreaker
+from repro.fleet.similarity import system_similarity
+from repro.machine.sysinfo import SystemInfo
+
+
+class TestCircuitBreaker:
+    def test_trips_exactly_once_at_threshold(self):
+        breaker = CircuitBreaker(threshold=3)
+        assert not breaker.failure("k")
+        assert not breaker.failure("k")
+        assert breaker.failure("k")  # the tripping failure reports True...
+        assert breaker.is_open("k")
+        assert not breaker.failure("k")  # ...and only that one does
+
+    def test_success_resets_streak_and_closes(self):
+        breaker = CircuitBreaker(threshold=2)
+        breaker.failure("k")
+        breaker.success("k")
+        assert not breaker.failure("k")  # streak restarted from zero
+        breaker.failure("k")
+        assert breaker.is_open("k")
+        breaker.success("k")
+        assert not breaker.is_open("k")
+
+    def test_keys_are_independent(self):
+        breaker = CircuitBreaker(threshold=1)
+        breaker.failure("poisoned")
+        assert breaker.is_open("poisoned")
+        assert not breaker.is_open("healthy")
+
+    def test_seed_adopts_persisted_state(self):
+        breaker = CircuitBreaker(threshold=3)
+        breaker.seed("explicit", streak=0, quarantined=True)
+        breaker.seed("by-streak", streak=3, quarantined=False)
+        breaker.seed("live", streak=2, quarantined=False)
+        assert breaker.is_open("explicit")
+        assert breaker.is_open("by-streak")
+        assert not breaker.is_open("live")
+        assert breaker.failure("live")  # one more failure trips it
+
+    def test_threshold_validated(self):
+        with pytest.raises(ValueError):
+            CircuitBreaker(threshold=0)
+
+
+class TestSystemSimilarity:
+    def _info(self, seed):
+        return SystemInfo.from_geometry(
+            random_geometry(np.random.default_rng(seed))
+        )
+
+    def test_identical_facts_score_one(self):
+        info = self._info(0)
+        assert system_similarity(info, info) == 1.0
+
+    def test_symmetric(self):
+        a, b = self._info(0), self._info(1)
+        assert system_similarity(a, b) == system_similarity(b, a)
+
+    def test_bounded(self):
+        for seed in range(10):
+            score = system_similarity(self._info(0), self._info(seed))
+            assert 0.0 <= score <= 1.0
+
+    def test_total_bytes_does_not_count(self):
+        """Size is the store's hard gate, not a similarity signal."""
+        info = self._info(0)
+        bigger = SystemInfo(
+            generation=info.generation,
+            total_bytes=info.total_bytes * 2,
+            channels=info.channels,
+            dimms_per_channel=info.dimms_per_channel,
+            ranks_per_dimm=info.ranks_per_dimm,
+            banks_per_rank=info.banks_per_rank,
+            ecc=info.ecc,
+        )
+        assert system_similarity(info, bigger) == 1.0

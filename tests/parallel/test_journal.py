@@ -106,3 +106,54 @@ class TestCheckpointJournal:
         journal.record("fp-1", "repro.x:y", "second")
         assert journal.lookup("fp-1") == (True, "first")
         assert len(journal) == 1
+
+
+class TestLoadRobustness:
+    """A SIGKILL mid-append leaves a torn trailing line; loading must keep
+    every intact record and surface the damage as degradation events."""
+
+    def _chop(self, path, keep_fraction=0.5):
+        raw = path.read_bytes()
+        cut = raw.rfind(b"\n", 0, len(raw) - 1)  # start of last record
+        torn = raw[: cut + 1 + int((len(raw) - cut) * keep_fraction)]
+        assert torn != raw
+        path.write_bytes(torn)
+
+    def test_chopped_trailing_record_keeps_the_rest(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        journal = CheckpointJournal(path)
+        journal.record("fp-1", "repro.x:y", {"machine": 1})
+        journal.record("fp-2", "repro.x:y", {"machine": 2})
+        self._chop(path)
+
+        reloaded = CheckpointJournal(path)
+        assert reloaded.lookup("fp-1") == (True, {"machine": 1})
+        assert reloaded.lookup("fp-2") == (False, None)
+        assert len(reloaded.load_events) == 1
+        event = reloaded.load_events[0]
+        assert event.step == "journal"
+        assert event.action == "skipped-record"
+        assert "truncated" in event.detail
+
+    def test_garbled_bytes_do_not_abort_the_load(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CheckpointJournal(path).record("fp-1", "repro.x:y", "kept")
+        with open(path, "ab") as handle:
+            handle.write(b"\xff\xfe\x00 not utf8 not json\n")
+        reloaded = CheckpointJournal(path)
+        assert reloaded.lookup("fp-1") == (True, "kept")
+        assert len(reloaded.load_events) == 1
+
+    def test_record_missing_fields_is_an_event(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CheckpointJournal(path).record("fp-1", "repro.x:y", 1)
+        with open(path, "a") as handle:
+            handle.write(json.dumps({"task": "repro.x:y"}) + "\n")
+        reloaded = CheckpointJournal(path)
+        assert len(reloaded) == 1
+        assert any("fingerprint" in e.detail for e in reloaded.load_events)
+
+    def test_clean_journal_has_no_events(self, tmp_path):
+        path = tmp_path / "journal.jsonl"
+        CheckpointJournal(path).record("fp-1", "repro.x:y", 1)
+        assert CheckpointJournal(path).load_events == []

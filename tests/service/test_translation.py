@@ -34,6 +34,7 @@ class TestCachePlane:
             "misses": 1,
             "translations": 0,
             "encodes": 0,
+            "persisted_recoveries": 0,
         }
 
     def test_mapping_fingerprint_is_content_based(self):
@@ -236,3 +237,77 @@ class TestPipelineRegistration:
             assert service.stats()["hits"] == before + 1
         finally:
             reset_default_service()
+
+
+class TestPersistedRecovery:
+    """Untrusted compiled payloads (knowledge-store records, files from
+    other machines) must heal by recompiling, never by trusting."""
+
+    def _mapping(self):
+        return preset("No.1").mapping
+
+    def test_good_payload_adopted_without_recovery(self, service):
+        from repro.dram.serialization import compiled_to_dict
+
+        mapping = self._mapping()
+        payload = compiled_to_dict(mapping.compiled)
+        key = service.register_serialized(mapping, payload)
+        assert service.stats()["persisted_recoveries"] == 0
+        assert service.compiled(key).dram_mtx == mapping.compiled.dram_mtx
+
+    def test_garbage_payload_recompiles(self, service):
+        mapping = self._mapping()
+        key = service.register_serialized(mapping, {"format": "nonsense"})
+        assert service.stats()["persisted_recoveries"] == 1
+        assert service.compiled(key).dram_mtx == mapping.compiled.dram_mtx
+
+    def test_none_payload_recompiles(self, service):
+        mapping = self._mapping()
+        service.register_serialized(mapping, None)
+        assert service.stats()["persisted_recoveries"] == 1
+
+    def test_other_mappings_compiled_form_rejected(self, service):
+        from repro.dram.serialization import compiled_to_dict
+
+        mine = self._mapping()
+        other = preset("No.4").mapping
+        imposter = compiled_to_dict(other.compiled)
+        key = service.register_serialized(mine, imposter)
+        assert service.stats()["persisted_recoveries"] == 1
+        # The adopted compiled form is *mine*, not the imposter's.
+        assert service.compiled(key).dram_mtx == mine.compiled.dram_mtx
+
+    def test_cache_hit_skips_revalidation(self, service):
+        mapping = self._mapping()
+        service.register_serialized(mapping, {"format": "nonsense"})
+        service.register_serialized(mapping, {"format": "still nonsense"})
+        assert service.stats()["persisted_recoveries"] == 1
+        assert service.stats()["hits"] == 1
+
+    def test_persisted_file_roundtrip(self, service, tmp_path):
+        import json as jsonlib
+
+        from repro.dram.serialization import compiled_to_dict
+
+        mapping = self._mapping()
+        path = tmp_path / "compiled.json"
+        path.write_text(jsonlib.dumps(compiled_to_dict(mapping.compiled)))
+        key = service.register_persisted(mapping, path)
+        assert service.stats()["persisted_recoveries"] == 0
+        assert service.compiled(key).dram_mtx == mapping.compiled.dram_mtx
+
+    def test_missing_file_recompiles(self, service, tmp_path):
+        mapping = self._mapping()
+        key = service.register_persisted(mapping, tmp_path / "nope.json")
+        assert service.stats()["persisted_recoveries"] == 1
+        assert service.compiled(key).dram_mtx == mapping.compiled.dram_mtx
+
+    def test_garbled_file_recompiles(self, service, tmp_path):
+        mapping = self._mapping()
+        path = tmp_path / "compiled.json"
+        path.write_text('{"half a json')
+        service.register_persisted(mapping, path)
+        assert service.stats()["persisted_recoveries"] == 1
+
+    def test_stats_exposes_the_counter(self, service):
+        assert "persisted_recoveries" in service.stats()
