@@ -1,0 +1,188 @@
+#!/usr/bin/env python
+"""CI smoke test: SIGKILL a campaign sweep mid-flight, resume, diff everything.
+
+The deterministic resume regressions for the campaign live in
+``tests/rowhammer/test_campaign.py``. This script is the end-to-end
+variant with a real ``SIGKILL`` against the ``dramdig campaign run``
+CLI:
+
+1. run a small sweep (2 machines x 2 variants x 2 mitigations, one
+   120-simulated-second test each) once, uninterrupted, as the
+   reference — both its stdout (the leaderboard) and its ``--out``
+   artifact JSON;
+2. start the same sweep as a subprocess with ``--resume <journal>``
+   and kill -9 it as soon as the journal holds at least one trial
+   checkpoint;
+3. re-run the same command to completion over the same journal with
+   ``--trace``;
+4. the resumed leaderboard AND the artifact file must be byte-identical
+   to the reference, and the trace must show every surviving trial as
+   CACHED — i.e. zero trials were re-hammered after the resume.
+
+Exit code 0 on success. The kill is inherently racy — if the victim
+finishes before the kill lands, the run still validates byte-identity
+and reports that the kill was skipped.
+
+``--artifacts DIR`` keeps the trace, summaries and artifacts in DIR
+instead of the throwaway scratch directory, so CI can upload them.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+SWEEP = [
+    "--machines", "No.1", "No.2",
+    "--variants", "double_sided", "many_sided_6",
+    "--mitigations", "none", "trr",
+    "--tests", "1",
+    "--duration", "120",
+]
+POLL_SECONDS = 0.05
+KILL_AFTER_RECORDS = 1
+TIMEOUT_SECONDS = 600.0
+
+
+def _env() -> dict:
+    env = dict(os.environ)
+    env["PYTHONPATH"] = str(REPO / "src")
+    return env
+
+
+def _cmd(out: Path, journal: Path | None, trace: Path | None = None) -> list:
+    cmd = [sys.executable, "-m", "repro", "campaign", "run", *SWEEP]
+    cmd += ["--out", str(out)]
+    if journal is not None:
+        cmd += ["--resume", str(journal)]
+    if trace is not None:
+        cmd += ["--trace", str(trace)]
+    return cmd
+
+
+def _journal_records(journal: Path) -> int:
+    if not journal.exists():
+        return 0
+    count = 0
+    for line in journal.read_text().splitlines():
+        try:
+            record = json.loads(line)
+        except json.JSONDecodeError:
+            continue
+        if isinstance(record, dict) and "fingerprint" in record:
+            count += 1
+    return count
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--artifacts", metavar="DIR", default=None,
+        help="keep trace, summary and artifacts here (for CI upload)",
+    )
+    args = parser.parse_args(argv)
+    with tempfile.TemporaryDirectory(prefix="campaign-kill-") as scratch:
+        journal = Path(scratch) / "campaign.journal"
+        artifacts = Path(args.artifacts) if args.artifacts else Path(scratch)
+        artifacts.mkdir(parents=True, exist_ok=True)
+        reference_out = artifacts / "reference-campaign.json"
+        resumed_out = artifacts / "resumed-campaign.json"
+        trace_path = artifacts / "resumed-campaign-trace.jsonl"
+
+        print("== reference sweep (uninterrupted, no journal) ==", flush=True)
+        reference = subprocess.run(
+            _cmd(reference_out, None), cwd=REPO, env=_env(),
+            capture_output=True, text=True, timeout=TIMEOUT_SECONDS,
+            check=True,
+        ).stdout
+
+        print("== victim sweep (will be SIGKILLed mid-flight) ==", flush=True)
+        victim = subprocess.Popen(
+            _cmd(resumed_out, journal), cwd=REPO, env=_env(),
+            stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
+        )
+        deadline = time.monotonic() + TIMEOUT_SECONDS
+        killed = False
+        while time.monotonic() < deadline:
+            if victim.poll() is not None:
+                break
+            if _journal_records(journal) >= KILL_AFTER_RECORDS:
+                victim.send_signal(signal.SIGKILL)
+                victim.wait(timeout=30)
+                killed = True
+                break
+            time.sleep(POLL_SECONDS)
+        else:
+            victim.kill()
+            print("FAIL: victim neither checkpointed nor finished in time")
+            return 1
+
+        survivors = _journal_records(journal)
+        if killed:
+            print(f"killed victim with {survivors} checkpointed trial(s)")
+            if survivors == 0:
+                print("FAIL: kill landed before any checkpoint")
+                return 1
+        else:
+            print("victim finished before the kill landed; "
+                  "validating byte-identity only")
+
+        print("== resumed sweep (traced) ==", flush=True)
+        resumed = subprocess.run(
+            _cmd(resumed_out, journal, trace=trace_path), cwd=REPO,
+            env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS, check=True,
+        ).stdout
+
+        if resumed != reference:
+            print("FAIL: resumed leaderboard differs from the "
+                  "uninterrupted run")
+            sys.stdout.write(resumed)
+            return 1
+        if resumed_out.read_bytes() != reference_out.read_bytes():
+            print("FAIL: resumed artifact differs from the reference "
+                  "artifact")
+            return 1
+        print(f"OK: leaderboard and artifact byte-identical "
+              f"({survivors} trial(s) survived the kill)")
+
+        print("== zero-rehammer gate ==", flush=True)
+        if not trace_path.exists():
+            print("FAIL: resumed run wrote no trace file")
+            return 1
+        summary = subprocess.run(
+            [sys.executable, "-m", "repro", "trace", "summary",
+             str(trace_path)],
+            cwd=REPO, env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+        (artifacts / "resumed-campaign-trace-summary.txt").write_text(
+            summary.stdout
+        )
+        if summary.returncode != 0:
+            print("FAIL: trace summary gate rejected the trace")
+            sys.stdout.write(summary.stdout)
+            sys.stderr.write(summary.stderr)
+            return 1
+        cached = summary.stdout.count("CACHED")
+        if cached != survivors:
+            print(f"FAIL: {survivors} trial(s) survived the kill but the "
+                  f"trace shows {cached} cached cell(s) — a survivor was "
+                  "re-hammered")
+            sys.stdout.write(summary.stdout)
+            return 1
+        print(f"OK: all {survivors} surviving trial(s) served from the "
+              "journal, zero re-hammered")
+        return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

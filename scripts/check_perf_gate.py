@@ -14,6 +14,11 @@ parallel grid stops paying for itself or stops being exact:
 * the compiled translation kernels must stay bit-identical to the
   scalar decode path (``translation.scalar_identity``) and sustain at
   least a million lookups per second in each direction;
+* the campaign fuzzer's compiled aggressor planner must agree with the
+  per-victim scalar aim path on every sampled lane
+  (``campaign.aim_agreement``) and beat it by at least
+  ``CAMPAIGN_PLANNER_SPEEDUP_FLOOR`` — below that the sweep scheduler
+  would be no better than aiming victims one at a time;
 * on multi-CPU hosts ``grid.table1_parallel_speedup`` must stay at or
   above the recorded floor. Single-CPU hosts skip this check — the
   harness omits the column there by design, and a gate that fails on
@@ -50,6 +55,10 @@ PARALLEL_SPEEDUP_FLOOR = 1.3
 # reference container; one million per second is the point below which
 # campaign planning would be back to scalar-loop territory.
 TRANSLATION_LOOKUPS_FLOOR = 1_000_000.0
+# The compiled aggressor planner beats scalar aiming by hundreds of x
+# on the reference container; 5x is the point below which the campaign
+# sweep would schedule faster by skipping the batch path entirely.
+CAMPAIGN_PLANNER_SPEEDUP_FLOOR = 5.0
 # The bench fleet (16 machines, 2 families) amortizes to ~10x cheaper
 # than cold-start per machine; the cost model is simulated and
 # deterministic, so 2x is an unambiguous "the store stopped paying"
@@ -95,6 +104,19 @@ def check_record(record: dict) -> list[str]:
                 f"translation.{direction} {rate} below floor "
                 f"{TRANSLATION_LOOKUPS_FLOOR:.0f}"
             )
+
+    campaign = record.get("campaign", {})
+    if campaign.get("aim_agreement") is not True:
+        problems.append(
+            "campaign.aim_agreement is not true: the compiled aggressor "
+            "planner diverged from scalar aiming"
+        )
+    planner_speedup = campaign.get("planner_speedup_vs_scalar")
+    if planner_speedup is None or planner_speedup < CAMPAIGN_PLANNER_SPEEDUP_FLOOR:
+        problems.append(
+            f"campaign.planner_speedup_vs_scalar {planner_speedup} below "
+            f"floor {CAMPAIGN_PLANNER_SPEEDUP_FLOOR}"
+        )
 
     fleet = record.get("fleet", {})
     if fleet.get("all_correct") is not True:
@@ -167,12 +189,15 @@ def main(argv: list[str] | None = None) -> int:
         grid = record.get("grid", {})
         single = record.get("single_run", {})
         translation = record.get("translation", {})
+        campaign = record.get("campaign", {})
         fleet = record.get("fleet", {})
         print(
             "perf gate: ok "
             f"(batching {single.get('batching_speedup', float('nan')):.2f}x, "
             f"translation "
             f"{translation.get('translate_lookups_per_s', 0.0) / 1e6:.1f}M/s, "
+            f"campaign planner "
+            f"{campaign.get('planner_speedup_vs_scalar', float('nan')):.0f}x, "
             f"fleet amortization "
             f"{fleet.get('amortization_speedup', float('nan')):.1f}x, "
             f"parallel speedup "

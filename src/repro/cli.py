@@ -10,6 +10,9 @@ Subcommands mirror the paper:
 * ``dramdig table1|table2|figure2|table3`` — regenerate a paper artefact.
 * ``dramdig fleet run --fleet-size 16`` — DRAMDig across a simulated fleet
   with a persistent cross-machine knowledge store.
+* ``dramdig campaign run`` — rowhammer flip-yield campaign fuzzer
+  (variants × mitigations × machines) over the supervised grid.
+* ``dramdig campaign leaderboard ART.json`` — render a saved campaign.
 * ``dramdig list``            — show the machine presets.
 """
 
@@ -118,6 +121,58 @@ def _seconds_arg(text: str) -> float:
     return seconds
 
 
+def _tests_arg(text: str) -> int:
+    """At least one timed test."""
+    try:
+        tests = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if tests < 1:
+        raise argparse.ArgumentTypeError(
+            f"--tests must be a positive integer (got {tests})"
+        )
+    return tests
+
+
+def _duration_arg(text: str) -> float:
+    """Positive simulated test length (minutes or seconds, per flag)."""
+    try:
+        value = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if value <= 0:
+        raise argparse.ArgumentTypeError(
+            f"test duration must be positive (got {text})"
+        )
+    return value
+
+
+def _decoy_rows_arg(text: str) -> int:
+    """Non-negative decoy-row count for many-sided hammering."""
+    try:
+        decoys = int(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid int value: {text!r}") from None
+    if decoys < 0:
+        raise argparse.ArgumentTypeError(
+            f"--decoy-rows must be non-negative (got {decoys})"
+        )
+    return decoys
+
+
+def _vulnerability_arg(text: str) -> float:
+    """Weak-cell density override: a probability-like value in [0, 1]."""
+    try:
+        vulnerability = float(text)
+    except ValueError:
+        raise argparse.ArgumentTypeError(f"invalid float value: {text!r}") from None
+    if not 0.0 <= vulnerability <= 1.0:
+        raise argparse.ArgumentTypeError(
+            f"--vulnerability must be within [0, 1] (got {text})"
+        )
+    return vulnerability
+
+
 def _grid_options(args):
     """Fold the crash-safety flags into (supervision, journal).
 
@@ -207,10 +262,28 @@ def _build_parser() -> argparse.ArgumentParser:
     )
     hammer_cmd.add_argument("machine", choices=TABLE2_ORDER)
     hammer_cmd.add_argument(
-        "--tests", type=int, default=5, help="timed tests (default 5)"
+        "--tests", type=_tests_arg, default=5, help="timed tests (default 5)"
     )
     hammer_cmd.add_argument(
-        "--minutes", type=float, default=5.0, help="minutes per test (default 5)"
+        "--minutes",
+        type=_duration_arg,
+        default=5.0,
+        help="minutes per test (default 5; must be positive)",
+    )
+    hammer_cmd.add_argument(
+        "--decoy-rows",
+        type=_decoy_rows_arg,
+        default=0,
+        metavar="N",
+        help="extra rows hammered per window (TRRespass-style many-sided "
+        "pattern; default 0: plain double-sided)",
+    )
+    hammer_cmd.add_argument(
+        "--vulnerability",
+        type=_vulnerability_arg,
+        default=None,
+        metavar="DENSITY",
+        help="override the preset's weak-cell density (a value in [0, 1])",
     )
 
     translate_cmd = commands.add_parser(
@@ -296,7 +369,70 @@ def _build_parser() -> argparse.ArgumentParser:
     table3_cmd.add_argument(
         "--tests", type=int, default=5, help="tests per machine (default 5)"
     )
-    for grid_cmd in (report_cmd, table1_cmd, figure2_cmd, table3_cmd):
+
+    from repro.rowhammer.campaign import (
+        CAMPAIGN_MACHINES,
+        mitigation_names,
+        variant_names,
+    )
+
+    campaign_cmd = commands.add_parser(
+        "campaign",
+        help="rowhammer flip-yield campaign fuzzer over the supervised grid",
+    )
+    campaign_sub = campaign_cmd.add_subparsers(
+        dest="campaign_command", required=True
+    )
+    campaign_run_cmd = campaign_sub.add_parser(
+        "run",
+        help="sweep hammering variants × mitigation stacks × machines",
+        description="Enumerate a deterministic sweep space (hammering "
+        "variants × mitigation stacks × machine presets × seeds), run "
+        "every trial as a supervised grid cell, and rank configurations "
+        "on a bit-flip-yield leaderboard. With --resume the campaign is "
+        "crash-safe: completed trials replay from the journal and the "
+        "leaderboard artifact is byte-identical to an uninterrupted run.",
+    )
+    campaign_run_cmd.add_argument(
+        "--machines", nargs="+", choices=TABLE2_ORDER,
+        default=list(CAMPAIGN_MACHINES), metavar="NAME",
+        help="machine presets to sweep "
+        f"(default: {' '.join(CAMPAIGN_MACHINES)})",
+    )
+    campaign_run_cmd.add_argument(
+        "--variants", nargs="+", choices=variant_names(),
+        default=list(variant_names()), metavar="VARIANT",
+        help=f"hammering variants ({', '.join(variant_names())}; "
+        "default: all)",
+    )
+    campaign_run_cmd.add_argument(
+        "--mitigations", nargs="+", choices=mitigation_names(),
+        default=list(mitigation_names()), metavar="STACK",
+        help=f"mitigation stacks ({', '.join(mitigation_names())}; "
+        "default: all)",
+    )
+    campaign_run_cmd.add_argument(
+        "--tests", type=_tests_arg, default=2, metavar="N",
+        help="timed tests per (machine, variant, mitigation) combination "
+        "(default 2)",
+    )
+    campaign_run_cmd.add_argument(
+        "--duration", type=_duration_arg, default=120.0, metavar="SECONDS",
+        help="simulated length of each timed test (default 120)",
+    )
+    campaign_run_cmd.add_argument(
+        "--out", metavar="PATH", default=None,
+        help="write the dramdig-campaign-v1 JSON artifact here",
+    )
+    campaign_board_cmd = campaign_sub.add_parser(
+        "leaderboard",
+        help="render the leaderboard of a saved campaign artifact",
+    )
+    campaign_board_cmd.add_argument("artifact", metavar="PATH")
+
+    for grid_cmd in (
+        report_cmd, table1_cmd, figure2_cmd, table3_cmd, campaign_run_cmd
+    ):
         grid_cmd.add_argument(
             "--jobs",
             type=_jobs_arg,
@@ -531,13 +667,19 @@ def _command_hammer(args) -> int:
     _LOG.info("Reverse-engineering %s with DRAMDig ...", args.machine)
     result = DramDig().run(machine)
     print(f"mapping recovered in {result.total_seconds:.0f} simulated seconds")
+    vulnerability = (
+        args.vulnerability
+        if args.vulnerability is not None
+        else machine_preset.hammer_vulnerability
+    )
     report = assess_vulnerability(
         machine,
         BeliefMapping.from_mapping(result.mapping),
-        vulnerability=machine_preset.hammer_vulnerability,
+        vulnerability=vulnerability,
         tests=args.tests,
         config=HammerConfig(duration_seconds=args.minutes * 60.0),
         seed=args.seed,
+        decoy_rows=args.decoy_rows,
     )
     print(report.summary())
     return 0
@@ -665,6 +807,61 @@ def _command_fleet(args) -> int:
     return 0 if outcome.all_correct else 1
 
 
+def _command_campaign(args) -> int:
+    from repro.rowhammer.campaign import (
+        CampaignSpec,
+        load_artifact,
+        render_artifact,
+        render_campaign,
+        run_campaign,
+        save_artifact,
+    )
+
+    if args.campaign_command == "leaderboard":
+        try:
+            artifact = load_artifact(args.artifact)
+        except (OSError, ValueError) as error:
+            _LOG.error("cannot load campaign artifact %s: %s", args.artifact, error)
+            return 1
+        print(render_artifact(artifact))
+        return 1 if artifact.get("failures") else 0
+
+    spec = CampaignSpec(
+        machines=tuple(args.machines),
+        variants=tuple(args.variants),
+        mitigations=tuple(args.mitigations),
+        tests=args.tests,
+        duration_seconds=args.duration,
+        seed=args.seed,
+    )
+    supervision, journal = _grid_options(args)
+    _LOG.info(
+        "campaign: %d cells (%d machines × %d variants × %d mitigations "
+        "× %d tests), ~%d hammer trials",
+        spec.cell_count,
+        len(spec.machines),
+        len(spec.variants),
+        len(spec.mitigations),
+        spec.tests,
+        spec.cell_count * spec.hammer_trials_per_test(),
+    )
+    outcome = run_campaign(
+        spec,
+        jobs=args.jobs,
+        supervision=supervision,
+        journal=journal,
+        batch_cells=args.batch_cells,
+        pool_mode=args.pool_mode,
+    )
+    print(render_campaign(outcome))
+    if args.out:
+        save_artifact(outcome, args.out)
+        _LOG.info("campaign artifact written to %s", args.out)
+    # A campaign with unrecovered cells is a partial sweep; the manifest
+    # says so loudly and the exit code must agree.
+    return 1 if outcome.failures else 0
+
+
 def _command_trace(args) -> int:
     from repro.obs.export import load_trace
     from repro.obs.summary import render_summary, validate_trace
@@ -754,6 +951,8 @@ def _dispatch_command(args) -> int:
         return 1 if any(isinstance(row, CellFailure) for row in rows) else 0
     if args.command == "fleet":
         return _command_fleet(args)
+    if args.command == "campaign":
+        return _command_campaign(args)
     if args.command == "trace":
         return _command_trace(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover

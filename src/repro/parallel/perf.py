@@ -25,6 +25,10 @@ Writes ``BENCH_perf.json`` with six families of numbers:
   (the zero-cost-when-off claim, measured), plus the traced run's
   per-phase breakdown (simulated seconds, wall seconds and pair
   measurements per pipeline step) lifted from its spans;
+* **campaign** — the campaign fuzzer's aggressor-selection A/B:
+  compiled batch planning vs per-victim scalar aiming, agreement
+  checked lane for lane before any timing is believed, plus one timed
+  campaign trial as the end-to-end cost anchor;
 * **environment** — CPU count, worker count, pool mode and batch size,
   because a parallel speedup claim without the CPU count is
   meaningless.
@@ -394,6 +398,11 @@ def run_perf(
     # Measured last: the million-address pools would otherwise perturb
     # the cache/frequency state the earlier A/B sections were tuned on.
     record["translation"] = _translation_benches()
+    # The campaign aggressor A/B shares the translation section's
+    # batched-kernel regime, so it runs right after it.
+    from repro.rowhammer.perf import campaign_benches
+
+    record["campaign"] = campaign_benches()
     # Fleet economics are simulated-cost numbers (deterministic), so
     # ordering does not matter for them; they run after the wall-clock
     # sections anyway to keep those undisturbed.
@@ -489,6 +498,17 @@ def main(argv: list[str] | None = None) -> int:
         translation["encode_lookups_per_s"] / 1e6,
         translation["batch_speedup_vs_scalar"],
         translation["compile_ms"],
+    )
+    campaign = record["campaign"]
+    _LOG.info(
+        "campaign (%s): planner %.1fM victims/s vs scalar %.1fk/s "
+        "(%.0fx, aim-identical), trial of %d hammer trials in %.2fs",
+        campaign["machine"],
+        campaign["planner_victims_per_s"] / 1e6,
+        campaign["scalar_victims_per_s"] / 1e3,
+        campaign["planner_speedup_vs_scalar"],
+        campaign["trial_hammer_trials"],
+        campaign["trial_seconds"],
     )
     for key, speedup in micro["speedup_vs_seed"].items():
         _LOG.info(

@@ -2,6 +2,15 @@
 
 from repro.rowhammer.aggressors import AggressorPlan, CompiledAggressorPlanner
 from repro.rowhammer.assess import AssessmentReport, assess_vulnerability
+from repro.rowhammer.campaign import (
+    CampaignOutcome,
+    CampaignResult,
+    CampaignSpec,
+    LeaderboardRow,
+    build_leaderboard,
+    render_campaign,
+    run_campaign,
+)
 from repro.rowhammer.faultmodel import (
     DOUBLE_SIDED_THRESHOLD,
     SINGLE_SIDED_THRESHOLD,
@@ -23,6 +32,13 @@ __all__ = [
     "CompiledAggressorPlanner",
     "AssessmentReport",
     "assess_vulnerability",
+    "CampaignOutcome",
+    "CampaignResult",
+    "CampaignSpec",
+    "LeaderboardRow",
+    "build_leaderboard",
+    "render_campaign",
+    "run_campaign",
     "DOUBLE_SIDED_THRESHOLD",
     "SINGLE_SIDED_THRESHOLD",
     "HammerOutcome",

@@ -38,7 +38,8 @@ class AggressorPlan:
     Attributes:
         above: physical addresses one row above each victim (same bank).
         below: physical addresses one row below each victim (same bank).
-        valid: lanes whose victim row has both neighbours in range;
+        valid: lanes whose victim lies inside the mapping's address
+            space *and* whose row has both neighbours in range;
             ``above``/``below`` are meaningless on invalid lanes.
     """
 
@@ -89,7 +90,18 @@ class CompiledAggressorPlanner:
         compiled = self.compiled
         addrs = np.asarray(victims, dtype=np.uint64)
         banks, rows, columns = compiled.translate(addrs)
-        valid = (rows >= np.uint64(1)) & (rows < np.uint64(compiled.rows - 1))
+        # The translate kernels read only the low address_bits, so a
+        # victim beyond the mapped space would silently alias onto some
+        # in-space row — including rows 0 / rows-1, whose lanes would
+        # then carry the wrong validity verdict. The scalar aim path
+        # (BeliefMapping.aim_row_neighbor) refuses such victims; the
+        # batch path must agree, not hammer the alias.
+        in_space = addrs < np.uint64(1 << compiled.address_bits)
+        valid = (
+            in_space
+            & (rows >= np.uint64(1))
+            & (rows < np.uint64(compiled.rows - 1))
+        )
         # Clamp invalid rows into range so encode never wraps; the valid
         # mask is what consumers must honour.
         safe_rows = np.clip(rows, np.uint64(1), np.uint64(max(compiled.rows - 2, 1)))

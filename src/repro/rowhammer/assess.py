@@ -41,7 +41,10 @@ class AssessmentReport:
             return "untested"
         minutes = sum(test.duration_seconds for test in self.tests) / 60.0
         if minutes <= 0:
-            return "untested"
+            # Tests ran but accumulated no simulated time (degenerate
+            # config). Flips observed in zero minutes are an unbounded
+            # rate, not an absence of evidence: never "untested".
+            return "highly vulnerable" if self.total_flips > 0 else "untested"
         rate = self.total_flips / minutes * 5.0
         if rate == 0:
             return "no flips observed"
@@ -73,6 +76,7 @@ def assess_vulnerability(
     tests: int = 5,
     config: HammerConfig | None = None,
     seed: int = 0,
+    decoy_rows: int = 0,
 ) -> AssessmentReport:
     """Run ``tests`` timed double-sided tests and build a report.
 
@@ -83,11 +87,15 @@ def assess_vulnerability(
         tests: number of timed tests (paper: 5).
         config: hammer parameters (paper defaults: 5-minute tests).
         seed: base seed; test *i* uses ``seed + i``.
+        decoy_rows: extra rows hammered per window (TRRespass-style
+            many-sided pattern; 0 keeps the plain double-sided attack).
     """
     if tests < 1:
         raise ValueError("need at least one test")
     attack = DoubleSidedAttack(machine, config=config, vulnerability=vulnerability)
     report = AssessmentReport()
     for index in range(tests):
-        report.tests.append(attack.run(belief, seed=seed + index))
+        report.tests.append(
+            attack.run(belief, seed=seed + index, decoy_rows=decoy_rows)
+        )
     return report

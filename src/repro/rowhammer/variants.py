@@ -27,8 +27,33 @@ from repro.dram.belief import BeliefMapping
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.faultmodel import RowhammerFaultModel
 from repro.rowhammer.hammer import HammerConfig, HammerReport, _scaled, _test_effectiveness
+from repro.rowhammer.mitigations import MitigationStack
 
 __all__ = ["single_sided_test", "one_location_test"]
+
+
+def _book_window(
+    report: HammerReport,
+    raw: int,
+    hammered_rows: int,
+    mitigations: MitigationStack | None,
+    rng,
+) -> None:
+    """Fold one window's raw flips into the report, mitigations applied.
+
+    With ``mitigations=None`` no RNG draw happens and the accounting is
+    exactly the pre-mitigation behaviour (``flips == raw_flips``).
+    """
+    report.raw_flips += raw
+    if mitigations is None:
+        report.flips += raw
+        return
+    filtered = mitigations.filter_window(raw, hammered_rows, rng)
+    report.stopped_by_trr += filtered.stopped_by_trr
+    report.ecc_corrected += filtered.corrected
+    report.ecc_detected += filtered.detected
+    report.ecc_silent += filtered.silent
+    report.flips += filtered.observable
 
 
 def single_sided_test(
@@ -37,12 +62,15 @@ def single_sided_test(
     vulnerability: float,
     config: HammerConfig | None = None,
     seed: int = 0,
+    mitigations: MitigationStack | None = None,
 ) -> HammerReport:
     """Classic single-sided hammering: random same-bank row pairs.
 
     The attacker uses its believed mapping only to pick same-bank pairs
     (any SBDR pair bypasses the row buffer); each aggressor's neighbours
     receive one-sided disturbance at half the activation budget.
+    ``mitigations`` pushes each window's raw flips through a TRR/ECC
+    stack, exactly as the double-sided driver does.
     """
     config = config if config is not None else HammerConfig()
     truth = machine.ground_truth
@@ -87,8 +115,7 @@ def single_sided_test(
                 flips += outcome.flips
         report.aimed_single += 1
         raw = _scaled(flips, effectiveness, rng)
-        report.raw_flips += raw
-        report.flips += raw
+        _book_window(report, raw, 2, mitigations, rng)
     machine.charge_analysis(config.duration_seconds * 1e9)
     return report
 
@@ -99,6 +126,7 @@ def one_location_test(
     vulnerability: float,
     config: HammerConfig | None = None,
     seed: int = 0,
+    mitigations: MitigationStack | None = None,
 ) -> HammerReport:
     """One-location hammering against a closed-page memory controller.
 
@@ -143,7 +171,6 @@ def one_location_test(
             flips += outcome.flips
         report.aimed_single += 1
         raw = _scaled(flips, effectiveness, rng)
-        report.raw_flips += raw
-        report.flips += raw
+        _book_window(report, raw, 1, mitigations, rng)
     machine.charge_analysis(config.duration_seconds * 1e9)
     return report

@@ -5,7 +5,8 @@ import pytest
 
 from repro.dram.belief import BeliefMapping
 from repro.dram.errors import SingularMappingError
-from repro.dram.presets import preset
+from repro.dram.presets import preset, preset_names
+from repro.dram.random_mapping import random_mapping
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.aggressors import CompiledAggressorPlanner
 from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
@@ -83,6 +84,23 @@ class TestPlanning:
                 assert belief.bank_of(scalar) == belief.bank_of(planned)
                 assert belief.row_of(scalar) == belief.row_of(planned)
 
+    def test_out_of_space_victims_marked_invalid(self):
+        """Regression: the translate kernels read only the low
+        ``address_bits`` of each lane, so a victim beyond the mapped
+        address space aliases onto an in-space row. The valid mask must
+        skip such lanes — the scalar path does — instead of planning
+        aggressors around the aliased victim."""
+        mapping = preset("No.2").mapping
+        planner = CompiledAggressorPlanner.from_mapping(mapping)
+        space = np.uint64(1 << mapping.geometry.address_bits)
+        rng = np.random.default_rng(11)
+        inside = rng.integers(0, space, 64, dtype=np.uint64)
+        outside = inside | space
+        plan = planner.plan(np.concatenate([inside, outside]))
+        assert not plan.valid[64:].any()
+        # The same lanes without the high bit stay plannable (mid rows).
+        assert plan.valid[:64].sum() > 48
+
     def test_singular_belief_raises_at_construction(self):
         belief = BeliefMapping(
             address_bits=6,
@@ -92,6 +110,66 @@ class TestPlanning:
         )
         with pytest.raises(SingularMappingError):
             CompiledAggressorPlanner.from_belief(belief)
+
+
+def _assert_scalar_parity(mapping, sample_seed: int, samples: int = 48):
+    """Planner and scalar aim path must agree lane for lane on ``mapping``.
+
+    Covers the three regimes where they historically could diverge:
+    boundary rows (0, 1, rows-2, rows-1), random mid-space victims, and
+    victims outside the mapped address space (which the translate
+    kernels would otherwise alias onto in-space rows).
+    """
+    belief = BeliefMapping.from_mapping(mapping)
+    planner = CompiledAggressorPlanner.from_mapping(mapping)
+    compiled = mapping.compiled
+    space = np.uint64(1 << mapping.geometry.address_bits)
+    rng = np.random.default_rng(sample_seed)
+
+    boundary_rows = np.array(
+        [0, 1, compiled.rows - 2, compiled.rows - 1], dtype=np.uint64
+    )
+    boundary = compiled.encode(
+        np.zeros(4, dtype=np.uint64), boundary_rows, np.zeros(4, dtype=np.uint64)
+    )
+    middle = rng.integers(0, space, samples, dtype=np.uint64)
+    outside = middle[: samples // 4] | space
+    victims = np.concatenate([boundary, middle, outside])
+
+    plan = planner.plan(victims)
+    for index in range(victims.size):
+        victim = int(victims[index])
+        above = belief.aim_row_neighbor(victim, -1)
+        below = belief.aim_row_neighbor(victim, +1)
+        scalar_plans = above is not None and below is not None
+        assert scalar_plans == bool(plan.valid[index]), (
+            f"victim 0x{victim:x}: scalar "
+            f"{'plans' if scalar_plans else 'skips'}, planner disagrees"
+        )
+        if not scalar_plans:
+            continue
+        for scalar, planned in (
+            (above, int(plan.above[index])),
+            (below, int(plan.below[index])),
+        ):
+            assert belief.bank_of(scalar) == belief.bank_of(planned)
+            assert belief.row_of(scalar) == belief.row_of(planned)
+
+
+class TestScalarParityRegression:
+    """Satellite regression: the batch planner must agree with
+    ``aim_row_neighbor`` on every preset and across random mappings —
+    including out-of-space victims, where the pre-fix planner aimed at
+    aliased addresses the scalar path refuses."""
+
+    @pytest.mark.parametrize("name", preset_names())
+    def test_parity_on_preset(self, name):
+        _assert_scalar_parity(preset(name).mapping, sample_seed=17)
+
+    @pytest.mark.parametrize("case", range(20))
+    def test_parity_on_random_mapping(self, case):
+        rng = np.random.default_rng(1000 + case)
+        _assert_scalar_parity(random_mapping(rng), sample_seed=case)
 
 
 class TestAttackIntegration:

@@ -1,0 +1,110 @@
+"""Tests for the assessment report, including the verdict edge cases.
+
+The broader assessment workflow is covered in ``test_hammer.py``; this
+module pins the report's own logic — in particular the regression where
+``verdict`` returned "untested" for a report that *did* observe flips
+but accumulated no simulated time.
+"""
+
+import pytest
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.assess import AssessmentReport, assess_vulnerability
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig, HammerReport
+
+SHORT = HammerConfig(duration_seconds=30.0, test_variability=0.0)
+
+
+def _report(flips: int, duration_seconds: float) -> HammerReport:
+    return HammerReport(flips=flips, trials=1, duration_seconds=duration_seconds)
+
+
+class TestVerdictEdgeCases:
+    def test_flips_with_zero_duration_is_not_untested(self):
+        """Regression: flips observed in zero simulated minutes are an
+        unbounded rate — the verdict must never claim the machine was
+        untested when tests ran and flipped bits."""
+        report = AssessmentReport(tests=[_report(flips=5, duration_seconds=0.0)])
+        assert report.total_flips == 5
+        assert report.verdict == "highly vulnerable"
+
+    def test_flips_with_negative_duration_is_not_untested(self):
+        report = AssessmentReport(tests=[_report(flips=1, duration_seconds=-1.0)])
+        assert report.verdict == "highly vulnerable"
+
+    def test_no_tests_is_untested(self):
+        assert AssessmentReport().verdict == "untested"
+
+    def test_zero_duration_zero_flips_is_untested(self):
+        report = AssessmentReport(tests=[_report(flips=0, duration_seconds=0.0)])
+        assert report.verdict == "untested"
+
+    def test_summary_carries_the_verdict(self):
+        report = AssessmentReport(tests=[_report(flips=5, duration_seconds=0.0)])
+        assert report.summary().endswith("highly vulnerable")
+
+    def test_positive_duration_thresholds_unchanged(self):
+        minute = 60.0
+        assert (
+            AssessmentReport(tests=[_report(0, 5 * minute)]).verdict
+            == "no flips observed"
+        )
+        assert (
+            AssessmentReport(tests=[_report(10, 5 * minute)]).verdict
+            == "weakly vulnerable"
+        )
+        assert (
+            AssessmentReport(tests=[_report(100, 5 * minute)]).verdict
+            == "vulnerable"
+        )
+        assert (
+            AssessmentReport(tests=[_report(1000, 5 * minute)]).verdict
+            == "highly vulnerable"
+        )
+
+
+class TestDecoyRowsPassThrough:
+    def test_decoy_rows_reach_the_attack(self, monkeypatch):
+        seen = []
+        original = DoubleSidedAttack.run
+
+        def spy(self, belief, seed=0, mitigations=None, decoy_rows=0,
+                planner=None):
+            seen.append(decoy_rows)
+            return original(
+                self, belief, seed=seed, mitigations=mitigations,
+                decoy_rows=decoy_rows, planner=planner,
+            )
+
+        monkeypatch.setattr(DoubleSidedAttack, "run", spy)
+        machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+        belief = BeliefMapping.from_mapping(preset("No.1").mapping)
+        assess_vulnerability(
+            machine, belief, vulnerability=0.1, tests=2,
+            config=HammerConfig(duration_seconds=5.0), decoy_rows=4,
+        )
+        assert seen == [4, 4]
+
+    def test_decoys_change_the_outcome(self):
+        """Decoys share the activation budget: enough of them push each
+        aggressor below the double-sided threshold, so a many-sided
+        assessment must not silently produce plain double-sided numbers
+        (30 decoys -> ~14k activations each, under the 50k threshold)."""
+        def assess(decoy_rows):
+            machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+            belief = BeliefMapping.from_mapping(preset("No.1").mapping)
+            return assess_vulnerability(
+                machine, belief, vulnerability=0.3, tests=1, config=SHORT,
+                decoy_rows=decoy_rows,
+            )
+
+        assert assess(0).total_flips > 0
+        assert assess(30).total_flips < assess(0).total_flips
+
+    def test_validation_still_rejects_zero_tests(self):
+        machine = SimulatedMachine.from_preset(preset("No.1"), seed=1)
+        belief = BeliefMapping.from_mapping(preset("No.1").mapping)
+        with pytest.raises(ValueError):
+            assess_vulnerability(machine, belief, 0.1, tests=0)

@@ -1,0 +1,106 @@
+"""Property-style counter invariants for HammerReport accounting.
+
+Every hammering variant, with or without a mitigation stack, must keep
+the report's counters consistent: mitigations reclassify raw flips (TRR
+stops them, ECC corrects/detects/misses them) but never invent or lose
+any. These hold for *every* seed/stack/variant combination, so the
+suite sweeps a small grid of them rather than hand-picking examples.
+"""
+
+import pytest
+
+from repro.dram.belief import BeliefMapping
+from repro.dram.presets import preset
+from repro.machine.machine import SimulatedMachine
+from repro.rowhammer.campaign import mitigation_names, mitigation_stack
+from repro.rowhammer.hammer import DoubleSidedAttack, HammerConfig
+from repro.rowhammer.variants import one_location_test, single_sided_test
+
+FAST = HammerConfig(duration_seconds=8.0)
+SEEDS = (0, 1, 2)
+
+
+def _check_invariants(report, mitigated: bool) -> None:
+    # Aim classification partitions the trials.
+    assert (
+        report.aimed_double + report.aimed_single + report.aimed_none
+        + report.skipped
+        == report.trials
+    )
+    # Counters are counts.
+    for name in (
+        "flips", "raw_flips", "trials", "skipped", "stopped_by_trr",
+        "ecc_corrected", "ecc_detected", "ecc_silent",
+    ):
+        assert getattr(report, name) >= 0, name
+    # Mitigations reclassify raw flips, never invent or lose them.
+    assert (
+        report.stopped_by_trr + report.ecc_corrected + report.ecc_detected
+        + report.ecc_silent + report.flips
+        == report.raw_flips
+    )
+    if not mitigated:
+        assert report.flips == report.raw_flips
+        assert report.stopped_by_trr == 0
+        assert report.ecc_corrected == report.ecc_detected == report.ecc_silent == 0
+    assert 0.0 <= report.aim_accuracy <= 1.0
+
+
+def _machine(seed):
+    return SimulatedMachine.from_preset(preset("No.1"), seed=seed)
+
+
+def _belief():
+    return BeliefMapping.from_mapping(preset("No.1").mapping)
+
+
+@pytest.mark.parametrize("mitigation", mitigation_names())
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("decoy_rows", (0, 6))
+def test_double_sided_invariants(mitigation, seed, decoy_rows):
+    stack = mitigation_stack(mitigation)
+    attack = DoubleSidedAttack(_machine(seed), config=FAST, vulnerability=0.4)
+    report = attack.run(
+        _belief(), seed=seed, mitigations=stack, decoy_rows=decoy_rows
+    )
+    assert report.trials > 0
+    _check_invariants(report, mitigated=stack is not None)
+
+
+@pytest.mark.parametrize("mitigation", mitigation_names())
+@pytest.mark.parametrize("seed", SEEDS)
+@pytest.mark.parametrize("variant", (single_sided_test, one_location_test))
+def test_variant_invariants(mitigation, seed, variant):
+    stack = mitigation_stack(mitigation)
+    report = variant(
+        _machine(seed), _belief(), vulnerability=0.4, config=FAST,
+        seed=seed, mitigations=stack,
+    )
+    assert report.trials > 0
+    _check_invariants(report, mitigated=stack is not None)
+
+
+@pytest.mark.parametrize("mitigation", ("trr", "ecc", "trr_ecc"))
+def test_mitigation_stacks_actually_engage(mitigation):
+    """With a vulnerable DIMM the stack must reclassify some raw flips —
+    a stack that books nothing would make the sweep axis meaningless.
+    (Raw flips themselves are not compared across stacks: filtering
+    draws from the shared RNG stream, which legitimately shifts later
+    stochastic-rounding draws.)"""
+    attack = DoubleSidedAttack(_machine(1), config=FAST, vulnerability=0.4)
+    report = attack.run(
+        _belief(), seed=1, mitigations=mitigation_stack(mitigation)
+    )
+    assert report.raw_flips > 0
+    assert report.flips < report.raw_flips
+    reclassified = (
+        report.stopped_by_trr + report.ecc_corrected + report.ecc_detected
+        + report.ecc_silent
+    )
+    assert reclassified == report.raw_flips - report.flips
+    if "trr" in mitigation:
+        assert report.stopped_by_trr > 0
+    if "ecc" in mitigation:
+        assert (
+            report.ecc_corrected + report.ecc_detected + report.ecc_silent > 0
+        )

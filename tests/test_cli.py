@@ -371,3 +371,107 @@ class TestTranslate:
         assert main(["translate", "No.1", "--phys", "zzz"]) == 2
         assert main(["translate", "No.1", "--dram", "1,2"]) == 2
         assert main(["translate", "--mapping", str(tmp_path / "nope.json")]) == 1
+
+
+class TestHammerValidation:
+    """The hammer flags are validated at the argparse layer: bad values
+    exit with a usage error before any simulation starts."""
+
+    def test_rejects_zero_and_negative_tests(self, capsys):
+        for bad in ("0", "-3"):
+            with pytest.raises(SystemExit):
+                main(["hammer", "No.4", "--tests", bad])
+        assert "--tests must be a positive integer" in capsys.readouterr().err
+
+    def test_rejects_non_positive_minutes(self, capsys):
+        for bad in ("0", "-5", "-0.5"):
+            with pytest.raises(SystemExit):
+                main(["hammer", "No.4", "--minutes", bad])
+        assert "test duration must be positive" in capsys.readouterr().err
+
+    def test_rejects_negative_decoy_rows(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["hammer", "No.4", "--decoy-rows", "-1"])
+        assert "--decoy-rows must be non-negative" in capsys.readouterr().err
+
+    def test_rejects_vulnerability_outside_unit_interval(self, capsys):
+        for bad in ("1.5", "-0.1"):
+            with pytest.raises(SystemExit):
+                main(["hammer", "No.4", "--vulnerability", bad])
+        assert "--vulnerability must be within [0, 1]" in capsys.readouterr().err
+
+    def test_rejects_non_numeric_values(self, capsys):
+        for flag, bad in (
+            ("--tests", "many"), ("--minutes", "short"),
+            ("--decoy-rows", "few"), ("--vulnerability", "high"),
+        ):
+            with pytest.raises(SystemExit):
+                main(["hammer", "No.4", flag, bad])
+
+    def test_decoy_rows_and_vulnerability_accepted(self, capsys):
+        assert main([
+            "hammer", "No.4", "--tests", "1", "--minutes", "0.5",
+            "--decoy-rows", "2", "--vulnerability", "0.3",
+        ]) == 0
+        assert "1 tests" in capsys.readouterr().out
+
+
+class TestCampaignCli:
+    SWEEP = [
+        "campaign", "run", "--machines", "No.1", "--variants",
+        "double_sided", "single_sided", "--mitigations", "none",
+        "--tests", "1", "--duration", "5",
+    ]
+
+    def test_run_renders_the_leaderboard(self, capsys):
+        assert main(list(self.SWEEP)) == 0
+        out = capsys.readouterr().out
+        assert "campaign flip-yield leaderboard" in out
+        assert "2/2 tests" in out
+        assert "double_sided" in out and "single_sided" in out
+
+    def test_run_saves_a_loadable_artifact(self, tmp_path, capsys):
+        from repro.rowhammer.campaign import load_artifact
+
+        out_path = tmp_path / "campaign.json"
+        assert main(list(self.SWEEP) + ["--out", str(out_path)]) == 0
+        capsys.readouterr()
+        artifact = load_artifact(out_path)
+        assert artifact["totals"]["tests"] == 2
+
+    def test_leaderboard_rerenders_the_artifact(self, tmp_path, capsys):
+        out_path = tmp_path / "campaign.json"
+        assert main(list(self.SWEEP) + ["--out", str(out_path)]) == 0
+        run_out = capsys.readouterr().out
+        assert main(["campaign", "leaderboard", str(out_path)]) == 0
+        board_out = capsys.readouterr().out
+        assert "campaign flip-yield leaderboard" in board_out
+        for line in board_out.strip().splitlines():
+            assert line in run_out
+
+    def test_leaderboard_rejects_missing_and_foreign_files(self, tmp_path, capsys):
+        assert main(["campaign", "leaderboard", str(tmp_path / "no.json")]) == 1
+        foreign = tmp_path / "foreign.json"
+        foreign.write_text('{"format": "other"}')
+        assert main(["campaign", "leaderboard", str(foreign)]) == 1
+
+    def test_run_rejects_unknown_axis_values(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--variants", "quad_sided"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--machines", "No.99"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--mitigations", "prayer"])
+
+    def test_run_validates_tests_and_duration(self, capsys):
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--tests", "0"])
+        with pytest.raises(SystemExit):
+            main(["campaign", "run", "--duration", "-1"])
+
+    def test_run_resumes_from_a_journal(self, tmp_path, capsys):
+        journal = tmp_path / "campaign.jsonl"
+        assert main(list(self.SWEEP) + ["--resume", str(journal)]) == 0
+        first = capsys.readouterr().out
+        assert main(list(self.SWEEP) + ["--resume", str(journal)]) == 0
+        assert capsys.readouterr().out == first
