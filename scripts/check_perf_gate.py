@@ -24,6 +24,12 @@ parallel grid stops paying for itself or stops being exact:
   harness omits the column there by design, and a gate that fails on
   hardware that cannot parallelise would only teach people to delete
   the gate;
+* the telemetry bus must stay a pure side channel: the Table I panel
+  rendered with and without a live bus must be byte-identical
+  (``obs.artefacts_identical``), a run with the bus global left
+  ``None`` must cost the same as the tracing section's untraced
+  baseline (one is-None test is not allowed to grow into real work),
+  and the streaming run must stay under a generous overhead ceiling;
 * the fleet section must show the knowledge store paying for itself:
   every machine correct, the prefix-amortized scaling curve strictly
   decreasing in both measurements and simulated seconds, and the
@@ -64,6 +70,15 @@ CAMPAIGN_PLANNER_SPEEDUP_FLOOR = 5.0
 # deterministic, so 2x is an unambiguous "the store stopped paying"
 # signal, not a noise margin.
 FLEET_AMORTIZATION_FLOOR = 2.0
+# A DRAMDig run emits a handful of phase events, so streaming telemetry
+# costs low single-digit percent on the reference container; 1.5x is a
+# "something started doing per-measurement work on the hot path" alarm,
+# not a noise margin.
+TELEMETRY_OVERHEAD_CEILING = 1.5
+# With the bus global left None the instrumented run and the tracing
+# section's untraced baseline execute the same code plus one is-None
+# test per hook; 1.3x apart means the off path stopped being free.
+TELEMETRY_OFF_NOISE_CEILING = 1.3
 
 
 def check_record(record: dict) -> list[str]:
@@ -116,6 +131,32 @@ def check_record(record: dict) -> list[str]:
         problems.append(
             f"campaign.planner_speedup_vs_scalar {planner_speedup} below "
             f"floor {CAMPAIGN_PLANNER_SPEEDUP_FLOOR}"
+        )
+
+    obs = record.get("obs", {})
+    if obs.get("artefacts_identical") is not True:
+        problems.append(
+            "obs.artefacts_identical is not true: a live telemetry bus "
+            "changed an artefact (the stream must be a pure side channel)"
+        )
+    overhead = obs.get("overhead_ratio")
+    if overhead is None or overhead > TELEMETRY_OVERHEAD_CEILING:
+        problems.append(
+            f"obs.overhead_ratio {overhead} above ceiling "
+            f"{TELEMETRY_OVERHEAD_CEILING}"
+        )
+    telemetry_off = obs.get("telemetry_off_seconds")
+    untraced = record.get("tracing", {}).get("untraced_seconds")
+    if telemetry_off is None or untraced is None or untraced <= 0:
+        problems.append(
+            "obs.telemetry_off_seconds / tracing.untraced_seconds missing: "
+            "cannot check the telemetry-off noise bound"
+        )
+    elif telemetry_off / untraced > TELEMETRY_OFF_NOISE_CEILING:
+        problems.append(
+            f"obs.telemetry_off_seconds {telemetry_off} is more than "
+            f"{TELEMETRY_OFF_NOISE_CEILING}x the untraced baseline "
+            f"{untraced}: the disabled bus is no longer free"
         )
 
     fleet = record.get("fleet", {})
@@ -200,6 +241,8 @@ def main(argv: list[str] | None = None) -> int:
             f"{campaign.get('planner_speedup_vs_scalar', float('nan')):.0f}x, "
             f"fleet amortization "
             f"{fleet.get('amortization_speedup', float('nan')):.1f}x, "
+            f"telemetry overhead "
+            f"{(record.get('obs', {}).get('overhead_ratio', float('nan')) - 1.0) * 100.0:+.1f}%, "
             f"parallel speedup "
             f"{grid.get('table1_parallel_speedup', 'skipped')})"
         )

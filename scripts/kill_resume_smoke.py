@@ -6,24 +6,33 @@ The deterministic regression for resume lives in
 racing a kill). This script is the end-to-end variant with a real
 ``SIGKILL``:
 
-1. render Table I once, uninterrupted, as the reference;
+1. render Table I once, uninterrupted, as the reference — traced, and
+   recording a ``--history`` entry;
 2. start the same run as a subprocess with ``--resume <journal>`` and
-   kill -9 it as soon as the journal holds at least one checkpoint but
-   before it can hold all of them;
-3. re-run the same command to completion over the same journal, with
-   ``--trace`` capturing the resumed run's merged span trace;
-4. the resumed output must be byte-identical to the reference, the
-   journal must show the resumed run started from the survivors, and
-   ``dramdig trace summary`` must parse the trace and find it
-   internally consistent (the CI gate for the trace format).
+   ``--telemetry <stream>``, tail the live stream while waiting, and
+   kill -9 the victim as soon as the journal holds at least one
+   checkpoint but before it can hold all of them;
+3. re-run the same command to completion over the same journal and the
+   same telemetry stream, with ``--trace`` capturing the resumed run's
+   merged span trace and ``--history`` appending a second entry;
+4. gates: the resumed output must be byte-identical to the reference;
+   the journal must show the resumed run started from the survivors;
+   the telemetry stream must show heartbeat continuity (events before
+   the kill landed, every line but at most a torn final one parseable,
+   a closing ``run-end`` from the resumed process); ``dramdig trace
+   summary --strict`` must accept the completed resumed trace;
+   ``dramdig obs diff`` over the reference/resumed trace pair must
+   exit 0 (cached subtrees excluded, no phantom regression); and
+   ``dramdig obs history --check`` must pass over the recorded entries.
 
 Exit code 0 on success. The kill is inherently racy — if the victim
 finishes before the kill lands (tiny grids on a fast machine), the run
 still validates byte-identity and reports that the kill was skipped.
 
-``--artifacts DIR`` keeps the trace (and the rendered summary) in DIR
-instead of the throwaway scratch directory, so CI can upload them as a
-workflow artifact.
+``--artifacts DIR`` keeps the traces, the telemetry stream,
+``history.jsonl`` and the rendered summary/diff in DIR instead of the
+throwaway scratch directory, so CI can upload them as a workflow
+artifact.
 """
 
 from __future__ import annotations
@@ -51,8 +60,22 @@ def _env() -> dict:
     return env
 
 
-def _run_to_completion(journal: Path | None, trace: Path | None = None) -> str:
-    cmd = list(CMD) + (["--resume", str(journal)] if journal is not None else [])
+def _run_to_completion(
+    journal: Path | None,
+    trace: Path | None = None,
+    telemetry: Path | None = None,
+    history: Path | None = None,
+) -> str:
+    # Global flags (--telemetry/--history) go before the subcommand,
+    # per-run flags (--resume/--trace) after it.
+    prefix = []
+    if telemetry is not None:
+        prefix += ["--telemetry", str(telemetry)]
+    if history is not None:
+        prefix += ["--history", str(history)]
+    cmd = CMD[:-1] + prefix + CMD[-1:]
+    if journal is not None:
+        cmd += ["--resume", str(journal)]
     if trace is not None:
         cmd += ["--trace", str(trace)]
     result = subprocess.run(
@@ -60,6 +83,28 @@ def _run_to_completion(journal: Path | None, trace: Path | None = None) -> str:
         timeout=TIMEOUT_SECONDS, check=True,
     )
     return result.stdout
+
+
+def _stream_lines(stream: Path) -> tuple[list[dict], int]:
+    """Parsed telemetry events and the count of unparseable lines.
+
+    Parsed inline (not via ``repro.obs.telemetry``) so the smoke script
+    exercises the on-disk format the way an external consumer would.
+    """
+    if not stream.exists():
+        return [], 0
+    events, torn = [], 0
+    for line in stream.read_text(encoding="utf-8").splitlines():
+        try:
+            event = json.loads(line)
+        except json.JSONDecodeError:
+            torn += 1
+            continue
+        if isinstance(event, dict) and "kind" in event:
+            events.append(event)
+        else:
+            torn += 1
+    return events, torn
 
 
 def _journal_records(journal: Path) -> int:
@@ -88,21 +133,29 @@ def main(argv: list[str] | None = None) -> int:
         artifacts = Path(args.artifacts) if args.artifacts else Path(scratch)
         artifacts.mkdir(parents=True, exist_ok=True)
         trace_path = artifacts / "resumed-table1-trace.jsonl"
+        reference_trace = artifacts / "reference-table1-trace.jsonl"
+        stream = artifacts / "table1-telemetry.jsonl"
+        history = artifacts / "history.jsonl"
 
         print("== reference run (uninterrupted, no journal) ==", flush=True)
-        reference = _run_to_completion(None)
+        reference = _run_to_completion(
+            None, trace=reference_trace, history=history
+        )
 
         print("== victim run (will be SIGKILLed mid-flight) ==", flush=True)
         victim = subprocess.Popen(
-            list(CMD) + ["--resume", str(journal)],
+            CMD[:-1] + ["--telemetry", str(stream)] + CMD[-1:]
+            + ["--resume", str(journal)],
             cwd=REPO, env=_env(),
             stdout=subprocess.DEVNULL, stderr=subprocess.DEVNULL,
         )
         deadline = time.monotonic() + TIMEOUT_SECONDS
         killed = False
+        events_before_kill = 0
         while time.monotonic() < deadline:
             if victim.poll() is not None:
                 break
+            events_before_kill = len(_stream_lines(stream)[0])
             if _journal_records(journal) >= KILL_AFTER_RECORDS:
                 victim.send_signal(signal.SIGKILL)
                 victim.wait(timeout=30)
@@ -120,12 +173,19 @@ def main(argv: list[str] | None = None) -> int:
             if survivors == 0:
                 print("FAIL: kill landed before any checkpoint")
                 return 1
+            if events_before_kill == 0:
+                print("FAIL: no telemetry heartbeat reached the stream "
+                      "before the kill landed")
+                return 1
+            print(f"tailed {events_before_kill} live event(s) before the kill")
         else:
             print("victim finished before the kill landed; "
                   "validating byte-identity only")
 
-        print("== resumed run (traced) ==", flush=True)
-        resumed = _run_to_completion(journal, trace=trace_path)
+        print("== resumed run (traced, streaming) ==", flush=True)
+        resumed = _run_to_completion(
+            journal, trace=trace_path, telemetry=stream, history=history
+        )
 
         if resumed != reference:
             print("FAIL: resumed output differs from the uninterrupted run")
@@ -134,12 +194,33 @@ def main(argv: list[str] | None = None) -> int:
         print(f"OK: resumed output is byte-identical "
               f"({survivors} cell(s) survived the kill)")
 
-        print("== trace summary gate ==", flush=True)
+        print("== heartbeat continuity gate ==", flush=True)
+        events, torn = _stream_lines(stream)
+        if not events:
+            print("FAIL: telemetry stream is empty after the resumed run")
+            return 1
+        if torn > 1:
+            print(f"FAIL: {torn} unparseable stream lines (at most one "
+                  "torn final line from the kill is tolerated)")
+            return 1
+        if events[-1]["kind"] != "run-end" or events[-1].get("code") != 0:
+            print("FAIL: stream does not close with a clean run-end event")
+            return 1
+        pids = {event["pid"] for event in events if "pid" in event}
+        if killed and len(pids) < 2:
+            print("FAIL: stream holds events from one process only — the "
+                  "resumed run never picked the stream back up")
+            return 1
+        print(f"OK: {len(events)} event(s) across {len(pids)} process(es), "
+              f"{torn} torn line(s), clean run-end")
+
+        print("== trace summary gate (strict) ==", flush=True)
         if not trace_path.exists():
             print("FAIL: resumed run wrote no trace file")
             return 1
         summary = subprocess.run(
-            [sys.executable, "-m", "repro", "trace", "summary", str(trace_path)],
+            [sys.executable, "-m", "repro", "trace", "summary", "--strict",
+             str(trace_path)],
             cwd=REPO, env=_env(), capture_output=True, text=True,
             timeout=TIMEOUT_SECONDS,
         )
@@ -147,13 +228,45 @@ def main(argv: list[str] | None = None) -> int:
             summary.stdout
         )
         if summary.returncode != 0:
-            print("FAIL: trace summary gate rejected the trace")
+            print("FAIL: strict trace summary gate rejected the trace")
             sys.stdout.write(summary.stdout)
             sys.stderr.write(summary.stderr)
             return 1
         cached = summary.stdout.count("CACHED")
         print(f"OK: trace parsed and consistent "
               f"({cached} cell(s) reported as cached from the journal)")
+
+        print("== obs diff gate (resumed vs reference) ==", flush=True)
+        diff = subprocess.run(
+            [sys.executable, "-m", "repro", "obs", "diff",
+             str(reference_trace), str(trace_path)],
+            cwd=REPO, env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+        (artifacts / "resumed-vs-reference-diff.txt").write_text(diff.stdout)
+        if diff.returncode != 0:
+            print("FAIL: obs diff reported a regression between the "
+                  "reference and resumed traces")
+            sys.stdout.write(diff.stdout)
+            sys.stderr.write(diff.stderr)
+            return 1
+        print("OK: resumed trace diffs clean against the reference")
+
+        print("== history gate ==", flush=True)
+        check = subprocess.run(
+            [sys.executable, "-m", "repro", "obs", "history", str(history),
+             "--check"],
+            cwd=REPO, env=_env(), capture_output=True, text=True,
+            timeout=TIMEOUT_SECONDS,
+        )
+        if check.returncode != 0:
+            print("FAIL: obs history --check flagged a regression between "
+                  "the reference and resumed runs")
+            sys.stdout.write(check.stdout)
+            sys.stderr.write(check.stderr)
+            return 1
+        entries = sum(1 for _ in history.open()) if history.exists() else 0
+        print(f"OK: {entries} history entries recorded, no regressions")
         return 0
 
 

@@ -13,6 +13,9 @@ Subcommands mirror the paper:
 * ``dramdig campaign run`` — rowhammer flip-yield campaign fuzzer
   (variants × mitigations × machines) over the supervised grid.
 * ``dramdig campaign leaderboard ART.json`` — render a saved campaign.
+* ``dramdig obs tail RUN.stream`` — render a live telemetry stream.
+* ``dramdig obs diff A.jsonl B.jsonl`` — attribute a slowdown to a span
+  subtree, ``critical-path`` the heaviest chain, ``history`` the run log.
 * ``dramdig list``            — show the machine presets.
 """
 
@@ -20,7 +23,10 @@ from __future__ import annotations
 
 import argparse
 import dataclasses
+import json
 import sys
+import time
+from pathlib import Path
 
 from repro.baselines.drama import DramaTool
 from repro.baselines.xiao import XiaoTool
@@ -42,6 +48,7 @@ from repro.evalsuite import (
 )
 from repro.faults import FaultInjector, get_profile, profile_names
 from repro.logutil import get_logger, setup_logging
+from repro.obs.history import DEFAULT_HISTORY_PATH
 from repro.machine.machine import SimulatedMachine
 from repro.rowhammer.assess import assess_vulnerability
 from repro.rowhammer.hammer import HammerConfig
@@ -216,6 +223,24 @@ def _build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="suppress status lines (log only warnings and errors); "
         "artefact output on stdout is unaffected",
+    )
+    parser.add_argument(
+        "--telemetry",
+        metavar="PATH",
+        default=None,
+        help="append live progress events (grid cells, fleet waves, "
+        "campaign trials, pipeline phases) to this JSONL stream while "
+        "the command runs; watch it with 'dramdig obs tail --follow PATH'",
+    )
+    parser.add_argument(
+        "--history",
+        metavar="PATH",
+        nargs="?",
+        const=str(DEFAULT_HISTORY_PATH),
+        default=None,
+        help="append this run's wall/simulated totals and metric snapshot "
+        f"to a run-history file (default {DEFAULT_HISTORY_PATH}); "
+        "inspect with 'dramdig obs history'",
     )
     commands = parser.add_subparsers(dest="command", required=True)
 
@@ -590,6 +615,90 @@ def _build_parser() -> argparse.ArgumentParser:
         "and verify the trace's accounting consistency",
     )
     trace_summary_cmd.add_argument("path", metavar="TRACE")
+    trace_summary_cmd.add_argument(
+        "--strict",
+        action="store_true",
+        help="flag unclosed and orphaned spans as inconsistencies "
+        "(default: tolerate them — a trace salvaged from a killed run "
+        "renders its in-flight spans as UNCLOSED instead of failing)",
+    )
+
+    obs_cmd = commands.add_parser(
+        "obs", help="live telemetry streams and cross-run trace analytics"
+    )
+    obs_sub = obs_cmd.add_subparsers(dest="obs_command", required=True)
+    obs_tail_cmd = obs_sub.add_parser(
+        "tail",
+        help="render a telemetry stream written with --telemetry",
+        description="Render the events of a --telemetry JSONL stream as "
+        "human-readable lines. With --follow the stream is polled for "
+        "new complete lines, so an in-flight run can be watched live "
+        "from another terminal.",
+    )
+    obs_tail_cmd.add_argument("stream", metavar="STREAM")
+    obs_tail_cmd.add_argument(
+        "--follow", "-f", action="store_true",
+        help="keep watching the stream for new events (Ctrl-C to stop)",
+    )
+    obs_tail_cmd.add_argument(
+        "--interval", type=_seconds_arg, default=0.5, metavar="SECONDS",
+        help="poll interval with --follow (default 0.5)",
+    )
+    obs_diff_cmd = obs_sub.add_parser(
+        "diff",
+        help="span-level A/B diff of two traces (exit 1 on regression)",
+        description="Aggregate two traces per span path on the simulated "
+        "clock, report where the second one got slower, and attribute "
+        "the growth to the worst subtree. Subtrees cached or failed on "
+        "either side are excluded from both, so a journal-resumed run "
+        "diffs as exactly equal to its from-scratch twin.",
+    )
+    obs_diff_cmd.add_argument("base", metavar="BASE_TRACE")
+    obs_diff_cmd.add_argument("other", metavar="OTHER_TRACE")
+    obs_diff_cmd.add_argument(
+        "--tolerance", type=float, default=0.01, metavar="FRACTION",
+        help="fractional growth of the total simulated time tolerated "
+        "before the pair counts as a regression (default 0.01)",
+    )
+    obs_diff_cmd.add_argument(
+        "--limit", type=int, default=15, metavar="N",
+        help="span paths shown, largest growth first (default 15; 0 = all)",
+    )
+    obs_critical_cmd = obs_sub.add_parser(
+        "critical-path",
+        help="heaviest root-to-leaf chain through a trace's span tree",
+    )
+    obs_critical_cmd.add_argument("trace_path", metavar="TRACE")
+    obs_critical_cmd.add_argument(
+        "--limit", type=int, default=0, metavar="N",
+        help="steps shown from the root (default: the whole chain)",
+    )
+    obs_history_cmd = obs_sub.add_parser(
+        "history",
+        help="render the run history and flag regressions",
+        description="Render the trailing entries of a run-history file "
+        "written with --history and compare each command's newest run "
+        "against its trailing window (simulated clock at 5%%, wall "
+        "clock at 100%%).",
+    )
+    obs_history_cmd.add_argument(
+        "path", metavar="HISTORY", nargs="?",
+        default=str(DEFAULT_HISTORY_PATH),
+        help=f"history file (default {DEFAULT_HISTORY_PATH})",
+    )
+    obs_history_cmd.add_argument(
+        "--window", type=int, default=5, metavar="N",
+        help="trailing runs each command's newest run is compared "
+        "against (default 5)",
+    )
+    obs_history_cmd.add_argument(
+        "--limit", type=int, default=20, metavar="N",
+        help="history rows rendered (default 20; 0 = all)",
+    )
+    obs_history_cmd.add_argument(
+        "--check", action="store_true",
+        help="exit 1 when any command's newest run regresses",
+    )
     return parser
 
 
@@ -872,10 +981,95 @@ def _command_trace(args) -> int:
         _LOG.error("cannot read trace %s: %s", args.path, error)
         return 1
     print(render_summary(trace))
-    problems = validate_trace(trace)
+    problems = validate_trace(trace, strict=args.strict)
     for problem in problems:
         _LOG.error("trace inconsistency: %s", problem)
     return 1 if problems else 0
+
+
+def _command_obs_tail(args) -> int:
+    from repro.obs.telemetry import render_event
+
+    path = Path(args.stream)
+    if not args.follow and not path.exists():
+        _LOG.error("no telemetry stream at %s", path)
+        return 1
+
+    offset = 0
+
+    def drain() -> None:
+        """Render every *complete* new line; leave a torn tail unread."""
+        nonlocal offset
+        if not path.exists():
+            return
+        with open(path, "rb") as stream:
+            stream.seek(offset)
+            chunk = stream.read()
+        end = chunk.rfind(b"\n")
+        if end < 0:
+            return
+        for raw in chunk[: end + 1].splitlines():
+            try:
+                event = json.loads(raw.decode("utf-8"))
+            except (UnicodeDecodeError, json.JSONDecodeError):
+                continue
+            if isinstance(event, dict) and "kind" in event:
+                print(render_event(event), flush=True)
+        offset += end + 1
+
+    drain()
+    if not args.follow:
+        return 0
+    try:
+        while True:
+            time.sleep(args.interval)
+            drain()
+    except KeyboardInterrupt:
+        return 0
+
+
+def _command_obs(args) -> int:
+    if args.obs_command == "tail":
+        return _command_obs_tail(args)
+    if args.obs_command == "diff":
+        from repro.obs.analytics import diff_traces, render_diff
+        from repro.obs.export import load_trace
+
+        try:
+            base = load_trace(args.base)
+            other = load_trace(args.other)
+        except (OSError, ValueError) as error:
+            _LOG.error("cannot read trace: %s", error)
+            return 1
+        diff = diff_traces(base, other, tolerance=args.tolerance)
+        print(render_diff(diff, limit=args.limit))
+        return 1 if diff.regression else 0
+    if args.obs_command == "critical-path":
+        from repro.obs.analytics import render_critical_path
+        from repro.obs.export import load_trace
+
+        try:
+            trace = load_trace(args.trace_path)
+        except (OSError, ValueError) as error:
+            _LOG.error("cannot read trace %s: %s", args.trace_path, error)
+            return 1
+        print(render_critical_path(trace, limit=args.limit))
+        return 0
+    if args.obs_command == "history":
+        from repro.obs.history import (
+            detect_regressions,
+            load_history,
+            render_history,
+        )
+
+        entries = load_history(args.path)
+        print(render_history(entries, window=args.window, limit=args.limit))
+        if args.check and detect_regressions(entries, window=args.window):
+            return 1
+        return 0
+    raise AssertionError(
+        f"unhandled obs command {args.obs_command}"
+    )  # pragma: no cover
 
 
 def _dispatch_command(args) -> int:
@@ -955,7 +1149,71 @@ def _dispatch_command(args) -> int:
         return _command_campaign(args)
     if args.command == "trace":
         return _command_trace(args)
+    if args.command == "obs":
+        return _command_obs(args)
     raise AssertionError(f"unhandled command {args.command}")  # pragma: no cover
+
+
+def _execute(args) -> tuple[int, object]:
+    """Dispatch the command, under a tracer when ``--trace`` was given.
+
+    Returns ``(exit code, tracer-or-None)``. The trace export sits in a
+    ``finally`` so an interrupted run still salvages a partial trace:
+    its in-flight spans come out with status ``open`` and ``dramdig
+    trace summary`` renders them as ``UNCLOSED`` partial accounting.
+    """
+    trace_path = getattr(args, "trace", None)
+    if not trace_path:
+        return _dispatch_command(args), None
+
+    from repro.obs import tracing as obs
+    from repro.obs.export import export_trace
+
+    tracer = obs.Tracer()
+    try:
+        with obs.activate(tracer):
+            code = _dispatch_command(args)
+    finally:
+        export_trace(
+            trace_path, tracer, meta={"command": args.command, "seed": args.seed}
+        )
+        _LOG.info("trace written to %s", trace_path)
+    return code, tracer
+
+
+def _record_history(args, code: int, wall_s: float, tracer) -> None:
+    """Append one run record to the ``--history`` file.
+
+    The simulated total and the metric snapshot come from the tracer, so
+    they are present only when the run was also traced; an untraced run
+    records wall seconds alone (and regression detection falls back to
+    the wide wall-clock threshold).
+    """
+    from repro.obs.history import record_run
+
+    sim_ns = None
+    metrics = None
+    if tracer is not None:
+        from repro.obs.analytics import span_weight_index
+        from repro.obs.export import TraceFile
+
+        weights = span_weight_index(TraceFile(spans=list(tracer.spans)))
+        total = sum(
+            weights[record.span_id]
+            for record in tracer.spans
+            if record.parent_id is None
+        )
+        sim_ns = total if total > 0 else None
+        metrics = tracer.metrics.snapshot()
+    record_run(
+        args.history,
+        command=args.command,
+        wall_s=wall_s,
+        sim_ns=sim_ns,
+        metrics=metrics,
+        extra={"seed": args.seed, "code": code},
+    )
+    _LOG.info("history entry appended to %s", args.history)
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -964,26 +1222,31 @@ def main(argv: list[str] | None = None) -> int:
     With ``--trace PATH`` the whole command runs under an activated
     tracer, and the collected spans and metrics are exported as one
     JSONL file afterwards — grid commands stitch their workers' span
-    files into the same trace. Without the flag the tracer globals stay
-    ``None`` and every instrumented hot path reduces to a single
-    is-None test.
+    files into the same trace. With ``--telemetry PATH`` a live event
+    bus is activated for the same extent and progress events stream to
+    PATH as they happen. Without the flags both globals stay ``None``
+    and every instrumented hot path reduces to a single is-None test.
     """
     args = _build_parser().parse_args(argv)
     setup_logging(args.log_level, quiet=args.quiet)
-    trace_path = getattr(args, "trace", None)
-    if not trace_path:
-        return _dispatch_command(args)
+    started = time.perf_counter()
+    if args.telemetry:
+        from repro.obs import telemetry
 
-    from repro.obs import tracing as obs
-    from repro.obs.export import export_trace
-
-    tracer = obs.Tracer()
-    with obs.activate(tracer):
-        code = _dispatch_command(args)
-    export_trace(
-        trace_path, tracer, meta={"command": args.command, "seed": args.seed}
-    )
-    _LOG.info("trace written to %s", trace_path)
+        bus = telemetry.TelemetryBus(args.telemetry, source="main")
+        with telemetry.activate_bus(bus):
+            telemetry.emit("run-start", command=args.command, seed=args.seed)
+            code, tracer = _execute(args)
+            telemetry.emit(
+                "run-end",
+                command=args.command,
+                code=code,
+                wall_s=round(time.perf_counter() - started, 6),
+            )
+    else:
+        code, tracer = _execute(args)
+    if args.history is not None:
+        _record_history(args, code, time.perf_counter() - started, tracer)
     return code
 
 

@@ -65,6 +65,7 @@ from repro.dram.mapping import AddressMapping
 from repro.faults.recovery import DegradationEvent, RecoveryPolicy
 from repro.machine.machine import SimulatedMachine
 from repro.machine.sysinfo import gather_system_info
+from repro.obs import telemetry
 from repro.obs import tracing as obs
 
 __all__ = ["DramDig", "DramDigConfig"]
@@ -254,6 +255,16 @@ class DramDig:
                         "measurements", machine.stats.measurements - before
                     )
                     phase_seconds[name] = clock.since(mark) / 1e9
+                    if telemetry.current_bus() is not None:
+                        # Live heartbeat: both values are deterministic
+                        # functions of the run, so jobs=1 and jobs=N
+                        # streams stay equivalent modulo wall clock.
+                        telemetry.emit(
+                            "phase",
+                            phase=name,
+                            measurements=machine.stats.measurements - before,
+                            sim_ns=clock.since(mark),
+                        )
 
         def step(name: str, errors: tuple[type[ReproError], ...], fn: Callable[[], _T]) -> _T:
             return _run_step(

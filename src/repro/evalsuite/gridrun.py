@@ -27,6 +27,7 @@ from collections.abc import Sequence
 from pathlib import Path
 from tempfile import TemporaryDirectory
 
+from repro.obs import telemetry
 from repro.obs import tracing as obs
 from repro.parallel import (
     DEFAULT_START_METHOD,
@@ -98,10 +99,24 @@ def execute_grid(
     reused) or fresh worker pools — both change only how work is
     shipped, never the bytes of any artefact.
     """
+    bus = telemetry.current_bus()
+    dispatched = list(cells)
+    if bus is not None and dispatched:
+        # Thread the live stream into the cells so worker-side hooks
+        # (pipeline phases, campaign trials) append to the same file,
+        # and mark the grid's start in the stream.
+        telemetry.emit(
+            "grid",
+            experiment=_experiment_name(dispatched),
+            cells=len(dispatched),
+        )
+        dispatched = telemetry.telemetry_cells(dispatched, bus.path)
+
     tracer = obs.current_tracer()
     if tracer is None or not cells:
         results, _ = _dispatch(
-            cells, jobs, start_method, supervision, journal, batch_cells, pool_mode
+            dispatched, jobs, start_method, supervision, journal, batch_cells,
+            pool_mode,
         )
         return results
 
@@ -109,7 +124,7 @@ def execute_grid(
 
     cells = list(cells)
     with TemporaryDirectory(prefix="dramdig-trace-") as trace_dir:
-        traced = traced_cells(cells, trace_dir)
+        traced = traced_cells(dispatched, trace_dir)
         with tracer.span(f"grid:{_experiment_name(cells)}") as grid_scope:
             results, outcome = _dispatch(
                 traced, jobs, start_method, supervision, journal,

@@ -42,6 +42,7 @@ from repro.fleet.runner import FleetMachineResult
 from repro.fleet.spec import MachineSpec, adversarial_fleet, lookalike_fleet
 from repro.fleet.store import KnowledgeStore, system_from_facts
 from repro.logutil import get_logger
+from repro.obs import telemetry
 from repro.obs import tracing as obs
 from repro.parallel import CellFailure, CheckpointJournal, GridCell, GridPolicy
 from repro.parallel.grid import fingerprint_payload
@@ -387,8 +388,20 @@ def run_fleet(config: FleetConfig) -> FleetOutcome:
 
         from repro.evalsuite.gridrun import execute_grid
 
-        for start, end in _wave_slices(config.size, config.families, config.wave):
+        slices = _wave_slices(config.size, config.families, config.wave)
+        for wave_index, (start, end) in enumerate(slices):
             wave_specs = specs[start:end]
+            # Progress status line: routed through repro.logutil (stderr),
+            # so --quiet silences it and the stdout artefact is untouched.
+            _LOG.info(
+                "wave %d/%d: dispatching %d machine(s) (%d-%d of %d)",
+                wave_index + 1,
+                len(slices),
+                len(wave_specs),
+                start + 1,
+                end,
+                config.size,
+            )
             cells = [
                 GridCell(
                     "repro.fleet.runner:run_fleet_cell",
@@ -464,6 +477,37 @@ def run_fleet(config: FleetConfig) -> FleetOutcome:
                         )
                         breaker.success(entry.key)
             store.save()
+
+            wave_counts = {"confirmed": 0, "fallback": 0, "cold": 0, "failed": 0}
+            for item in machines[start:end]:
+                if isinstance(item, FleetMachineResult):
+                    wave_counts[item.outcome] += 1
+                else:
+                    wave_counts["failed"] += 1
+            _LOG.info(
+                "wave %d/%d folded: %d confirmed, %d fallback, %d cold, "
+                "%d failed; store holds %d entr%s",
+                wave_index + 1,
+                len(slices),
+                wave_counts["confirmed"],
+                wave_counts["fallback"],
+                wave_counts["cold"],
+                wave_counts["failed"],
+                len(store),
+                "y" if len(store) == 1 else "ies",
+            )
+            if telemetry.current_bus() is not None:
+                telemetry.emit(
+                    "wave",
+                    wave=wave_index + 1,
+                    waves=len(slices),
+                    machines=len(wave_specs),
+                    confirmed=wave_counts["confirmed"],
+                    fallback=wave_counts["fallback"],
+                    cold=wave_counts["cold"],
+                    failed_machines=wave_counts["failed"],
+                    store_entries=len(store),
+                )
 
         fleet_span.set("quarantined", len(quarantined))
         fleet_span.set(

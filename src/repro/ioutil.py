@@ -16,7 +16,7 @@ import os
 import tempfile
 from pathlib import Path
 
-__all__ = ["atomic_write"]
+__all__ = ["atomic_append", "atomic_write"]
 
 
 def atomic_write(path: str | Path, data: str | bytes, encoding: str = "utf-8") -> None:
@@ -54,3 +54,28 @@ def atomic_write(path: str | Path, data: str | bytes, encoding: str = "utf-8") -
             os.close(directory_fd)
     except OSError:  # pragma: no cover - platform-dependent
         pass
+
+
+def atomic_append(path: str | Path, line: str, encoding: str = "utf-8") -> None:
+    """Append one line to ``path`` as a single ``O_APPEND`` write.
+
+    The whole-file rewrite of :func:`atomic_write` is the wrong tool for
+    an append-only stream written concurrently by a parent and its grid
+    workers — two rewriters would race and one would win. ``O_APPEND``
+    makes the kernel perform the seek-to-end and the write as one atomic
+    step, and issuing the entire line (terminator included) as a single
+    ``os.write`` keeps concurrent writers' lines from interleaving on
+    local filesystems. A reader therefore sees only whole lines — the
+    telemetry stream's durability contract: a line is either absent or
+    complete, and lines from different processes never shear each other.
+
+    ``line`` must not contain a newline of its own; one is appended.
+    """
+    if "\n" in line:
+        raise ValueError("atomic_append writes single lines (no embedded newline)")
+    payload = (line + "\n").encode(encoding)
+    fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+    try:
+        os.write(fd, payload)
+    finally:
+        os.close(fd)

@@ -25,6 +25,12 @@ it fired). No span objects, attribute dicts or metric updates are
 allocated until :func:`activate` installs a :class:`Tracer`.
 """
 
+from repro.obs.telemetry import (
+    TelemetryBus,
+    activate_bus,
+    current_bus,
+    emit,
+)
 from repro.obs.tracing import (
     NULL_SPAN,
     SpanRecord,
@@ -42,9 +48,13 @@ __all__ = [
     "NULL_SPAN",
     "SpanRecord",
     "Tracer",
+    "TelemetryBus",
     "activate",
+    "activate_bus",
+    "current_bus",
     "current_path",
     "current_tracer",
+    "emit",
     "inc",
     "note_event",
     "observe",

@@ -50,13 +50,24 @@ class TraceFile:
 
 
 def render_trace(tracer: Tracer, meta: dict | None = None) -> str:
-    """Serialise a tracer's spans and metrics to JSONL text."""
+    """Serialise a tracer's spans and metrics to JSONL text.
+
+    Spans still on the tracer's live stack — an export fired while the
+    run was mid-flight, e.g. the CLI salvaging a trace after an
+    interrupt — are written with status ``open`` so the summary can
+    render them as ``UNCLOSED`` partial accounting instead of mistaking
+    a zero-duration span for a completed one.
+    """
     header = {"type": "header", "format": TRACE_FORMAT, "version": TRACE_VERSION}
     if meta:
         header.update(meta)
+    open_ids = {record.span_id for record in getattr(tracer, "_stack", ())}
     lines = [json.dumps(header, sort_keys=True)]
     for record in sorted(tracer.spans, key=lambda span: span.span_id):
-        lines.append(json.dumps(record.to_json(), sort_keys=True))
+        serialized = record.to_json()
+        if record.span_id in open_ids and serialized["status"] == "ok":
+            serialized["status"] = "open"
+        lines.append(json.dumps(serialized, sort_keys=True))
     metrics = {"type": "metrics"}
     metrics.update(tracer.metrics.snapshot())
     lines.append(json.dumps(metrics, sort_keys=True))

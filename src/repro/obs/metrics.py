@@ -16,19 +16,55 @@ metric snapshots — the property the trace-determinism tests pin.
 from __future__ import annotations
 
 import math
-from dataclasses import dataclass
+from bisect import bisect_left
+from dataclasses import dataclass, field
 
-__all__ = ["HistogramStats", "MetricsRegistry"]
+__all__ = ["BUCKET_BOUNDS", "HistogramStats", "MetricsRegistry", "bucket_index"]
+
+# Fixed log-spaced bucket upper bounds shared by every histogram:
+# mantissas 1.0/1.25/1.5/1.75 at every binary exponent from 2^-30 to
+# 2^40 (~1e-9 .. ~2e12 — probe nanoseconds through sweep byte counts).
+# Each bound is mantissa * 2^e with an exactly-representable mantissa,
+# so bucket assignment is bit-reproducible across platforms and the
+# derived p50/p95/p99 are deterministic — the property the shuffle-order
+# merge test pins. The geometric step is 1.14x-1.25x, bounding quantile
+# estimation error to one step.
+_BUCKET_MANTISSAS = (1.0, 1.25, 1.5, 1.75)
+BUCKET_BOUNDS: tuple[float, ...] = tuple(
+    mantissa * 2.0 ** exponent
+    for exponent in range(-30, 41)
+    for mantissa in _BUCKET_MANTISSAS
+)
+_OVERFLOW_BUCKET = len(BUCKET_BOUNDS)
+
+
+def bucket_index(value: float) -> int:
+    """Index of the first bucket whose upper bound is >= ``value``.
+
+    Values at or below zero land in bucket 0; values beyond the last
+    bound land in the overflow bucket (whose "bound" is the observed
+    max at quantile time).
+    """
+    if value <= BUCKET_BOUNDS[0]:
+        return 0
+    return bisect_left(BUCKET_BOUNDS, value)
 
 
 @dataclass
 class HistogramStats:
-    """Summary statistics of one observed value stream."""
+    """Summary statistics of one observed value stream.
+
+    Alongside count/total/min/max, samples are tallied into the fixed
+    log-spaced :data:`BUCKET_BOUNDS`, stored sparsely (bucket index →
+    count). Buckets add under merge, so quantile estimates survive the
+    cross-process fold without shipping raw samples.
+    """
 
     count: int = 0
     total: float = 0.0
     min: float = math.inf
     max: float = -math.inf
+    buckets: dict[int, int] = field(default_factory=dict)
 
     def observe(self, value: float) -> None:
         value = float(value)
@@ -38,21 +74,58 @@ class HistogramStats:
             self.min = value
         if value > self.max:
             self.max = value
+        index = bucket_index(value)
+        self.buckets[index] = self.buckets.get(index, 0) + 1
 
     @property
     def mean(self) -> float:
         return self.total / self.count if self.count else float("nan")
 
+    def quantile(self, q: float) -> float | None:
+        """Deterministic quantile estimate from the bucket tallies.
+
+        Returns the upper bound of the bucket holding the ``q``-th
+        sample, clamped into ``[min, max]`` so p50 of a single sample is
+        that sample, not its bucket ceiling. None on an empty histogram.
+        """
+        if not self.count:
+            return None
+        target = max(1, math.ceil(q * self.count))
+        cumulative = 0
+        for index in sorted(self.buckets):
+            cumulative += self.buckets[index]
+            if cumulative >= target:
+                bound = (
+                    self.max if index >= _OVERFLOW_BUCKET else BUCKET_BOUNDS[index]
+                )
+                return min(max(bound, self.min), self.max)
+        return self.max  # pragma: no cover - bucket counts always sum to count
+
     def as_dict(self) -> dict:
-        return {
+        data = {
             "count": self.count,
             "total": self.total,
             "min": self.min if self.count else None,
             "max": self.max if self.count else None,
         }
+        if self.count:
+            # JSON object keys are strings; sorted for stable bytes.
+            data["buckets"] = {
+                str(index): self.buckets[index] for index in sorted(self.buckets)
+            }
+            data["p50"] = self.quantile(0.50)
+            data["p95"] = self.quantile(0.95)
+            data["p99"] = self.quantile(0.99)
+        return data
 
     def merge(self, other: "HistogramStats | dict") -> None:
-        """Fold another histogram (or its ``as_dict`` form) into this one."""
+        """Fold another histogram (or its ``as_dict`` form) into this one.
+
+        Count/total/buckets add and min/max take extrema — every part of
+        the fold is commutative and associative, and the quantiles are
+        *derived* from the folded buckets rather than folded themselves,
+        so merge order cannot change any reported statistic.
+        """
         if isinstance(other, dict):
             count = int(other.get("count", 0))
             if not count:
@@ -64,6 +137,9 @@ class HistogramStats:
                 self.min = float(other_min)
             if other_max is not None and other_max > self.max:
                 self.max = float(other_max)
+            for key, tally in (other.get("buckets") or {}).items():
+                index = int(key)
+                self.buckets[index] = self.buckets.get(index, 0) + int(tally)
             return
         if not other.count:
             return
@@ -71,6 +147,8 @@ class HistogramStats:
         self.total += other.total
         self.min = min(self.min, other.min)
         self.max = max(self.max, other.max)
+        for index, tally in other.buckets.items():
+            self.buckets[index] = self.buckets.get(index, 0) + tally
 
 
 class MetricsRegistry:

@@ -57,8 +57,9 @@ class SpanRecord:
         path: slash-joined names from the root ("dramdig/attempt-1/fine").
         status: "ok", "error" (an exception escaped the span), "cached"
             (a grid cell restored from the checkpoint journal instead of
-            executed) or "failed" (a grid cell that exhausted its
-            attempts).
+            executed), "failed" (a grid cell that exhausted its
+            attempts) or "open" (still in flight when the trace was
+            exported — a salvaged trace from an interrupted run).
         sim_start_ns / sim_end_ns: simulated-clock bounds, when the span
             had a :class:`~repro.machine.clock.SimClock`; None otherwise.
         wall_s: host wall-clock duration. Nondeterministic by nature —

@@ -217,7 +217,10 @@ def execute_cell(cell: GridCell):
     Reserved ``_``-prefixed payload keys are stripped before the worker
     function is called; when :mod:`repro.obs.gridtrace` injected a trace
     destination, the cell runs under its own tracer and writes a per-cell
-    span file for the parent to stitch.
+    span file for the parent to stitch. When :mod:`repro.obs.telemetry`
+    injected a stream path, the cell runs with a worker-side telemetry
+    bus active, so per-phase and per-trial events emitted inside the
+    cell land in the same live stream the parent appends to.
     """
     module_name, _, function_name = cell.task.partition(":")
     function = getattr(import_module(module_name), function_name)
@@ -228,12 +231,23 @@ def execute_cell(cell: GridCell):
         kwargs, reserved = {}, {}
         for key, value in payload.items():
             (reserved if key.startswith("_") else kwargs)[key] = value
-    try:
+
+    def invoke():
         if reserved and "_trace_dir" in reserved:
             from repro.obs.gridtrace import run_cell_traced
 
             return run_cell_traced(function, kwargs, reserved)
         return function(**kwargs)
+
+    try:
+        if reserved and "_telemetry_path" in reserved:
+            from repro.obs.telemetry import TelemetryBus, activate_bus
+
+            with activate_bus(
+                TelemetryBus(reserved["_telemetry_path"], source="worker")
+            ):
+                return invoke()
+        return invoke()
     except Exception as error:
         raise CellExecutionError(
             f"grid cell {cell.task} (fingerprint {fingerprint_cell(cell)[:12]}) "

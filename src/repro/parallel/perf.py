@@ -1,6 +1,6 @@
 """Perf harness: wall-clock evidence for the optimisation work.
 
-Writes ``BENCH_perf.json`` with six families of numbers:
+Writes ``BENCH_perf.json`` with these families of numbers:
 
 * **grid** — wall-clock seconds of the Table I and Figure 2 evaluation
   grids, serial and parallel (persistent warmed pool, optional cell
@@ -25,6 +25,11 @@ Writes ``BENCH_perf.json`` with six families of numbers:
   (the zero-cost-when-off claim, measured), plus the traced run's
   per-phase breakdown (simulated seconds, wall seconds and pair
   measurements per pipeline step) lifted from its spans;
+* **obs** — the same A/B for the live telemetry bus: one DRAMDig run
+  with the bus global left ``None`` (hot-path hooks reduce to one
+  is-None test) vs streaming events to a scratch file, plus a Table I
+  panel rendered both ways and compared byte for byte (telemetry is a
+  side channel, never an input);
 * **campaign** — the campaign fuzzer's aggressor-selection A/B:
   compiled batch planning vs per-victim scalar aiming, agreement
   checked lane for lane before any timing is believed, plus one timed
@@ -166,6 +171,62 @@ def _tracing_benches(machine_name: str = "No.1", repeats: int = 3) -> dict:
         "traced_seconds": traced,
         "overhead_ratio": traced / untraced if untraced else float("nan"),
         "phases": phases,
+    }
+
+
+def _obs_benches(machine_name: str = "No.1", repeats: int = 3) -> dict:
+    """Telemetry overhead on one full DRAMDig run, plus artefact identity.
+
+    Mirrors ``_tracing_benches``: the same (preset, seed) run measured
+    best-of-N with the bus global left ``None`` (instrumented hot paths
+    pay one global load and an is-None test) and with an active
+    ``TelemetryBus`` streaming events to a scratch file. A small Table I
+    panel is also rendered with and without a live bus and compared byte
+    for byte — the stream is a side channel and must never alter an
+    artefact, so a mismatch raises instead of reporting numbers built on
+    different output.
+    """
+    import tempfile
+
+    from repro.core.dramdig import DramDig
+    from repro.machine.machine import SimulatedMachine
+    from repro.obs import telemetry
+
+    def run_once():
+        machine = SimulatedMachine.from_preset(preset(machine_name), seed=1)
+        DramDig().run(machine)
+
+    off = _best_of(run_once, repeats=repeats)
+
+    with tempfile.TemporaryDirectory(prefix="dramdig-obs-perf-") as scratch:
+        stream = Path(scratch) / "run.jsonl"
+
+        def run_streamed():
+            with telemetry.activate_bus(telemetry.TelemetryBus(stream)):
+                run_once()
+
+        on = _best_of(run_streamed, repeats=repeats)
+        events_per_run = len(telemetry.load_events(stream)) // repeats
+
+        plain = render_table1(run_table1(seed=1, machines=(machine_name,)))
+        panel_stream = Path(scratch) / "table1.jsonl"
+        with telemetry.activate_bus(telemetry.TelemetryBus(panel_stream)):
+            streamed = render_table1(run_table1(seed=1, machines=(machine_name,)))
+        if streamed != plain:
+            raise RuntimeError(
+                "telemetry changed the Table I artefact: the event stream "
+                "must be a pure side channel"
+            )
+        panel_events = len(telemetry.load_events(panel_stream))
+
+    return {
+        "machine": machine_name,
+        "telemetry_off_seconds": off,
+        "telemetry_on_seconds": on,
+        "overhead_ratio": on / off if off else float("nan"),
+        "events_per_run": events_per_run,
+        "panel_events": panel_events,
+        "artefacts_identical": True,
     }
 
 
@@ -393,6 +454,7 @@ def run_perf(
         "micro": _micro_benches(),
         "single_run": _single_run_benches(),
         "tracing": _tracing_benches(),
+        "obs": _obs_benches(),
         "grid": _grid_benches(workers, machines, batch_cells, pool_mode, single_cpu),
     }
     # Measured last: the million-address pools would otherwise perturb
@@ -523,6 +585,17 @@ def main(argv: list[str] | None = None) -> int:
         tracing["untraced_seconds"],
         tracing["traced_seconds"],
         (tracing["overhead_ratio"] - 1.0) * 100.0,
+    )
+    obs_bench = record["obs"]
+    _LOG.info(
+        "telemetry overhead on %s: off %.2fs, on %.2fs (%.1f%%), "
+        "%d events/run, artefacts identical: %s",
+        obs_bench["machine"],
+        obs_bench["telemetry_off_seconds"],
+        obs_bench["telemetry_on_seconds"],
+        (obs_bench["overhead_ratio"] - 1.0) * 100.0,
+        obs_bench["events_per_run"],
+        obs_bench["artefacts_identical"],
     )
     fleet = record["fleet"]
     _LOG.info(

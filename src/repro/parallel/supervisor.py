@@ -48,6 +48,7 @@ from dataclasses import dataclass, field
 from pathlib import Path
 
 from repro.faults.recovery import DegradationEvent
+from repro.obs import telemetry
 from repro.obs import tracing as obs
 from repro.parallel.batching import (
     chunk_indices,
@@ -266,16 +267,53 @@ def run_cells_supervised(
     resumed = 0
 
     pending: list[int] = []
+    resumed_indices: list[int] = []
     for index, fingerprint in enumerate(fingerprints):
         if journal is not None:
             hit, value = journal.lookup(fingerprint)
             if hit:
                 results[index] = value
                 resumed += 1
+                resumed_indices.append(index)
                 continue
         pending.append(index)
     if resumed:
         obs.inc("grid.cells_resumed", resumed)
+
+    # Live progress reporting. Everything below is guarded on the bus
+    # being active: telemetry off costs one global load + is-None test
+    # per settled cell, nothing else — the same discipline the tracing
+    # hooks pin. The tallies feed the heartbeat stream only; they are
+    # never consulted by the supervision logic itself.
+    grid_started = time.monotonic()
+    progress = {"done": 0, "failed": 0, "cached": 0}
+
+    def report(index: int, status: str) -> None:
+        if telemetry.current_bus() is None:
+            return
+        progress["done"] += 1
+        if status == "failed":
+            progress["failed"] += 1
+        elif status == "cached":
+            progress["cached"] += 1
+        name = cells[index].payload.get("name")
+        telemetry.emit(
+            "cell",
+            cell=str(name) if name is not None else f"cell#{index}",
+            status=status,
+            done=progress["done"],
+            total=len(cells),
+            failed=progress["failed"],
+            cached=progress["cached"],
+            eta_s=telemetry.estimate_eta_s(
+                time.monotonic() - grid_started, progress["done"], len(cells)
+            ),
+        )
+
+    if telemetry.current_bus() is not None:
+        telemetry.emit("grid-start", total=len(cells), resumed=resumed)
+        for index in resumed_indices:
+            report(index, "cached")
 
     def checkpoint(index: int, value: object) -> None:
         results[index] = value
@@ -301,6 +339,7 @@ def run_cells_supervised(
             events,
             resolve_batch_cells(batch_cells),
             pool_mode,
+            report,
         )
 
     ordered_failures = [failures[index] for index in sorted(failures)]
@@ -329,7 +368,7 @@ def _failure(
 
 def _run_serial(
     cells, fingerprints, pending, workers, start_method, policy, checkpoint,
-    failures, events, batch_cells=1, pool_mode="persistent",
+    failures, events, batch_cells=1, pool_mode="persistent", report=None,
 ) -> None:
     """In-process supervised execution (no pool, no pickling).
 
@@ -348,6 +387,8 @@ def _run_serial(
                 cells, fingerprints, index, "run-deadline",
                 "run deadline expired before the cell started", 0,
             )
+            if report is not None:
+                report(index, "failed")
             continue
         attempts = 0
         while True:
@@ -375,9 +416,13 @@ def _run_serial(
                 failures[index] = _failure(
                     cells, fingerprints, index, "error", str(error), attempts
                 )
+                if report is not None:
+                    report(index, "failed")
                 break
             checkpoint(index, value)
             obs.observe("grid.cell_attempts", attempts)
+            if report is not None:
+                report(index, "ok")
             break
 
 
@@ -404,7 +449,7 @@ def _kill_pool(pool: ProcessPoolExecutor) -> None:
 
 def _run_pooled(
     cells, fingerprints, pending, workers, start_method, policy, checkpoint,
-    failures, events, batch_cells=1, pool_mode="persistent",
+    failures, events, batch_cells=1, pool_mode="persistent", report=None,
 ) -> None:
     """Pooled supervised execution with respawn-on-death and timeouts.
 
@@ -450,6 +495,8 @@ def _run_pooled(
         failures[index] = _failure(
             cells, fingerprints, index, reason, detail, attempts[index]
         )
+        if report is not None:
+            report(index, "failed")
 
     def retry_or_fail(index: int, reason: str, detail: str) -> None:
         out_of_time = deadline is not None and time.monotonic() > deadline
@@ -489,6 +536,8 @@ def _run_pooled(
     def settle(index: int, value: object) -> None:
         checkpoint(index, value)
         obs.observe("grid.cell_attempts", attempts[index])
+        if report is not None:
+            report(index, "ok")
 
     def harvest_or_crash(future, crashed: list[int]) -> None:
         """Resolve one finished future: results, cell errors, or casualties."""

@@ -47,7 +47,9 @@ from repro.dram.presets import TABLE2_ORDER, preset
 from repro.evalsuite.gridrun import execute_grid
 from repro.evalsuite.reporting import render_failure_manifest, render_table
 from repro.ioutil import atomic_write
+from repro.logutil import get_logger
 from repro.machine.machine import SimulatedMachine
+from repro.obs import telemetry
 from repro.obs import tracing as obs
 from repro.parallel import (
     DEFAULT_START_METHOD,
@@ -82,6 +84,8 @@ __all__ = [
 ]
 
 ARTIFACT_FORMAT = "dramdig-campaign-v1"
+
+_LOG = get_logger("repro.rowhammer.campaign")
 
 #: Default machine panel: the paper's Table III rowhammer machines.
 CAMPAIGN_MACHINES: tuple[str, ...] = ("No.1", "No.2", "No.5")
@@ -313,6 +317,20 @@ def campaign_trial_cell(
         scope.set("flips", report.flips)
         scope.set("trials", report.trials)
 
+    if telemetry.current_bus() is not None:
+        # Per-trial yield heartbeat, emitted from the worker process via
+        # the stream path the grid seam injected. Every field is a
+        # deterministic function of the payload, so jobs=1 and jobs=N
+        # streams stay equivalent modulo the bookkeeping fields.
+        telemetry.emit(
+            "trial",
+            trial=name,
+            flips=report.flips,
+            raw_flips=report.raw_flips,
+            tests=report.trials,
+            trr_stops=report.stopped_by_trr,
+        )
+
     obs.inc("campaign.tests")
     obs.inc("campaign.trials", report.trials)
     obs.inc("campaign.flips", report.flips)
@@ -402,10 +420,28 @@ def run_campaign(
         )
         for machine, variant, mitigation, test_index in spec.combos()
     ]
+    # Progress status lines go through repro.logutil (stderr), so
+    # --quiet silences them and stdout artefacts are byte-identical
+    # either way.
+    _LOG.info(
+        "campaign: %d timed test(s) over %d machine(s) x %d variant(s) x "
+        "%d mitigation stack(s)",
+        len(cells),
+        len(spec.machines),
+        len(spec.variants),
+        len(spec.mitigations),
+    )
     results = execute_grid(
         cells, jobs=jobs, start_method=start_method,
         supervision=supervision, journal=journal,
         batch_cells=batch_cells, pool_mode=pool_mode,
+    )
+    completed = sum(1 for r in results if isinstance(r, CampaignResult))
+    _LOG.info(
+        "campaign: %d/%d test(s) completed, %d failed",
+        completed,
+        len(cells),
+        len(cells) - completed,
     )
     return CampaignOutcome(spec=spec, results=list(results))
 

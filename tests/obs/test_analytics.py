@@ -1,0 +1,112 @@
+"""Critical-path extraction and span-level A/B trace diffing."""
+
+from repro.obs.analytics import (
+    critical_path,
+    diff_traces,
+    render_critical_path,
+    render_diff,
+    span_weight_index,
+)
+from repro.obs.export import TraceFile
+from repro.obs.tracing import SpanRecord
+
+
+def _span(span_id, parent, name, path, sim=None, status="ok"):
+    start, end = (0.0, sim) if sim is not None else (None, None)
+    return SpanRecord(
+        span_id=span_id, parent_id=parent, name=name, path=path,
+        status=status, sim_start_ns=start, sim_end_ns=end,
+    )
+
+
+def _grid_trace(partition_ns=3e9, first_cell_status="ok"):
+    """Clockless grid root over two cells; the second is the heavier."""
+    return TraceFile(
+        spans=[
+            _span(1, None, "grid:table1", "grid:table1"),
+            _span(2, 1, "cell:No.1", "grid:table1/cell:No.1",
+                  status=first_cell_status),
+            _span(3, 2, "dramdig", "grid:table1/cell:No.1/dramdig", sim=2e9),
+            _span(4, 1, "cell:No.2", "grid:table1/cell:No.2"),
+            _span(5, 4, "dramdig", "grid:table1/cell:No.2/dramdig",
+                  sim=partition_ns + 1e9),
+            _span(6, 5, "partition",
+                  "grid:table1/cell:No.2/dramdig/partition", sim=partition_ns),
+        ],
+    )
+
+
+class TestSpanWeights:
+    def test_clockless_spans_inherit_their_children(self):
+        weights = span_weight_index(_grid_trace())
+        assert weights[3] == 2e9
+        assert weights[2] == 2e9  # cell wrapper: no clock, one child
+        assert weights[4] == 4e9
+        assert weights[1] == 6e9  # grid root carries the whole run
+
+    def test_measured_spans_keep_their_own_duration(self):
+        weights = span_weight_index(_grid_trace())
+        # dramdig recorded its own bounds: children do not override it.
+        assert weights[5] == 4e9
+        assert weights[6] == 3e9
+
+
+class TestCriticalPath:
+    def test_descends_the_heaviest_chain(self):
+        steps = critical_path(_grid_trace())
+        assert [step.span.name for step in steps] == [
+            "grid:table1", "cell:No.2", "dramdig", "partition",
+        ]
+        assert steps[0].share == 1.0
+        assert steps[1].weight_ns == 4e9
+        assert steps[3].share == 0.75  # partition is 3/4 of its dramdig
+
+    def test_empty_trace_renders(self):
+        assert render_critical_path(TraceFile()) == "(no spans)"
+
+    def test_render_limits_and_labels(self):
+        text = render_critical_path(_grid_trace(), limit=2)
+        assert "grid:table1" in text
+        assert "cell:No.2" in text
+        assert "partition" not in text
+
+
+class TestDiffTraces:
+    def test_identical_traces_diff_to_zero(self):
+        diff = diff_traces(_grid_trace(), _grid_trace())
+        assert diff.delta_ns == 0.0
+        assert not diff.regression
+        assert diff.base_total_ns == 6e9
+
+    def test_slowdown_is_attributed_to_the_deepest_grown_subtree(self):
+        diff = diff_traces(_grid_trace(3e9), _grid_trace(3.5e9))
+        assert diff.regression
+        assert diff.delta_ns == 0.5e9
+        # dramdig and partition both grew by the same 0.5s; attribution
+        # picks the deeper path — the phase, not its wrapper.
+        assert diff.attribution is not None
+        assert diff.attribution.path.endswith("/partition")
+        text = render_diff(diff)
+        assert "REGRESSION" in text
+        assert "attribution:" in text
+
+    def test_growth_within_tolerance_is_not_a_regression(self):
+        diff = diff_traces(_grid_trace(3e9), _grid_trace(3.5e9), tolerance=0.2)
+        assert not diff.regression
+
+    def test_cached_subtrees_are_excluded_from_both_sides(self):
+        base = _grid_trace()
+        resumed = _grid_trace(first_cell_status="cached")
+        diff = diff_traces(base, resumed)
+        # cell:No.1 executed in base but resumed from the journal in the
+        # other run; charging 2s against a bodiless cached span would
+        # report a phantom 2s speedup. Excluded from both, the traces
+        # compare exactly equal — the kill/resume smoke contract.
+        assert diff.excluded_paths == ["grid:table1/cell:No.1"]
+        assert diff.base_total_ns == diff.other_total_ns == 4e9
+        assert not diff.regression
+        assert all("cell:No.1" not in row.path for row in diff.rows)
+
+    def test_empty_base_is_never_a_regression(self):
+        diff = diff_traces(TraceFile(), _grid_trace())
+        assert not diff.regression

@@ -1,0 +1,123 @@
+"""Run-history recording, order-independent folding, regression flags."""
+
+import random
+
+from repro.obs import history
+from repro.obs.metrics import MetricsRegistry
+
+
+def _snapshot(measurements, pile):
+    registry = MetricsRegistry()
+    registry.inc("measurements", measurements)
+    registry.observe("pile", pile)
+    return registry.snapshot()
+
+
+class TestRecordAndLoad:
+    def test_round_trip(self, tmp_path):
+        target = tmp_path / "history.jsonl"
+        history.record_run(
+            target, "table1", wall_s=1.5, sim_ns=2e9,
+            metrics=_snapshot(10, 4.0), extra={"seed": 1},
+        )
+        history.record_run(target, "table1", wall_s=1.4, sim_ns=2e9)
+        entries = history.load_history(target)
+        assert len(entries) == 2
+        assert entries[0]["command"] == "table1"
+        assert entries[0]["seed"] == 1
+        assert entries[0]["metrics"]["counters"]["measurements"] == 10
+        assert entries[1]["metrics"] == {}
+
+    def test_creates_parent_directories(self, tmp_path):
+        target = tmp_path / "nested" / "deeper" / "history.jsonl"
+        history.record_run(target, "run", wall_s=0.1)
+        assert len(history.load_history(target)) == 1
+
+    def test_missing_torn_and_foreign_lines_are_skipped(self, tmp_path):
+        target = tmp_path / "history.jsonl"
+        assert history.load_history(target) == []
+        history.record_run(target, "table1", wall_s=1.0)
+        with open(target, "a", encoding="utf-8") as stream:
+            stream.write('{"format": "other", "version": 1}\n')
+            stream.write('{"torn')
+        assert len(history.load_history(target)) == 1
+
+
+class TestFold:
+    def test_fold_is_order_independent(self):
+        entries = [
+            {"metrics": _snapshot(3, 1.0)},
+            {"metrics": _snapshot(5, 9.0)},
+            {"metrics": _snapshot(7, 4.0)},
+            {"metrics": {}},
+            {},  # an entry recorded without metrics at all
+        ]
+        reference = history.fold_history_metrics(entries).snapshot()
+        rng = random.Random(3)
+        for _ in range(6):
+            shuffled = entries[:]
+            rng.shuffle(shuffled)
+            folded = history.fold_history_metrics(shuffled).snapshot()
+            assert folded == reference
+        assert reference["counters"]["measurements"] == 15
+        assert reference["histograms"]["pile"]["count"] == 3
+
+
+class TestRegressions:
+    @staticmethod
+    def _entry(command, sim_ns=None, wall_s=1.0):
+        return {"command": command, "sim_ns": sim_ns, "wall_s": wall_s}
+
+    def test_sim_growth_beyond_threshold_is_flagged(self):
+        entries = [self._entry("table1", sim_ns=1e9) for _ in range(4)]
+        entries.append(self._entry("table1", sim_ns=1.2e9))
+        (finding,) = history.detect_regressions(entries)
+        assert finding.clock == "sim"
+        assert finding.command == "table1"
+        assert "1.20x" in finding.describe()
+
+    def test_sim_growth_within_threshold_passes(self):
+        entries = [self._entry("table1", sim_ns=1e9) for _ in range(4)]
+        entries.append(self._entry("table1", sim_ns=1.04e9))
+        assert history.detect_regressions(entries) == []
+
+    def test_wall_fallback_uses_the_wide_threshold(self):
+        entries = [self._entry("table1", wall_s=1.0) for _ in range(3)]
+        entries.append(self._entry("table1", wall_s=1.8))
+        assert history.detect_regressions(entries) == []
+        entries.append(self._entry("table1", wall_s=4.0))
+        findings = history.detect_regressions(entries)
+        assert [finding.clock for finding in findings] == ["wall"]
+
+    def test_single_entry_commands_are_skipped(self):
+        assert history.detect_regressions([self._entry("x", sim_ns=1e9)]) == []
+
+    def test_window_bounds_the_comparison(self):
+        # An ancient slow run outside the window must not mask a
+        # regression against the recent fast runs.
+        entries = [self._entry("t", sim_ns=9e9)]
+        entries += [self._entry("t", sim_ns=1e9) for _ in range(5)]
+        entries.append(self._entry("t", sim_ns=1.2e9))
+        (finding,) = history.detect_regressions(entries, window=5)
+        assert finding.trailing_mean == 1e9
+
+
+class TestRender:
+    def test_history_table_and_findings(self):
+        entries = [
+            {"command": "table1", "wall": 0, "wall_s": 1.0, "sim_ns": 1e9},
+            {"command": "table1", "wall": 0, "wall_s": 1.0, "sim_ns": 2e9},
+        ]
+        text = history.render_history(entries)
+        assert "table1" in text
+        assert "regression:" in text
+
+    def test_clean_history_reports_none(self):
+        entries = [
+            {"command": "table1", "wall": 0, "wall_s": 1.0, "sim_ns": 1e9},
+            {"command": "table1", "wall": 0, "wall_s": 1.0, "sim_ns": 1e9},
+        ]
+        assert "no regressions" in history.render_history(entries)
+
+    def test_empty_history_renders(self):
+        assert history.render_history([]) == "(no history)"

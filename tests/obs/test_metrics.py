@@ -1,8 +1,14 @@
 """Metrics registry: counters, histogram stats, commutative merging."""
 
 import math
+import random
 
-from repro.obs.metrics import HistogramStats, MetricsRegistry
+from repro.obs.metrics import (
+    BUCKET_BOUNDS,
+    HistogramStats,
+    MetricsRegistry,
+    bucket_index,
+)
 
 
 class TestHistogramStats:
@@ -35,9 +41,67 @@ class TestHistogramStats:
     def test_merging_empty_is_identity(self):
         stats = HistogramStats()
         stats.observe(5.0)
+        before = stats.as_dict()
         stats.merge(HistogramStats())
         stats.merge(HistogramStats().as_dict())
-        assert stats.as_dict() == {"count": 1, "total": 5.0, "min": 5.0, "max": 5.0}
+        assert stats.as_dict() == before
+        assert before["count"] == 1
+        assert before["total"] == 5.0
+        assert before["min"] == 5.0
+        assert before["max"] == 5.0
+        # A single sample's quantiles are that sample (clamped to max).
+        assert before["p50"] == before["p95"] == before["p99"] == 5.0
+
+
+class TestBuckets:
+    def test_bounds_are_sorted_and_cover_the_working_range(self):
+        assert list(BUCKET_BOUNDS) == sorted(BUCKET_BOUNDS)
+        assert BUCKET_BOUNDS[0] < 1e-9
+        assert BUCKET_BOUNDS[-1] > 1e12
+
+    def test_bucket_index_brackets_each_value(self):
+        for value in (1e-12, 0.003, 1.0, 7.5, 123.0, 5e9):
+            index = bucket_index(value)
+            assert value <= BUCKET_BOUNDS[index]
+            if index > 0:
+                assert value > BUCKET_BOUNDS[index - 1]
+        assert bucket_index(-4.0) == 0
+        assert bucket_index(1e300) == len(BUCKET_BOUNDS)
+
+    def test_quantiles_stay_within_one_log_step(self):
+        stats = HistogramStats()
+        for value in range(1, 101):
+            stats.observe(float(value))
+        data = stats.as_dict()
+        # Estimates are bucket upper bounds: within one 1.25x step above
+        # the exact quantile, clamped into [min, max].
+        assert 50.0 <= data["p50"] <= 50.0 * 1.25
+        assert 95.0 <= data["p95"] <= 95.0 * 1.25
+        assert 99.0 <= data["p99"] <= 100.0
+        assert stats.quantile(1.0) == 100.0
+
+    def test_shuffle_order_merge_is_invariant(self):
+        values = [0.003, 0.4, 1.0, 7.5, 7.5, 123.0, 5000.0, 2.25e9]
+        parts = []
+        for value in values:
+            part = HistogramStats()
+            part.observe(value)
+            parts.append(part.as_dict())
+
+        def fold(order):
+            out = HistogramStats()
+            for index in order:
+                out.merge(parts[index])
+            return out.as_dict()
+
+        reference = fold(range(len(parts)))
+        rng = random.Random(11)
+        for _ in range(10):
+            order = list(range(len(parts)))
+            rng.shuffle(order)
+            assert fold(order) == reference
+        assert reference["count"] == len(values)
+        assert reference["p50"] <= reference["p95"] <= reference["p99"]
 
 
 class TestMetricsRegistry:

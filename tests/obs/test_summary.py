@@ -43,10 +43,22 @@ class TestValidateTrace:
         trace.spans.append(_span(3, 2, "extra", "dramdig/attempt-1/extra"))
         assert any("duplicate span id 3" in p for p in validate_trace(trace))
 
-    def test_unknown_parent_flagged(self):
+    def test_unknown_parent_flagged_in_strict_mode(self):
         trace = _telescoped_trace()
         trace.spans.append(_span(9, 99, "orphan", "orphan"))
-        assert any("unknown parent 99" in p for p in validate_trace(trace))
+        strict = validate_trace(trace, strict=True)
+        assert any("unknown parent 99" in p for p in strict)
+        # Lenient default: a killed run's stitched trace may reference
+        # parents that never made it to disk.
+        assert validate_trace(trace) == []
+
+    def test_open_spans_flagged_only_in_strict_mode(self):
+        trace = _telescoped_trace()
+        trace.spans.append(
+            _span(9, 1, "inflight", "dramdig/inflight", status="open")
+        )
+        assert validate_trace(trace) == []
+        assert any("never closed" in p for p in validate_trace(trace, strict=True))
 
     def test_negative_sim_duration_flagged(self):
         trace = _telescoped_trace()
@@ -89,6 +101,25 @@ class TestRenderSummary:
         assert "CACHED" in text
         assert "probe.pair_measurements" in text
         assert "mean=8.0" in text
+
+    def test_unclosed_and_orphaned_spans_render(self):
+        trace = _telescoped_trace()
+        trace.spans.append(
+            _span(5, 2, "probe", "dramdig/attempt-1/probe", status="open")
+        )
+        trace.spans.append(_span(9, 99, "stray", "stray"))
+        text = render_summary(trace)
+        assert "UNCLOSED" in text
+        assert "(orphan: parent 99 missing from trace)" in text
+        assert "stray" in text
+
+    def test_open_child_suspends_telescoping(self):
+        trace = _telescoped_trace()
+        trace.spans[2].status = "open"  # calibrate was still in flight
+        trace.spans[2].attrs["measurements"] = 3  # partial count
+        assert validate_trace(trace) == []
+        strict = validate_trace(trace, strict=True)
+        assert any("claims 30 measurements" in p for p in strict)
 
     def test_empty_trace_renders(self):
         text = render_summary(TraceFile(header={"format": "dramdig-trace",

@@ -475,3 +475,205 @@ class TestCampaignCli:
         first = capsys.readouterr().out
         assert main(list(self.SWEEP) + ["--resume", str(journal)]) == 0
         assert capsys.readouterr().out == first
+
+
+class TestObsCli:
+    """The --telemetry/--history plumbing and the obs subcommand group."""
+
+    @staticmethod
+    def _write_trace(path, partition_ns):
+        import json
+
+        spans = [
+            {"type": "span", "id": 1, "parent": None, "name": "dramdig",
+             "path": "dramdig", "sim_start_ns": 0.0,
+             "sim_end_ns": partition_ns + 1e9},
+            {"type": "span", "id": 2, "parent": 1, "name": "partition",
+             "path": "dramdig/partition", "sim_start_ns": 0.0,
+             "sim_end_ns": partition_ns},
+        ]
+        lines = [json.dumps({"format": "dramdig-trace", "version": 1})]
+        lines += [json.dumps(span) for span in spans]
+        lines.append(json.dumps({"type": "metrics"}))
+        path.write_text("\n".join(lines) + "\n")
+
+    def test_telemetry_stream_and_tail(self, tmp_path, capsys):
+        stream = tmp_path / "run.stream"
+        assert main(["--telemetry", str(stream), "run", "No.4"]) == 0
+        capsys.readouterr()
+
+        from repro.obs.telemetry import load_events
+
+        events = load_events(stream)
+        kinds = [event["kind"] for event in events]
+        assert kinds[0] == "run-start"
+        assert kinds[-1] == "run-end"
+        assert "phase" in kinds
+
+        assert main(["obs", "tail", str(stream)]) == 0
+        out = capsys.readouterr().out
+        assert "run-start" in out
+        assert "phase" in out
+        assert out.count("\n") == len(events)
+
+    def test_telemetry_off_leaves_no_stream(self, tmp_path, capsys):
+        assert main(["run", "No.4"]) == 0
+        capsys.readouterr()
+        assert list(tmp_path.iterdir()) == []
+
+    def test_tail_rejects_missing_stream(self, tmp_path, capsys):
+        assert main(["obs", "tail", str(tmp_path / "absent.stream")]) == 1
+        assert "no telemetry stream" in capsys.readouterr().err
+
+    def test_obs_diff_equal_traces_exit_zero(self, tmp_path, capsys):
+        base, other = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(base, 3e9)
+        self._write_trace(other, 3e9)
+        assert main(["obs", "diff", str(base), str(other)]) == 0
+        out = capsys.readouterr().out
+        assert "delta=+0.000s" in out
+        assert "ok" in out
+
+    def test_obs_diff_regression_exits_one(self, tmp_path, capsys):
+        base, other = tmp_path / "a.jsonl", tmp_path / "b.jsonl"
+        self._write_trace(base, 3e9)
+        self._write_trace(other, 4e9)
+        assert main(["obs", "diff", str(base), str(other)]) == 1
+        out = capsys.readouterr().out
+        assert "REGRESSION" in out
+        assert "attribution: dramdig/partition" in out
+        # the same pair within a wide tolerance passes
+        assert main([
+            "obs", "diff", str(base), str(other), "--tolerance", "0.5",
+        ]) == 0
+
+    def test_obs_diff_rejects_missing_trace(self, tmp_path, capsys):
+        assert main([
+            "obs", "diff", str(tmp_path / "a.jsonl"), str(tmp_path / "b.jsonl"),
+        ]) == 1
+        assert "cannot read trace" in capsys.readouterr().err
+
+    def test_obs_critical_path(self, tmp_path, capsys):
+        trace = tmp_path / "trace.jsonl"
+        self._write_trace(trace, 3e9)
+        assert main(["obs", "critical-path", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "dramdig" in out
+        assert "partition" in out
+        assert main(["obs", "critical-path", str(trace), "--limit", "1"]) == 0
+        assert "partition" not in capsys.readouterr().out
+
+    def test_history_recording_and_rendering(self, tmp_path, capsys):
+        history = tmp_path / "history.jsonl"
+        trace = tmp_path / "run.jsonl"
+        assert main([
+            "--history", str(history), "run", "No.4", "--trace", str(trace),
+        ]) == 0
+        assert main(["--history", str(history), "run", "No.4"]) == 0
+        capsys.readouterr()
+
+        from repro.obs.history import load_history
+
+        entries = load_history(history)
+        assert len(entries) == 2
+        assert entries[0]["command"] == "run"
+        assert entries[0]["sim_ns"] is not None  # traced run has sim totals
+        assert entries[0]["metrics"]["counters"]
+        assert entries[1]["sim_ns"] is None  # untraced run: wall only
+
+        assert main(["obs", "history", str(history), "--check"]) == 0
+        out = capsys.readouterr().out
+        assert "run" in out
+        assert "no regressions" in out
+
+    def test_obs_history_check_flags_regressions(self, tmp_path, capsys):
+        import json
+
+        history = tmp_path / "history.jsonl"
+        entries = [
+            {"format": "dramdig-history", "version": 1, "wall": 0.0,
+             "command": "table1", "wall_s": 1.0, "sim_ns": 1e9},
+            {"format": "dramdig-history", "version": 1, "wall": 0.0,
+             "command": "table1", "wall_s": 1.0, "sim_ns": 2e9},
+        ]
+        history.write_text(
+            "\n".join(json.dumps(entry) for entry in entries) + "\n"
+        )
+        assert main(["obs", "history", str(history)]) == 0
+        assert "regression:" in capsys.readouterr().out
+        assert main(["obs", "history", str(history), "--check"]) == 1
+
+    def test_trace_summary_strict_flags_open_spans(self, tmp_path, capsys):
+        import json
+
+        trace = tmp_path / "killed.jsonl"
+        lines = [
+            json.dumps({"format": "dramdig-trace", "version": 1}),
+            json.dumps({"type": "span", "id": 1, "parent": None,
+                        "name": "dramdig", "path": "dramdig",
+                        "status": "open"}),
+            json.dumps({"type": "span", "id": 3, "parent": 99,
+                        "name": "stray", "path": "stray"}),
+        ]
+        trace.write_text("\n".join(lines) + "\n")
+        assert main(["trace", "summary", str(trace)]) == 0
+        out = capsys.readouterr().out
+        assert "UNCLOSED" in out
+        assert "(orphan: parent 99 missing from trace)" in out
+        assert main(["trace", "summary", str(trace), "--strict"]) == 1
+        assert "trace inconsistency" in capsys.readouterr().err
+
+    def test_interrupted_traced_run_salvages_a_partial_trace(
+        self, tmp_path, capsys, monkeypatch
+    ):
+        import repro.cli as cli
+
+        real_dispatch = cli._dispatch_command
+
+        def boom(args):
+            if args.command != "run":
+                return real_dispatch(args)
+            from repro.obs import tracing
+
+            tracer = tracing.current_tracer()
+            scope = tracer.span("dramdig")
+            scope.__enter__()  # never closed: the run dies mid-span
+            raise KeyboardInterrupt
+
+        monkeypatch.setattr(cli, "_dispatch_command", boom)
+        trace = tmp_path / "partial.jsonl"
+        with pytest.raises(KeyboardInterrupt):
+            main(["run", "No.4", "--trace", str(trace)])
+        capsys.readouterr()
+        assert trace.exists()
+        assert main(["trace", "summary", str(trace)]) == 0
+        assert "UNCLOSED" in capsys.readouterr().out
+
+
+class TestQuietProgressRouting:
+    """--quiet must silence fleet/campaign progress while leaving the
+    artefact bytes on stdout untouched."""
+
+    def test_quiet_silences_campaign_progress(self, capsys):
+        sweep = TestCampaignCli.SWEEP
+        assert main(list(sweep)) == 0
+        noisy = capsys.readouterr()
+        assert "campaign:" in noisy.err
+        assert main(["--quiet"] + list(sweep)) == 0
+        quiet = capsys.readouterr()
+        assert "campaign:" not in quiet.err
+        assert quiet.out == noisy.out
+
+    def test_quiet_silences_fleet_wave_progress(self, capsys):
+        args = [
+            "fleet", "run", "--fleet-size", "3", "--families", "1",
+            "--wave", "2",
+        ]
+        assert main(list(args)) == 0
+        noisy = capsys.readouterr()
+        assert "wave 1/" in noisy.err
+        assert "folded:" in noisy.err
+        assert main(["--quiet"] + list(args)) == 0
+        quiet = capsys.readouterr()
+        assert "wave" not in quiet.err
+        assert quiet.out == noisy.out
